@@ -1,0 +1,294 @@
+// Package ndlog_test holds the benchmark harness: one benchmark per
+// table/figure of the paper's evaluation (Section 6), plus ablation
+// benchmarks for the design choices called out in DESIGN.md. Benchmarks
+// run on the scaled-down topology so `go test -bench=.` finishes
+// quickly; `cmd/ndbench` runs the same experiments at paper scale.
+package ndlog_test
+
+import (
+	"testing"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/experiments"
+	"ndlog/internal/parser"
+	"ndlog/internal/programs"
+	"ndlog/internal/simnet"
+	"ndlog/internal/val"
+)
+
+// reportSP attaches the summary metrics of an aggregate-selections run
+// to the benchmark output.
+func reportSP(b *testing.B, res []experiments.SPResult) {
+	b.Helper()
+	var mb, conv float64
+	for _, r := range res {
+		mb += r.TotalMB
+		if r.ConvergenceSec > conv {
+			conv = r.ConvergenceSec
+		}
+		if r.Missing != 0 || r.Wrong != 0 {
+			b.Fatalf("%s: missing=%d wrong=%d", r.Metric, r.Missing, r.Wrong)
+		}
+	}
+	b.ReportMetric(mb/float64(b.N), "MB/run")
+	b.ReportMetric(conv, "vsec-converge")
+}
+
+// BenchmarkFig7AggregateSelections regenerates Figure 7 (per-node
+// bandwidth under the four metrics with immediate aggregate selections).
+func BenchmarkFig7AggregateSelections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAggSel(experiments.Small(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSP(b, res)
+		}
+	}
+}
+
+// BenchmarkFig8ResultsOverTime regenerates Figure 8 (completion series);
+// the run is shared with Figure 7, so this benchmark validates that the
+// completion series reaches 1.0 for every metric.
+func BenchmarkFig8ResultsOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAggSel(experiments.Small(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if len(r.Completion) == 0 || r.Completion[len(r.Completion)-1].V != 1.0 {
+				b.Fatalf("%s: incomplete", r.Metric)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9PeriodicAggSel regenerates Figure 9 (periodic aggregate
+// selections, bandwidth).
+func BenchmarkFig9PeriodicAggSel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAggSel(experiments.Small(), 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSP(b, res)
+		}
+	}
+}
+
+// BenchmarkFig10PeriodicResults regenerates Figure 10 (completion under
+// periodic aggregate selections).
+func BenchmarkFig10PeriodicResults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAggSel(experiments.Small(), 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Missing != 0 || r.Wrong != 0 {
+				b.Fatalf("%s: missing=%d wrong=%d", r.Metric, r.Missing, r.Wrong)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11MagicSets regenerates Figure 11 (No-MS / MS / MSC /
+// MSC-30% / MSC-10% aggregate communication).
+func BenchmarkFig11MagicSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMagic(experiments.Small(), 24, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := len(res.Queries) - 1
+			b.ReportMetric(res.MS[last], "MS-MB")
+			b.ReportMetric(res.MSC[last], "MSC-MB")
+		}
+	}
+}
+
+// BenchmarkFig12MessageSharing regenerates Figure 12 (opportunistic
+// message sharing).
+func BenchmarkFig12MessageSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunShare(experiments.Small(), 0.050)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.NoShareMB, "noshare-MB")
+			b.ReportMetric(res.ShareMB, "share-MB")
+		}
+	}
+}
+
+// BenchmarkFig13IncrementalUpdates regenerates Figure 13 (periodic link
+// updates, single interval).
+func BenchmarkFig13IncrementalUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunUpdates(experiments.Small(), []float64{2}, 10, 0.10, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Missing != 0 || res.Wrong != 0 {
+			b.Fatalf("missing=%d wrong=%d", res.Missing, res.Wrong)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.InitialMB, "initial-MB")
+			b.ReportMetric(res.BurstAvgMB, "burst-MB")
+		}
+	}
+}
+
+// BenchmarkFig14InterleavedUpdates regenerates Figure 14 (interleaved
+// 2 s / 8 s update intervals).
+func BenchmarkFig14InterleavedUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunUpdates(experiments.Small(), []float64{0.5, 2}, 8, 0.10, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Missing != 0 || res.Wrong != 0 {
+			b.Fatalf("missing=%d wrong=%d", res.Missing, res.Wrong)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md Section 5) ---
+
+// figure2Links is the Section 2.2 example network.
+var figure2Links = []struct {
+	a, b string
+	cost float64
+}{
+	{"a", "b", 5}, {"a", "c", 1}, {"c", "b", 1}, {"b", "d", 1}, {"e", "a", 1},
+}
+
+func runFigure2Cluster(b *testing.B, opts engine.Options, cfg engine.ClusterConfig) *simnet.Sim {
+	b.Helper()
+	sim := simnet.New(1)
+	prog, err := parser.Parse(programs.ShortestPath(""))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, l := range figure2Links {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+	}
+	cl, err := engine.NewCluster(sim, prog, opts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range []simnet.NodeID{"a", "b", "c", "d", "e"} {
+		cl.AddNode(id)
+	}
+	for _, l := range figure2Links {
+		if err := sim.AddLink(simnet.NodeID(l.a), simnet.NodeID(l.b), 0.010, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if ok, err := cl.Run(5_000_000); err != nil || !ok {
+		b.Fatalf("run: ok=%v err=%v", ok, err)
+	}
+	return sim
+}
+
+// BenchmarkAblationPSNvsBSN compares pipelined against buffered
+// semi-naïve evaluation on the same workload.
+func BenchmarkAblationPSNvsBSN(b *testing.B) {
+	for _, mode := range []engine.Mode{engine.PSN, engine.BSN} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				sim := runFigure2Cluster(b, engine.Options{Mode: mode},
+					engine.ClusterConfig{BSNDelay: 0.005})
+				msgs = sim.Messages()
+			}
+			b.ReportMetric(float64(msgs), "msgs/run")
+		})
+	}
+}
+
+// BenchmarkAblationAggSel compares the shortest-path query with and
+// without aggregate selections (Section 5.1.1).
+func BenchmarkAblationAggSel(b *testing.B) {
+	for _, aggsel := range []bool{false, true} {
+		name := "off"
+		if aggsel {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				sim := runFigure2Cluster(b, engine.Options{AggSel: aggsel}, engine.ClusterConfig{})
+				bytes = sim.Bytes()
+			}
+			b.ReportMetric(float64(bytes), "bytes/run")
+		})
+	}
+}
+
+// BenchmarkAblationCentralEval measures the centralized evaluator on the
+// transitive closure of a modest random graph, per evaluation mode.
+func BenchmarkAblationCentralEval(b *testing.B) {
+	src := `
+materialize(edge, infinity, infinity, keys(1,2)).
+r1 reach(@S,@D) :- #edge(@S,@D).
+r2 reach(@S,@D) :- #edge(@S,@Z), reach(@Z,@D).
+`
+	for _, mode := range []engine.Mode{engine.PSN, engine.SN} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prog, err := parser.Parse(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := engine.NewCentral(prog, engine.Options{Mode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// 30-node DAG chain with shortcuts.
+				for j := 0; j < 29; j++ {
+					c.Insert(tupleEdge(j, j+1))
+					if j+3 < 30 {
+						c.Insert(tupleEdge(j, j+3))
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNeighborhoodFunction measures the N(X,r) statistic used by
+// cost-based optimization (Section 5.3).
+func BenchmarkNeighborhoodFunction(b *testing.B) {
+	o := experiments.BuildOverlay(experiments.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range o.Nodes[:10] {
+			o.Neighborhood(n, 3)
+		}
+	}
+}
+
+// BenchmarkHybridSplit measures the hybrid TD/BU search-radius split
+// optimization (Section 5.3).
+func BenchmarkHybridSplit(b *testing.B) {
+	o := experiments.BuildOverlay(experiments.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.HybridSplit(o.Nodes[0], o.Nodes[len(o.Nodes)-1])
+	}
+}
+
+func tupleEdge(i, j int) val.Tuple {
+	return val.NewTuple("edge", val.NewAddr(nodeName(i)), val.NewAddr(nodeName(j)))
+}
+
+func nodeName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }

@@ -1,0 +1,135 @@
+// Command ndbench regenerates the paper's evaluation figures
+// (Section 6) on the simulated testbed. Each -fig value corresponds to a
+// figure in the paper; output is the textual series the figure plots.
+//
+// Usage:
+//
+//	ndbench -fig 7            # aggregate selections, bandwidth
+//	ndbench -fig 8            # aggregate selections, % results
+//	ndbench -fig 9 -fig 10    # periodic aggregate selections
+//	ndbench -fig 11 -queries 300
+//	ndbench -fig 12
+//	ndbench -fig 13 -fig 14
+//	ndbench -all -small       # everything, scaled-down topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndlog/internal/experiments"
+)
+
+type figList []int
+
+func (f *figList) String() string { return fmt.Sprint([]int(*f)) }
+
+func (f *figList) Set(v string) error {
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return err
+	}
+	*f = append(*f, n)
+	return nil
+}
+
+func main() {
+	var figs figList
+	flag.Var(&figs, "fig", "figure number to reproduce (7-14; repeatable)")
+	all := flag.Bool("all", false, "run every figure")
+	small := flag.Bool("small", false, "use the scaled-down topology (fast)")
+	queries := flag.Int("queries", 300, "query count for figure 11")
+	samples := flag.Int("samples", 10, "sample points for figure 11")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	period := flag.Float64("period", 0.5, "periodic aggregate-selection interval (s), figures 9/10")
+	shareDelay := flag.Float64("share-delay", 0.3, "message sharing delay (s), figure 12")
+	horizon := flag.Float64("horizon", 100, "update-run horizon (s), figures 13/14")
+	hybrid := flag.Bool("hybrid", false, "run the Section 5.3 TD/BU/hybrid cost analysis")
+	hybridPairs := flag.Int("hybrid-pairs", 200, "pair sample size for -hybrid")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *small {
+		cfg = experiments.Small()
+	}
+	cfg.Seed = *seed
+
+	want := map[int]bool{}
+	for _, f := range figs {
+		want[f] = true
+	}
+	if *all {
+		for f := 7; f <= 14; f++ {
+			want[f] = true
+		}
+	}
+	if len(want) == 0 && !*hybrid {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ndbench:", err)
+		os.Exit(1)
+	}
+
+	var immediate, periodic []experiments.SPResult
+	if want[7] || want[8] || want[9] || want[10] {
+		var err error
+		if want[7] || want[8] || want[9] || want[10] {
+			if immediate, err = experiments.RunAggSel(cfg, 0); err != nil {
+				fail(err)
+			}
+		}
+		if want[7] || want[8] {
+			fmt.Print(experiments.FormatAggSel(immediate, 0))
+			fmt.Println()
+		}
+		if want[9] || want[10] {
+			if periodic, err = experiments.RunAggSel(cfg, *period); err != nil {
+				fail(err)
+			}
+			fmt.Print(experiments.FormatAggSel(periodic, *period))
+			fmt.Println()
+			fmt.Print(experiments.CompareAggSel(immediate, periodic))
+			fmt.Println()
+		}
+	}
+	if want[11] {
+		res, err := experiments.RunMagic(cfg, *queries, *samples)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatMagic(res))
+		fmt.Println()
+	}
+	if want[12] {
+		res, err := experiments.RunShare(cfg, *shareDelay)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatShare(res))
+		fmt.Println()
+	}
+	if want[13] {
+		res, err := experiments.RunUpdates(cfg, []float64{10}, *horizon, 0.10, 0.10)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatUpdates(res, "Figure 13: periodic link updates (10 s interval)"))
+		fmt.Println()
+	}
+	if want[14] {
+		res, err := experiments.RunUpdates(cfg, []float64{2, 8}, *horizon, 0.10, 0.10)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatUpdates(res, "Figure 14: interleaved 2 s / 8 s update intervals"))
+		fmt.Println()
+	}
+	if *hybrid {
+		fmt.Print(experiments.FormatHybrid(experiments.RunHybrid(cfg, *hybridPairs)))
+		fmt.Println()
+	}
+}

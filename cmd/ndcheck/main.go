@@ -1,0 +1,90 @@
+// Command ndcheck statically checks NDlog programs: the Definition 6
+// validity constraints (location specificity, address type safety,
+// stored link relations, link restriction), plus reports the rewrites
+// the planner would perform — the localized rule set (Algorithm 2) and
+// detected aggregate-selection opportunities (Section 5.1.1).
+//
+// Usage:
+//
+//	ndcheck program.ndl
+//	ndcheck -localize program.ndl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndlog/internal/parser"
+	"ndlog/internal/planner"
+)
+
+func main() {
+	localize := flag.Bool("localize", false, "print the localized program")
+	verbose := flag.Bool("v", false, "print analysis details")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ndcheck [flags] program.ndl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		fail(fmt.Errorf("parse: %w", err))
+	}
+	if err := planner.Check(prog); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: OK (%d rules, %d facts, %d materialized tables)\n",
+		flag.Arg(0), len(prog.Rules), len(prog.Facts), len(prog.Materialized))
+
+	if *verbose {
+		links := planner.LinkRelations(prog)
+		fmt.Printf("link relations: %v\n", keys(links))
+		idb := planner.IDBPredicates(prog)
+		fmt.Printf("derived predicates: %v\n", keys(idb))
+		local, nonLocal := 0, 0
+		for _, r := range prog.Rules {
+			if r.IsLocal() {
+				local++
+			} else {
+				nonLocal++
+			}
+		}
+		fmt.Printf("rules: %d local, %d link-restricted non-local\n", local, nonLocal)
+		for _, sel := range planner.DetectAggSelections(prog) {
+			note := "not prunable"
+			if sel.Prunable() {
+				note = "prunable"
+			}
+			fmt.Printf("aggregate selection: %s over %s (%s, group %v, value col %d) — %s\n",
+				sel.AggPred, sel.SrcPred, sel.Func, sel.GroupCols, sel.ValueCol, note)
+		}
+	}
+
+	if *localize {
+		lp, err := planner.Localize(prog)
+		if err != nil {
+			fail(fmt.Errorf("localize: %w", err))
+		}
+		fmt.Println("\n// localized program (Algorithm 2):")
+		fmt.Print(lp.String())
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ndcheck:", err)
+	os.Exit(1)
+}

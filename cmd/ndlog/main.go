@@ -1,0 +1,172 @@
+// Command ndlog runs an NDlog program. By default it evaluates the
+// program at a single site (centralized); with -dist it deploys one
+// runtime per address mentioned in the program's facts over the
+// discrete-event simulator, connecting nodes according to the link
+// facts.
+//
+// Usage:
+//
+//	ndlog program.ndl                 # centralized evaluation
+//	ndlog -dist -latency 10ms prog.ndl
+//	ndlog -dump path,shortestPath prog.ndl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/engine"
+	"ndlog/internal/parser"
+	"ndlog/internal/simnet"
+	"ndlog/internal/val"
+)
+
+func main() {
+	dist := flag.Bool("dist", false, "distributed execution over the simulator")
+	latency := flag.Duration("latency", 10*time.Millisecond, "link latency for distributed execution")
+	aggsel := flag.Bool("aggsel", true, "enable aggregate selections")
+	dump := flag.String("dump", "", "comma-separated extra predicates to print")
+	trace := flag.Bool("trace", false, "trace derivations of watched predicates")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ndlog [flags] program.ndl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	opts := engine.Options{AggSel: *aggsel}
+	if *trace && len(prog.Watches) > 0 {
+		watched := map[string]bool{}
+		for _, w := range prog.Watches {
+			watched[w] = true
+		}
+		opts.OnDerive = func(nodeID, rule string, d engine.Delta) {
+			if watched[d.Tuple.Pred] {
+				fmt.Printf("watch [%s] %s: %s\n", nodeID, rule, d)
+			}
+		}
+	}
+
+	var results func(pred string) []val.Tuple
+	var queryPred string
+	if prog.Query != nil {
+		queryPred = prog.Query.Pred
+	}
+
+	if *dist {
+		sim := simnet.New(1)
+		cl, err := engine.NewCluster(sim, prog, opts, engine.ClusterConfig{ProcDelay: 0.001})
+		if err != nil {
+			fail(err)
+		}
+		for _, id := range factAddresses(prog) {
+			cl.AddNode(simnet.NodeID(id))
+		}
+		for _, l := range linkPairs(prog) {
+			if !sim.HasLink(simnet.NodeID(l[0]), simnet.NodeID(l[1])) {
+				if err := sim.AddLink(simnet.NodeID(l[0]), simnet.NodeID(l[1]), latency.Seconds(), 0); err != nil {
+					fail(err)
+				}
+			}
+		}
+		ok, err := cl.Run(50_000_000)
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			fail(fmt.Errorf("execution did not quiesce"))
+		}
+		fmt.Printf("// distributed: %d nodes, %d messages, %d bytes, converged at %.3fs\n",
+			len(cl.Nodes()), sim.Messages(), sim.Bytes(), sim.LastDelivery())
+		results = cl.Tuples
+	} else {
+		c, err := engine.NewCentral(prog, opts)
+		if err != nil {
+			fail(err)
+		}
+		c.LoadFacts()
+		results = c.Tuples
+	}
+
+	printed := map[string]bool{}
+	if queryPred != "" {
+		printPred(queryPred, results(queryPred))
+		printed[queryPred] = true
+	}
+	for _, pred := range strings.Split(*dump, ",") {
+		pred = strings.TrimSpace(pred)
+		if pred == "" || printed[pred] {
+			continue
+		}
+		printPred(pred, results(pred))
+		printed[pred] = true
+	}
+}
+
+func printPred(pred string, tuples []val.Tuple) {
+	fmt.Printf("// %s: %d tuples\n", pred, len(tuples))
+	for _, t := range tuples {
+		fmt.Printf("%s.\n", t)
+	}
+}
+
+// factAddresses collects every address constant in the program's facts:
+// the node population for distributed execution.
+func factAddresses(p *ast.Program) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(v val.Value) {
+		if v.Kind() == val.KindAddr && !seen[v.Addr()] {
+			seen[v.Addr()] = true
+			out = append(out, v.Addr())
+		}
+	}
+	for _, f := range p.Facts {
+		for _, v := range f.Fields {
+			add(v)
+		}
+	}
+	return out
+}
+
+// linkPairs returns the (src,dst) pairs of the program's link-relation
+// facts, determining simulator connectivity.
+func linkPairs(p *ast.Program) [][2]string {
+	links := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, a := range r.Atoms() {
+			if a.Link {
+				links[a.Pred] = true
+			}
+		}
+	}
+	var out [][2]string
+	for _, f := range p.Facts {
+		if !links[f.Pred] || len(f.Fields) < 2 {
+			continue
+		}
+		if f.Fields[0].Kind() != val.KindAddr || f.Fields[1].Kind() != val.KindAddr {
+			continue
+		}
+		out = append(out, [2]string{f.Fields[0].Addr(), f.Fields[1].Addr()})
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ndlog:", err)
+	os.Exit(1)
+}

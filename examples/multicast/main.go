@@ -1,0 +1,107 @@
+// Multicast: an application-level multicast tree as a declarative
+// overlay (the paper's introduction motivates exactly this workload).
+//
+// The distance-vector routing protocol and the multicast tree are two
+// NDlog programs composed into one: members pick their shortest-path
+// next hop toward the root as a tree parent, parents learn children
+// (grafting interior nodes on the way), and the tree repairs itself
+// when a link on it fails — all through the same incremental engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/parser"
+	"ndlog/internal/programs"
+	"ndlog/internal/simnet"
+	"ndlog/internal/topology"
+)
+
+func main() {
+	underlay := topology.TransitStub(topology.TransitStubParams{
+		Transits: 2, StubsPerTrans: 2, NodesPerStub: 4,
+		TransitLatency: 0.050, StubLatency: 0.010, IntraLatency: 0.002,
+	})
+	overlay := topology.NewOverlay(underlay, 3, 11)
+
+	src := programs.Combine(programs.ShortestPathDV(""), programs.Multicast())
+	prog, err := parser.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range overlay.Links {
+		cost := l.Cost[topology.Latency]
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", string(l.A), string(l.B), cost),
+			programs.LinkFact("link", string(l.B), string(l.A), cost))
+	}
+	root := string(overlay.Nodes[0])
+	members := []string{
+		string(overlay.Nodes[5]), string(overlay.Nodes[11]), string(overlay.Nodes[17]),
+	}
+	for _, m := range members {
+		prog.Facts = append(prog.Facts, programs.MemberFact(m, root))
+	}
+
+	sim := simnet.New(11)
+	cluster, err := engine.NewCluster(sim, prog,
+		engine.Options{AggSel: true}, engine.ClusterConfig{ProcDelay: 0.001})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range overlay.Nodes {
+		cluster.AddNode(n)
+	}
+	for _, l := range overlay.Links {
+		if err := sim.AddLink(l.A, l.B, l.LatencySec, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ok, err := cluster.Run(20_000_000)
+	if err != nil || !ok {
+		log.Fatalf("run: quiesced=%v err=%v", ok, err)
+	}
+
+	fmt.Printf("multicast tree rooted at %s, members %v:\n", root, members)
+	printTree(cluster)
+
+	// Fail the root's busiest tree link and watch the tree repair.
+	var failA, failB string
+	for _, c := range cluster.Tuples("child") {
+		if c.Fields[0].Addr() == root {
+			failA, failB = root, c.Fields[2].Addr()
+			break
+		}
+	}
+	if failA == "" {
+		log.Fatal("no tree edge at the root?")
+	}
+	l, okL := overlay.Link(simnet.NodeID(failA), simnet.NodeID(failB))
+	if !okL {
+		log.Fatalf("no overlay link %s-%s", failA, failB)
+	}
+	cost := l.Cost[topology.Latency]
+	fmt.Printf("\nfailing tree link %s <-> %s ...\n\n", failA, failB)
+	sim.ScheduleFunc(1, func(now float64) {
+		cluster.Inject(failA, engine.Deletion(programs.LinkFact("link", failA, failB, cost)))
+		cluster.Inject(failB, engine.Deletion(programs.LinkFact("link", failB, failA, cost)))
+	})
+	if !sim.RunToQuiescence(20_000_000) {
+		log.Fatal("repair did not quiesce")
+	}
+	fmt.Println("repaired tree:")
+	printTree(cluster)
+}
+
+func printTree(cluster *engine.Cluster) {
+	for _, c := range cluster.Tuples("child") {
+		fmt.Printf("  %s -> %s\n", c.Fields[0].Addr(), c.Fields[2].Addr())
+	}
+	for _, f := range cluster.Tuples("fanout") {
+		if f.Fields[2].Int() > 1 {
+			fmt.Printf("  (%s forwards to %d children)\n", f.Fields[0].Addr(), f.Fields[2].Int())
+		}
+	}
+}

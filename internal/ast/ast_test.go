@@ -1,0 +1,187 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"ndlog/internal/val"
+)
+
+func v(name string) *Var   { return &Var{Name: name} }
+func c(x val.Value) *Const { return &Const{Value: x} }
+func atom(pred string, args ...Expr) Atom {
+	return Atom{Pred: pred, Args: args}
+}
+
+func TestAtomString(t *testing.T) {
+	a := atom("path", v("S"), v("D"), c(val.NewInt(3)))
+	if got := a.String(); got != "path(@S,D,3)" {
+		t.Errorf("String = %q", got)
+	}
+	a.Link = true
+	if got := a.String(); got != "#path(@S,D,3)" {
+		t.Errorf("link String = %q", got)
+	}
+	b := atom("p", c(val.NewAddr("n1")))
+	if got := b.String(); got != "p(@n1)" {
+		t.Errorf("addr-const loc String = %q", got)
+	}
+	empty := Atom{Pred: "e"}
+	if empty.LocArg() != nil {
+		t.Error("LocArg of empty atom should be nil")
+	}
+	if empty.LocVar() != "" {
+		t.Error("LocVar of empty atom should be empty")
+	}
+}
+
+func TestRuleHelpers(t *testing.T) {
+	link := &Atom{Pred: "link", Link: true, Args: []Expr{v("S"), v("D"), v("C")}}
+	pathAtom := &Atom{Pred: "path", Args: []Expr{v("S"), v("D")}}
+	r := &Rule{
+		Label: "R",
+		Head:  atom("p", v("S"), v("C")),
+		Body: []Term{
+			link,
+			pathAtom,
+			&Assign{Var: "X", Expr: &BinOp{Op: OpAdd, L: v("C"), R: c(val.NewInt(1))}},
+			&Select{Cond: &BinOp{Op: OpLt, L: v("X"), R: c(val.NewInt(9))}},
+		},
+	}
+	if got := len(r.Atoms()); got != 2 {
+		t.Errorf("Atoms = %d", got)
+	}
+	if la := r.LinkAtom(); la != link {
+		t.Errorf("LinkAtom = %v", la)
+	}
+	if !r.IsLocal() {
+		t.Error("all atoms at @S: should be local")
+	}
+	pathAtom.Args[0] = v("D")
+	if r.IsLocal() {
+		t.Error("atoms at different locations: should be non-local")
+	}
+	want := "R p(@S,C) :- #link(@S,D,C), path(@D,D), X := C + 1, X < 9."
+	if got := r.String(); got != want {
+		t.Errorf("Rule.String:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestIsLocalConstHead(t *testing.T) {
+	// Head located at a constant address with matching body is not "local"
+	// in the variable sense unless body matches; we require addr const.
+	r := &Rule{
+		Head: atom("p", c(val.NewAddr("a"))),
+		Body: []Term{&Atom{Pred: "q", Args: []Expr{c(val.NewAddr("a"))}}},
+	}
+	// Head loc var is "" and body loc var is "" — treated as local since
+	// both are address constants.
+	if !r.IsLocal() {
+		t.Error("const-addr-located rule should be local")
+	}
+	r2 := &Rule{
+		Head: atom("p", c(val.NewInt(1))),
+		Body: []Term{&Atom{Pred: "q", Args: []Expr{c(val.NewInt(1))}}},
+	}
+	if r2.IsLocal() {
+		t.Error("non-address head loc must not be local")
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := &BinOp{
+		Op: OpAdd,
+		L:  &Call{Name: "f_size", Args: []Expr{v("P")}},
+		R:  &BinOp{Op: OpMul, L: v("A"), R: c(val.NewInt(2))},
+	}
+	got := Vars(e)
+	for _, name := range []string{"P", "A"} {
+		if !got[name] {
+			t.Errorf("Vars missing %s: %v", name, got)
+		}
+	}
+	if len(got) != 2 {
+		t.Errorf("Vars = %v", got)
+	}
+	ag := Vars(&Agg{Func: AggMin, Var: "C"})
+	if !ag["C"] {
+		t.Error("Vars should include aggregate variable")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "+" || OpEq.String() != "==" {
+		t.Error("op names wrong")
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Error("unknown op should render numerically")
+	}
+	if !OpEq.IsComparison() || OpAdd.IsComparison() {
+		t.Error("IsComparison wrong")
+	}
+}
+
+func TestAggFuncByName(t *testing.T) {
+	for _, name := range []string{"min", "max", "count", "sum"} {
+		f, ok := AggFuncByName(name)
+		if !ok || f.String() != name {
+			t.Errorf("AggFuncByName(%q) = %v, %v", name, f, ok)
+		}
+	}
+	if _, ok := AggFuncByName("avg"); ok {
+		t.Error("avg should be unknown")
+	}
+	if !strings.HasPrefix(AggFunc(99).String(), "agg(") {
+		t.Error("unknown agg should render numerically")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := &Program{
+		Materialized: []*TableDecl{
+			{Name: "link", Lifetime: -1, Keys: []int{0, 1}},
+			{Name: "cache", Lifetime: 60, MaxSize: 100, Keys: []int{0}},
+		},
+		Rules: []*Rule{{
+			Head: atom("p", v("S")),
+			Body: []Term{&Atom{Pred: "q", Args: []Expr{v("S")}}},
+		}},
+		Facts: []val.Tuple{val.NewTuple("link", val.NewAddr("a"), val.NewAddr("b"))},
+		Query: &Atom{Pred: "p", Args: []Expr{v("S")}},
+	}
+	s := p.String()
+	for _, want := range []string{
+		"materialize(link, infinity, infinity, keys(1,2)).",
+		"materialize(cache, 60, 100, keys(1)).",
+		"p(@S) :- q(@S).",
+		"link(a,b).",
+		"query p(@S).",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Program.String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestProgramLookupsAndClone(t *testing.T) {
+	p := &Program{
+		Materialized: []*TableDecl{{Name: "link", Keys: []int{0}}},
+		Rules: []*Rule{{Label: "R1",
+			Head: atom("p", v("S")),
+			Body: []Term{&Atom{Pred: "q", Args: []Expr{v("S")}}},
+		}},
+		Watches: []string{"p"},
+	}
+	if p.Decl("link") == nil || p.Decl("missing") != nil {
+		t.Error("Decl lookup wrong")
+	}
+	if p.RuleByLabel("R1") == nil || p.RuleByLabel("R9") != nil {
+		t.Error("RuleByLabel lookup wrong")
+	}
+	cl := p.Clone()
+	cl.Rules[0].Head.Pred = "zz"
+	cl.Materialized[0].Keys[0] = 5
+	if p.Rules[0].Head.Pred != "p" || p.Materialized[0].Keys[0] != 0 {
+		t.Error("Clone shares structure")
+	}
+}

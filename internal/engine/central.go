@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"ndlog/internal/ast"
+	"ndlog/internal/val"
+)
+
+// Central evaluates an NDlog program at a single site, ignoring data
+// placement: every derived tuple loops back locally. It supports all
+// three evaluation modes and is the reference evaluator the distributed
+// cluster is validated against (Theorems 1 and 3).
+type Central struct {
+	node *Node
+	prog *program
+}
+
+// NewCentral compiles prog for single-site evaluation.
+func NewCentral(prog *ast.Program, opts Options) (*Central, error) {
+	p, err := compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	n := newNode("central", p, opts)
+	n.central = true
+	return &Central{node: n, prog: p}, nil
+}
+
+// NewNode compiles prog and returns a standalone runtime for one network
+// node. The caller owns the message loop: feed arriving deltas with
+// Push, call Drain for the outbound deltas, and route them to their
+// destinations (see internal/netrun for a UDP-based driver). The
+// program's base facts are NOT loaded automatically; push the ones
+// homed at this node.
+func NewNode(id string, prog *ast.Program, opts Options) (*Node, error) {
+	p, err := compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(id, p, opts), nil
+}
+
+// HomeFacts returns the subset of a program's base facts whose location
+// specifier is id.
+func HomeFacts(prog *ast.Program, id string) []val.Tuple {
+	var out []val.Tuple
+	for _, f := range prog.Facts {
+		if len(f.Fields) > 0 && f.Fields[0].Kind() == val.KindAddr && f.Loc() == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Node exposes the underlying runtime for inspection.
+func (c *Central) Node() *Node { return c.node }
+
+// LoadFacts inserts the program's base facts and runs to fixpoint.
+func (c *Central) LoadFacts() {
+	for _, f := range c.prog.source.Facts {
+		c.node.Push(Insert(f))
+	}
+	c.Fixpoint()
+}
+
+// Insert adds a base tuple and runs to fixpoint.
+func (c *Central) Insert(t val.Tuple) {
+	c.node.Push(Insert(t))
+	c.Fixpoint()
+}
+
+// Delete retracts a base tuple (count algorithm) and runs to fixpoint.
+func (c *Central) Delete(t val.Tuple) {
+	c.node.Push(Deletion(t))
+	c.Fixpoint()
+}
+
+// Update replaces a base tuple: deletion followed by insertion
+// (Section 4).
+func (c *Central) Update(old, new val.Tuple) {
+	c.node.Push(Deletion(old))
+	c.node.Push(Insert(new))
+	c.Fixpoint()
+}
+
+// Fixpoint drains the queue completely. Derived tuples destined for
+// "remote" locations cannot occur in central mode.
+func (c *Central) Fixpoint() {
+	out := c.node.Drain()
+	if len(out) != 0 {
+		panic("engine: central evaluation produced remote deltas")
+	}
+}
+
+// Tuples returns the current contents of a predicate, sorted.
+func (c *Central) Tuples(pred string) []val.Tuple { return c.node.Tuples(pred) }
+
+// QueryResults returns the tuples of the program's query predicate, or
+// nil if the program has no query.
+func (c *Central) QueryResults() []val.Tuple {
+	if c.prog.source.Query == nil {
+		return nil
+	}
+	return c.Tuples(c.prog.source.Query.Pred)
+}

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/simnet"
+	"ndlog/internal/val"
+)
+
+// ClusterConfig tunes the distributed deployment.
+type ClusterConfig struct {
+	// ProcDelay is the per-message processing cost at the sender. Sends
+	// from one node are serialized ProcDelay apart (a node's CPU/NIC
+	// handles one tuple at a time), which is what spreads traffic over
+	// virtual time the way the paper's testbed deployment does.
+	ProcDelay float64
+	// BSNDelay batches message arrivals: with Mode == BSN, a node
+	// processes its buffered deltas BSNDelay seconds after the first
+	// arrival instead of immediately.
+	BSNDelay float64
+	// Share enables opportunistic message sharing; outbound deltas are
+	// buffered Share.Delay seconds and combined per destination.
+	Share *ShareConfig
+	// Batch, when > 0 and Share is nil, buffers outbound deltas for
+	// Batch seconds and sends one plain message per destination per
+	// flush. This is the fair no-sharing baseline for Figure 12.
+	Batch float64
+}
+
+// Cluster runs one NDlog program across the nodes of a simulated
+// network. Every registered simulator node gets its own runtime; base
+// facts are routed to their location specifiers; derived tuples travel
+// as messages.
+type Cluster struct {
+	sim   *simnet.Sim
+	prog  *program
+	opts  Options
+	cfg   ClusterConfig
+	nodes map[string]*Node
+
+	// timer arming state, per node
+	aggselArmed map[string]bool
+	shareArmed  map[string]bool
+	bsnArmed    map[string]bool
+	shareBuf    map[string]map[string][]Delta // node -> dst -> deltas
+	// sendFree is the virtual time each node's sender becomes free;
+	// outbound messages depart serialized ProcDelay apart.
+	sendFree map[string]float64
+
+	undeliverable int
+}
+
+// NewCluster compiles prog and attaches a runtime to every node already
+// registered in sim... nodes must be added to the cluster (AddNode), not
+// the simulator directly, so the cluster can install its handlers.
+func NewCluster(sim *simnet.Sim, prog *ast.Program, opts Options, cfg ClusterConfig) (*Cluster, error) {
+	p, err := compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Mode == SN {
+		// Distributed execution cannot run global SN iterations (that
+		// would need the barrier synchronization the paper rejects);
+		// treat it as BSN, the local-iteration relaxation.
+		opts.Mode = BSN
+	}
+	return &Cluster{
+		sim:         sim,
+		prog:        p,
+		opts:        opts,
+		cfg:         cfg,
+		nodes:       map[string]*Node{},
+		aggselArmed: map[string]bool{},
+		shareArmed:  map[string]bool{},
+		bsnArmed:    map[string]bool{},
+		shareBuf:    map[string]map[string][]Delta{},
+		sendFree:    map[string]float64{},
+	}, nil
+}
+
+// AddNode registers a node with both the simulator and the cluster.
+func (c *Cluster) AddNode(id simnet.NodeID) *Node {
+	n := newNode(string(id), c.prog, c.opts)
+	c.nodes[string(id)] = n
+	c.sim.AddNode(id, &clusterHandler{c: c, n: n})
+	return n
+}
+
+// Node returns the runtime for a node ID.
+func (c *Cluster) Node(id simnet.NodeID) *Node { return c.nodes[string(id)] }
+
+// Nodes returns all node IDs in sorted order.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Undeliverable counts derived tuples whose destination had no direct
+// link from the deriving node (a violation of link-restriction; zero for
+// well-formed programs).
+func (c *Cluster) Undeliverable() int { return c.undeliverable }
+
+// Seed inserts the program's base facts at their home nodes. Call before
+// running the simulator.
+func (c *Cluster) Seed() error {
+	for _, f := range c.prog.source.Facts {
+		if err := c.Inject(f.Loc(), Insert(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inject pushes a delta into a node's queue and pumps it, as if it had
+// arrived at the current virtual time. Use from simnet.ScheduleFunc for
+// mid-run updates.
+func (c *Cluster) Inject(nodeID string, d Delta) error {
+	n, ok := c.nodes[nodeID]
+	if !ok {
+		return fmt.Errorf("engine: inject into unknown node %q", nodeID)
+	}
+	n.SetNow(c.sim.Now())
+	n.Push(d)
+	c.pump(n)
+	return nil
+}
+
+// Run seeds the program facts and drives the simulator to quiescence.
+// It returns false if maxEvents elapsed first.
+func (c *Cluster) Run(maxEvents int) (bool, error) {
+	if err := c.Seed(); err != nil {
+		return false, err
+	}
+	return c.sim.RunToQuiescence(maxEvents), nil
+}
+
+// Tuples gathers a predicate's tuples across all nodes, sorted.
+func (c *Cluster) Tuples(pred string) []val.Tuple {
+	var out []val.Tuple
+	for _, id := range c.Nodes() {
+		out = append(out, c.nodes[id].Tuples(pred)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// QueryResults returns the program's query predicate tuples cluster-wide.
+func (c *Cluster) QueryResults() []val.Tuple {
+	if c.prog.source.Query == nil {
+		return nil
+	}
+	return c.Tuples(c.prog.source.Query.Pred)
+}
+
+// clusterHandler adapts a Node to the simulator's Handler interface.
+type clusterHandler struct {
+	c *Cluster
+	n *Node
+}
+
+func (h *clusterHandler) HandleMessage(now float64, from simnet.NodeID, payload []byte) {
+	h.n.SetNow(now)
+	deltas, err := DecodeMessage(payload)
+	if err != nil {
+		panic(fmt.Sprintf("engine: node %s: %v", h.n.id, err))
+	}
+	for _, d := range deltas {
+		h.n.Push(d)
+	}
+	if h.c.opts.Mode == BSN && h.c.cfg.BSNDelay > 0 {
+		// Buffer: process after the batching delay.
+		if !h.c.bsnArmed[h.n.id] {
+			h.c.bsnArmed[h.n.id] = true
+			h.c.sim.ScheduleTimer(simnet.NodeID(h.n.id), h.c.cfg.BSNDelay, "bsn")
+		}
+		return
+	}
+	h.c.pump(h.n)
+}
+
+func (h *clusterHandler) HandleTimer(now float64, key string) {
+	h.n.SetNow(now)
+	switch key {
+	case "bsn":
+		h.c.bsnArmed[h.n.id] = false
+		h.c.pump(h.n)
+	case "aggsel":
+		h.c.aggselArmed[h.n.id] = false
+		h.n.FlushPending()
+		h.c.pump(h.n)
+	case "share":
+		h.c.shareArmed[h.n.id] = false
+		h.c.flushShare(h.n)
+	case "expire":
+		h.n.ExpireSoftState()
+		h.c.pump(h.n)
+	}
+}
+
+// pump drains a node and routes its outbound deltas, then re-arms any
+// timers the node still needs.
+func (c *Cluster) pump(n *Node) {
+	outs := n.Drain()
+	for _, o := range outs {
+		c.routeOut(n, o)
+	}
+	if n.PendingGroups() > 0 && !c.aggselArmed[n.id] && c.opts.AggSelPeriod > 0 {
+		c.aggselArmed[n.id] = true
+		c.sim.ScheduleTimer(simnet.NodeID(n.id), c.opts.AggSelPeriod, "aggsel")
+	}
+}
+
+func (c *Cluster) routeOut(n *Node, o OutDelta) {
+	buffered := c.cfg.Share != nil || c.cfg.Batch > 0
+	if buffered {
+		buf := c.shareBuf[n.id]
+		if buf == nil {
+			buf = map[string][]Delta{}
+			c.shareBuf[n.id] = buf
+		}
+		buf[o.Dst] = append(buf[o.Dst], o.Delta)
+		if !c.shareArmed[n.id] {
+			c.shareArmed[n.id] = true
+			delay := c.cfg.Batch
+			if c.cfg.Share != nil {
+				delay = c.cfg.Share.Delay
+			}
+			c.sim.ScheduleTimer(simnet.NodeID(n.id), delay, "share")
+		}
+		return
+	}
+	c.sendNow(n, o.Dst, EncodeDeltas([]Delta{o.Delta}))
+}
+
+func (c *Cluster) flushShare(n *Node) {
+	buf := c.shareBuf[n.id]
+	if len(buf) == 0 {
+		return
+	}
+	c.shareBuf[n.id] = nil
+	dsts := make([]string, 0, len(buf))
+	for d := range buf {
+		dsts = append(dsts, d)
+	}
+	sort.Strings(dsts)
+	for _, dst := range dsts {
+		deltas := buf[dst]
+		var payload []byte
+		if c.cfg.Share != nil {
+			payload = EncodeShared(c.cfg.Share, deltas)
+		} else {
+			payload = EncodeDeltas(deltas)
+		}
+		c.sendNow(n, dst, payload)
+	}
+}
+
+func (c *Cluster) sendNow(n *Node, dst string, payload []byte) {
+	now := c.sim.Now()
+	depart := now + c.cfg.ProcDelay
+	if free := c.sendFree[n.id]; free > depart {
+		depart = free
+	}
+	c.sendFree[n.id] = depart + c.cfg.ProcDelay
+	err := c.sim.Send(simnet.NodeID(n.id), simnet.NodeID(dst), payload, depart-now)
+	if err != nil {
+		c.undeliverable++
+	}
+}
+
+// ExpireAll triggers soft-state expiry on every node at the current
+// virtual time (drive from simnet.ScheduleFunc for periodic sweeps).
+func (c *Cluster) ExpireAll() {
+	for _, id := range c.Nodes() {
+		n := c.nodes[id]
+		n.SetNow(c.sim.Now())
+		n.ExpireSoftState()
+		c.pump(n)
+	}
+}

@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ndlog/internal/programs"
+	"ndlog/internal/simnet"
+	"ndlog/internal/val"
+)
+
+// figure2Cluster builds the Section 2.2 network as a distributed
+// deployment: one engine node per network node, link facts at both
+// endpoints, simulator links with 10ms latency.
+func figure2Cluster(t *testing.T, opts Options, cfg ClusterConfig) (*simnet.Sim, *Cluster) {
+	t.Helper()
+	sim := simnet.New(1)
+	prog := mustParse(t, programs.ShortestPath(""))
+	for _, l := range figure2 {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+	}
+	cl, err := NewCluster(sim, prog, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []simnet.NodeID{"a", "b", "c", "d", "e"} {
+		cl.AddNode(id)
+	}
+	for _, l := range figure2 {
+		if err := sim.AddLink(simnet.NodeID(l.a), simnet.NodeID(l.b), 0.010, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sim, cl
+}
+
+func runCluster(t *testing.T, cl *Cluster) {
+	t.Helper()
+	ok, err := cl.Run(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("cluster did not quiesce")
+	}
+}
+
+func TestClusterShortestPathFigure2(t *testing.T) {
+	for _, aggsel := range []bool{false, true} {
+		for _, mode := range []Mode{PSN, BSN} {
+			sim, cl := figure2Cluster(t, Options{Mode: mode, AggSel: aggsel},
+				ClusterConfig{ProcDelay: 0.001, BSNDelay: 0.005})
+			runCluster(t, cl)
+			label := fmt.Sprintf("mode=%v aggsel=%v", mode, aggsel)
+			checkCosts(t, spCosts(cl.QueryResults()), floyd(figure2), label)
+			if cl.Undeliverable() != 0 {
+				t.Errorf("%s: %d undeliverable messages", label, cl.Undeliverable())
+			}
+			if sim.Messages() == 0 {
+				t.Errorf("%s: no messages exchanged", label)
+			}
+			// Results must live at their location specifiers.
+			for _, id := range cl.Nodes() {
+				for _, tp := range cl.Node(simnet.NodeID(id)).Tuples("shortestPath") {
+					if tp.Loc() != id {
+						t.Errorf("%s: tuple %v stored at %s", label, tp, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClusterAggSelReducesTraffic(t *testing.T) {
+	run := func(aggsel bool) int64 {
+		sim, cl := figure2Cluster(t, Options{AggSel: aggsel}, ClusterConfig{})
+		ok, err := cl.Run(5_000_000)
+		if err != nil || !ok {
+			t.Fatalf("run: ok=%v err=%v", ok, err)
+		}
+		return sim.Bytes()
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Errorf("aggsel bytes = %d, without = %d; expected reduction", with, without)
+	}
+}
+
+func TestClusterPeriodicAggSel(t *testing.T) {
+	sim, cl := figure2Cluster(t,
+		Options{AggSel: true, AggSelPeriod: 0.050},
+		ClusterConfig{ProcDelay: 0.001})
+	runCluster(t, cl)
+	checkCosts(t, spCosts(cl.QueryResults()), floyd(figure2), "periodic")
+	_ = sim
+}
+
+func TestClusterMatchesCentral(t *testing.T) {
+	// Theorem 4's practical reading: the distributed PSN fixpoint equals
+	// the centralized one.
+	c := central(t, programs.ShortestPath(""), Options{})
+	insertLinks(c, figure2)
+	_, cl := figure2Cluster(t, Options{}, ClusterConfig{})
+	runCluster(t, cl)
+
+	want := c.QueryResults()
+	got := cl.QueryResults()
+	if len(got) != len(want) {
+		t.Fatalf("cluster %d results, central %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("result %d: cluster %v, central %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClusterLinkUpdateMidRun(t *testing.T) {
+	// Figure 13's mechanism: inject a link cost update after convergence;
+	// incremental maintenance must land on the from-scratch answer.
+	sim, cl := figure2Cluster(t, Options{AggSel: true}, ClusterConfig{ProcDelay: 0.001})
+	if err := cl.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	sim.ScheduleFunc(10, func(now float64) {
+		// link(a,b): 5 -> 1, both directions, at both endpoints.
+		cl.Inject("a", Insert(programs.LinkFact("link", "a", "b", 1)))
+		cl.Inject("b", Insert(programs.LinkFact("link", "b", "a", 1)))
+	})
+	if !sim.RunToQuiescence(5_000_000) {
+		t.Fatal("did not quiesce")
+	}
+	updated := append([]struct {
+		a, b string
+		cost float64
+	}(nil), figure2...)
+	updated[0].cost = 1
+	checkCosts(t, spCosts(cl.QueryResults()), floyd(updated), "after update")
+}
+
+func TestClusterLinkDeleteMidRun(t *testing.T) {
+	sim, cl := figure2Cluster(t, Options{AggSel: true}, ClusterConfig{ProcDelay: 0.001})
+	if err := cl.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	sim.ScheduleFunc(10, func(now float64) {
+		cl.Inject("b", Deletion(programs.LinkFact("link", "b", "d", 1)))
+		cl.Inject("d", Deletion(programs.LinkFact("link", "d", "b", 1)))
+	})
+	if !sim.RunToQuiescence(5_000_000) {
+		t.Fatal("did not quiesce")
+	}
+	var remaining []struct {
+		a, b string
+		cost float64
+	}
+	for _, l := range figure2 {
+		if !(l.a == "b" && l.b == "d") {
+			remaining = append(remaining, l)
+		}
+	}
+	checkCosts(t, spCosts(cl.QueryResults()), floyd(remaining), "after delete")
+}
+
+func TestClusterMagicProgram(t *testing.T) {
+	// The top-down magic program, distributed: query e -> d with
+	// caching along the reverse path.
+	sim := simnet.New(3)
+	prog := mustParse(t, programs.MagicShortestPath())
+	for _, l := range figure2 {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+	}
+	prog.Facts = append(prog.Facts, programs.MagicSrcFact("e"), programs.MagicDstFact("d"))
+	cl, err := NewCluster(sim, prog, Options{AggSel: true}, ClusterConfig{ProcDelay: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []simnet.NodeID{"a", "b", "c", "d", "e"} {
+		cl.AddNode(id)
+	}
+	for _, l := range figure2 {
+		sim.AddLink(simnet.NodeID(l.a), simnet.NodeID(l.b), 0.010, 0)
+	}
+	runCluster(t, cl)
+
+	// The answer must arrive at source e with cost 4.
+	var found bool
+	for _, a := range cl.Node("e").Tuples("answer") {
+		if a.Fields[0].Addr() == "e" && a.Fields[2].Addr() == "d" && a.Fields[4].Float() == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no answer at e: %v", cl.Node("e").Tuples("answer"))
+	}
+	// Cache populated along the reverse shortest path e-a-c-b-d.
+	for _, nc := range []struct {
+		node string
+		cost float64
+	}{{"a", 3}, {"c", 2}, {"b", 1}} {
+		ok := false
+		for _, tp := range cl.Node(simnet.NodeID(nc.node)).Tuples("cache") {
+			if tp.Fields[1].Addr() == "d" && tp.Fields[2].Float() == nc.cost {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("node %s missing cache(d)=%v: %v", nc.node, nc.cost,
+				cl.Node(simnet.NodeID(nc.node)).Tuples("cache"))
+		}
+	}
+}
+
+func TestShareEncodeDecodeRoundTrip(t *testing.T) {
+	sc := &ShareConfig{
+		Delay: 0.3,
+		Group: map[string]string{"path_lat": "path", "path_rel": "path"},
+		VaryCols: map[string][]int{
+			"path_lat": {4},
+			"path_rel": {4},
+		},
+	}
+	pv := val.NewList(val.NewAddr("a"), val.NewAddr("b"), val.NewAddr("d"))
+	mk := func(pred string, cost float64) val.Tuple {
+		return val.NewTuple(pred,
+			val.NewAddr("a"), val.NewAddr("d"), val.NewAddr("b"), pv, val.NewFloat(cost))
+	}
+	ds := []Delta{
+		Insert(mk("path_lat", 6)),
+		Insert(mk("path_rel", 2.5)),
+		Deletion(mk("path_lat", 9)),
+		Insert(val.NewTuple("other", val.NewAddr("a"), val.NewInt(1))),
+	}
+	enc := EncodeShared(sc, ds)
+	got, err := DecodeShared(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("decoded %d deltas, want %d", len(got), len(ds))
+	}
+	want := map[string]int8{}
+	for _, d := range ds {
+		want[d.Tuple.Key()] = d.Sign
+	}
+	for _, d := range got {
+		sign, ok := want[d.Tuple.Key()]
+		if !ok || sign != d.Sign {
+			t.Errorf("unexpected decoded delta %v", d)
+		}
+	}
+	// Sharing must beat plain encoding for combinable tuples.
+	plain := EncodeDeltas(ds)
+	if len(enc) >= len(plain) {
+		t.Errorf("shared %d bytes >= plain %d bytes", len(enc), len(plain))
+	}
+	// Round-trip through DecodeMessage as well.
+	if _, err := DecodeMessage(enc); err != nil {
+		t.Errorf("DecodeMessage(shared): %v", err)
+	}
+	if _, err := DecodeMessage(plain); err != nil {
+		t.Errorf("DecodeMessage(plain): %v", err)
+	}
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Error("DecodeMessage(nil) should fail")
+	}
+	if _, err := DecodeMessage([]byte{9}); err == nil {
+		t.Error("DecodeMessage(unknown kind) should fail")
+	}
+}
+
+func TestDeltaEncodeDecode(t *testing.T) {
+	ds := []Delta{
+		Insert(val.NewTuple("p", val.NewAddr("a"), val.NewInt(1))),
+		Deletion(val.NewTuple("q", val.NewAddr("b"), val.NewFloat(2.5))),
+	}
+	enc := EncodeDeltas(ds)
+	got, err := DecodeDeltas(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds {
+		if got[i].Sign != ds[i].Sign || !got[i].Tuple.Equal(ds[i].Tuple) {
+			t.Errorf("delta %d: %v != %v", i, got[i], ds[i])
+		}
+	}
+	if ds[0].String() != "+p(a,1)" || ds[1].String() != "-q(b,2.5)" {
+		t.Errorf("String() = %q, %q", ds[0], ds[1])
+	}
+	for _, bad := range [][]byte{nil, {1}, {1, 1, 1}, {2}} {
+		if _, err := DecodeDeltas(bad); err == nil {
+			t.Errorf("DecodeDeltas(%v) should fail", bad)
+		}
+	}
+}
+
+func TestClusterSharingReducesBytes(t *testing.T) {
+	// Two metric variants of the shortest-path program running together;
+	// sharing combines their coinciding path advertisements.
+	build := func(cfg ClusterConfig) (*simnet.Sim, *Cluster) {
+		sim := simnet.New(1)
+		src := programs.Combine(programs.ShortestPath("_lat"), programs.ShortestPath("_rel"))
+		prog := mustParse(t, src)
+		for _, l := range figure2 {
+			for _, sfx := range []string{"_lat", "_rel"} {
+				prog.Facts = append(prog.Facts,
+					programs.LinkFact("link"+sfx, l.a, l.b, l.cost),
+					programs.LinkFact("link"+sfx, l.b, l.a, l.cost))
+			}
+		}
+		cl, err := NewCluster(sim, prog, Options{AggSel: true}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []simnet.NodeID{"a", "b", "c", "d", "e"} {
+			cl.AddNode(id)
+		}
+		for _, l := range figure2 {
+			sim.AddLink(simnet.NodeID(l.a), simnet.NodeID(l.b), 0.010, 0)
+		}
+		return sim, cl
+	}
+	share := &ShareConfig{
+		Delay: 0.050,
+		Group: map[string]string{"path_lat": "path", "path_rel": "path"},
+		VaryCols: map[string][]int{
+			"path_lat": {4},
+			"path_rel": {4},
+		},
+	}
+	simShare, clShare := build(ClusterConfig{Share: share})
+	runCluster(t, clShare)
+	simPlain, clPlain := build(ClusterConfig{Batch: 0.050})
+	runCluster(t, clPlain)
+
+	// Same answers either way.
+	for _, sfx := range []string{"_lat", "_rel"} {
+		a := spCosts(clShare.Tuples("shortestPath" + sfx))
+		b := spCosts(clPlain.Tuples("shortestPath" + sfx))
+		checkCosts(t, a, b, "share vs plain"+sfx)
+		checkCosts(t, a, floyd(figure2), "share vs oracle"+sfx)
+	}
+	if simShare.Bytes() >= simPlain.Bytes() {
+		t.Errorf("share bytes = %d >= batch-only bytes = %d", simShare.Bytes(), simPlain.Bytes())
+	}
+}

@@ -1,0 +1,91 @@
+// Package engine evaluates NDlog programs. It implements the execution
+// model of the paper: rule strands compiled from localized rules,
+// semi-naïve (SN), buffered semi-naïve (BSN) and pipelined semi-naïve
+// (PSN) evaluation, incremental view maintenance under insertions,
+// deletions and updates via the count algorithm, incremental aggregates,
+// and the optimizations of Section 5 (aggregate selections, periodic
+// aggregate selections, query-result caching hooks, opportunistic
+// message sharing).
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ndlog/internal/val"
+)
+
+// Delta is a signed tuple: +1 for insertion, -1 for deletion. Updates are
+// modelled as a deletion followed by an insertion (Section 4).
+type Delta struct {
+	Sign  int8
+	Tuple val.Tuple
+}
+
+// Insert builds a +tuple delta.
+func Insert(t val.Tuple) Delta { return Delta{Sign: +1, Tuple: t} }
+
+// Deletion builds a -tuple delta.
+func Deletion(t val.Tuple) Delta { return Delta{Sign: -1, Tuple: t} }
+
+func (d Delta) String() string {
+	sign := "+"
+	if d.Sign < 0 {
+		sign = "-"
+	}
+	return sign + d.Tuple.String()
+}
+
+// msgKind tags the wire format of a message payload.
+type msgKind byte
+
+const (
+	msgDeltas msgKind = 1 // plain batch of deltas
+	msgShared msgKind = 2 // share-combined batch (see share.go)
+)
+
+// EncodeDeltas marshals a batch of deltas into a message payload.
+func EncodeDeltas(ds []Delta) []byte {
+	buf := []byte{byte(msgDeltas)}
+	buf = binary.AppendUvarint(buf, uint64(len(ds)))
+	for _, d := range ds {
+		if d.Sign >= 0 {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = val.AppendTuple(buf, d.Tuple)
+	}
+	return buf
+}
+
+// DecodeDeltas unmarshals a plain delta batch (caller checks the kind).
+func DecodeDeltas(b []byte) ([]Delta, error) {
+	if len(b) == 0 || msgKind(b[0]) != msgDeltas {
+		return nil, fmt.Errorf("engine: not a delta message")
+	}
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("engine: corrupt delta count")
+	}
+	b = b[sz:]
+	out := make([]Delta, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("engine: truncated delta batch")
+		}
+		sign := int8(1)
+		if b[0] == 0 {
+			sign = -1
+		}
+		b = b[1:]
+		t, m, err := val.DecodeTuple(b)
+		if err != nil {
+			return nil, fmt.Errorf("engine: bad tuple in delta batch: %w", err)
+		}
+		b = b[m:]
+		out = append(out, Delta{Sign: sign, Tuple: t})
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+
+	"ndlog/internal/val"
+)
+
+// DeleteDRed retracts a base tuple using the delete-and-rederive (DRed)
+// strategy of Gupta, Mumick and Subrahmanian. The count algorithm the
+// paper adopts (Section 4) is exact only for acyclic derivations — the
+// situation its path-vector programs guarantee. For programs with
+// genuinely cyclic derivations (e.g. plain transitive closure on cyclic
+// graphs), counts can become self-supporting and deletions stall; DRed
+// handles those:
+//
+//	phase 1 (over-delete): remove the base tuple and, transitively,
+//	every tuple with a derivation that used a removed tuple — ignoring
+//	alternative derivations;
+//	phase 2 (re-derive): re-insert every over-deleted tuple that is
+//	still derivable from the surviving state, and propagate those
+//	insertions to a fixpoint.
+//
+// DRed treats derived tables as sets (re-derived tuples get count 1),
+// so a program should be maintained either with DRed or with counts,
+// not a mixture. Aggregate rules are not supported (the paper's
+// aggregate programs are exactly the acyclic ones where counts work).
+// DRed is a centralized extension; the paper's distributed setting
+// never needs it.
+func (c *Central) DeleteDRed(t val.Tuple) error {
+	n := c.node
+	if len(n.aggs) > 0 {
+		return fmt.Errorf("engine: DRed does not support aggregate rules")
+	}
+
+	// Phase 1: over-delete. Every tuple reached through any derivation
+	// chain from t is removed, whatever its count said.
+	overdeleted := map[string]val.Tuple{}
+	removed := map[string]bool{}
+	queue := []val.Tuple{t}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if removed[u.Key()] {
+			continue
+		}
+		tbl := n.cat.Get(u.Pred)
+		e, ok := tbl.Get(u)
+		if !ok || !e.Tuple.Equal(u) {
+			continue
+		}
+		tbl.DeleteByKey(u)
+		removed[u.Key()] = true
+		if !u.Equal(t) {
+			overdeleted[u.Key()] = u
+		}
+		ctx := &joinCtx{
+			cat: n.cat, ltBefore: noLimit, leAfter: noLimit,
+			deleted: &u, deletedPred: u.Pred,
+		}
+		for _, st := range n.prog.strands[u.Pred] {
+			if st.isAgg {
+				continue
+			}
+			err := st.run(ctx, u, func(d derived) {
+				queue = append(queue, d.tuple)
+			})
+			if err != nil {
+				return fmt.Errorf("engine: dred over-delete: %w", err)
+			}
+		}
+	}
+
+	// Phase 2: re-derive. Repeatedly scan every rule against the
+	// surviving state; an over-deleted head that is derivable again goes
+	// back in (through the normal insertion path, so its consequences
+	// re-derive too). The over-deleted set shrinks monotonically.
+	for {
+		rederived := c.rederiveOnce(overdeleted)
+		if len(rederived) == 0 {
+			return nil
+		}
+		for _, h := range rederived {
+			delete(overdeleted, h.Key())
+			n.Push(Insert(h))
+		}
+		c.Fixpoint()
+		// Insertions may have re-derived further over-deleted tuples via
+		// the normal strands; drop any that are now present.
+		for k, h := range overdeleted {
+			if n.cat.Get(h.Pred).Contains(h) {
+				delete(overdeleted, k)
+			}
+		}
+	}
+}
+
+// rederiveOnce evaluates every rule once over the current state and
+// returns the over-deleted head tuples it can rebuild.
+func (c *Central) rederiveOnce(overdeleted map[string]val.Tuple) []val.Tuple {
+	n := c.node
+	var out []val.Tuple
+	found := map[string]bool{}
+	for _, sts := range n.prog.strands {
+		for _, st := range sts {
+			if st.isAgg || st.trigger != 0 {
+				continue // one full evaluation per rule: trigger atom 0
+			}
+			trigger := n.cat.Get(st.atoms[0].Pred)
+			ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit}
+			for _, tu := range trigger.Tuples() {
+				err := st.run(ctx, tu, func(d derived) {
+					k := d.tuple.Key()
+					if _, ok := overdeleted[k]; ok && !found[k] {
+						found[k] = true
+						out = append(out, d.tuple)
+					}
+				})
+				if err != nil {
+					// Evaluation errors mean the binding cannot produce a
+					// head; skip, as the insert path would.
+					continue
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ndlog/internal/programs"
+	"ndlog/internal/simnet"
+)
+
+// TestDVCentralMatchesOracle checks the distance-vector formulation on
+// the Figure 2 network and random graphs. The DV program requires
+// aggregate selections (a node advertises only its current best), which
+// is how the paper's deployment runs it.
+func TestDVCentralMatchesOracle(t *testing.T) {
+	c := central(t, programs.ShortestPathDV(""), Options{AggSel: true})
+	insertLinks(c, figure2)
+	checkCosts(t, spCosts(c.QueryResults()), floyd(figure2), "figure2")
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		links := randomLinkSet(rng, 4+rng.Intn(3))
+		c := central(t, programs.ShortestPathDV(""), Options{AggSel: true})
+		insertLinks(c, links)
+		checkCosts(t, spCosts(c.QueryResults()), floyd(links), fmt.Sprintf("trial %d", trial))
+	}
+}
+
+// TestDVDynamicsProperty: random link insert/delete/update interleavings
+// must leave the DV program's fixpoint equal to from-scratch.
+func TestDVDynamicsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		c := central(t, programs.ShortestPathDV(""), Options{AggSel: true})
+		n := 5
+		type lk struct{ a, b string }
+		live := map[lk]float64{}
+		for step := 0; step < 30; step++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i >= j {
+				continue
+			}
+			a, b := node(i), node(j)
+			cost, alive := live[lk{a, b}]
+			switch {
+			case !alive:
+				nc := float64(1 + rng.Intn(9))
+				c.node.Push(Insert(programs.LinkFact("link", a, b, nc)))
+				c.node.Push(Insert(programs.LinkFact("link", b, a, nc)))
+				live[lk{a, b}] = nc
+			case rng.Float64() < 0.4:
+				c.node.Push(Deletion(programs.LinkFact("link", a, b, cost)))
+				c.node.Push(Deletion(programs.LinkFact("link", b, a, cost)))
+				delete(live, lk{a, b})
+			default:
+				// Update: must change the value — re-inserting the
+				// identical tuple is a duplicate (count++), not an update.
+				nc := float64(1 + rng.Intn(9))
+				if nc == cost {
+					nc++
+				}
+				c.node.Push(Insert(programs.LinkFact("link", a, b, nc)))
+				c.node.Push(Insert(programs.LinkFact("link", b, a, nc)))
+				live[lk{a, b}] = nc
+			}
+			c.Fixpoint()
+		}
+		var links []struct {
+			a, b string
+			cost float64
+		}
+		for l, cost := range live {
+			links = append(links, struct {
+				a, b string
+				cost float64
+			}{l.a, l.b, cost})
+		}
+		checkCosts(t, spCosts(c.QueryResults()), floyd(links), fmt.Sprintf("trial %d", trial))
+	}
+}
+
+// TestDVClusterMatchesOracle runs the DV program distributed over the
+// Figure 2 network.
+func TestDVClusterMatchesOracle(t *testing.T) {
+	sim := simnet.New(1)
+	prog := mustParse(t, programs.ShortestPathDV(""))
+	for _, l := range figure2 {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+	}
+	cl, err := NewCluster(sim, prog, Options{AggSel: true}, ClusterConfig{ProcDelay: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []simnet.NodeID{"a", "b", "c", "d", "e"} {
+		cl.AddNode(id)
+	}
+	for _, l := range figure2 {
+		if err := sim.AddLink(simnet.NodeID(l.a), simnet.NodeID(l.b), 0.010, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runCluster(t, cl)
+	checkCosts(t, spCosts(cl.QueryResults()), floyd(figure2), "dv cluster")
+	if sim.Messages() == 0 {
+		t.Error("no messages")
+	}
+	// Bounded state: every node's path table holds at most one entry per
+	// (dst, nextHop) pair.
+	for _, id := range cl.Nodes() {
+		n := cl.Node(simnet.NodeID(id))
+		paths := n.Tuples("path")
+		seen := map[string]bool{}
+		for _, p := range paths {
+			key := p.KeyOn([]int{0, 1, 2})
+			if seen[key] {
+				t.Errorf("node %s stores duplicate (src,dst,nextHop) path %v", id, p)
+			}
+			seen[key] = true
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/planner"
+	"ndlog/internal/programs"
+	"ndlog/internal/simnet"
+	"ndlog/internal/val"
+)
+
+// TestMagicSetsPreservesAnswers runs the planner's generic magic-sets
+// rewrite through the engine: for random graphs and random bound
+// sources, the rewritten program must produce exactly the original
+// program's answers for the bound query, while deriving no more tuples
+// than the original (the point of the optimization).
+func TestMagicSetsPreservesAnswers(t *testing.T) {
+	const src = `
+materialize(edge, infinity, infinity, keys(1,2)).
+r1 reach(@S,@D) :- #edge(@S,@D).
+r2 reach(@S,@D) :- #edge(@S,@Z), reach(@Z,@D).
+`
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(4)
+		var facts []val.Tuple
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.25 {
+					facts = append(facts, val.NewTuple("edge",
+						val.NewAddr(node(i)), val.NewAddr(node(j))))
+				}
+			}
+		}
+		srcNode := node(rng.Intn(n))
+
+		// Full program.
+		full := mustParse(t, src)
+		full.Facts = facts
+		cFull, err := NewCentral(full, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cFull.LoadFacts()
+		want := map[string]bool{}
+		for _, r := range cFull.Tuples("reach") {
+			if r.Fields[0].Addr() == srcNode {
+				want[r.Key()] = true
+			}
+		}
+
+		// Magic-rewritten program bound to srcNode.
+		base := mustParse(t, src)
+		base.Facts = facts
+		query := &ast.Atom{Pred: "reach", Args: []ast.Expr{
+			&ast.Const{Value: val.NewAddr(srcNode)},
+			&ast.Var{Name: "D"},
+		}}
+		magic, err := planner.MagicSets(base, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cMagic, err := NewCentral(magic, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cMagic.LoadFacts()
+
+		got := map[string]bool{}
+		for _, r := range cMagic.Tuples("reach") {
+			if r.Fields[0].Addr() == srcNode {
+				got[r.Key()] = true
+			}
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("trial %d: magic program missing %s", trial, k)
+			}
+		}
+		for k := range got {
+			if !want[k] {
+				t.Errorf("trial %d: magic program spurious %s", trial, k)
+			}
+		}
+		// The rewrite must not derive MORE reach tuples than the full
+		// program (it restricts computation to the relevant portion).
+		if len(cMagic.Tuples("reach")) > len(cFull.Tuples("reach")) {
+			t.Errorf("trial %d: magic derived %d reach tuples, full program %d",
+				trial, len(cMagic.Tuples("reach")), len(cFull.Tuples("reach")))
+		}
+	}
+}
+
+// TestClusterMatchesCentralRandomGraphs is the distributed counterpart
+// of Theorem 1/4 at system level: for random connected graphs, the
+// cluster's shortest-path fixpoint equals the centralized evaluator's.
+func TestClusterMatchesCentralRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 5; trial++ {
+		links := randomLinkSet(rng, 5)
+		// Central run.
+		c := central(t, spProgramForCluster(), Options{AggSel: true})
+		insertLinks(c, links)
+
+		// Distributed run over the same graph.
+		sim, cl := clusterOverLinks(t, links, Options{AggSel: true})
+		runCluster(t, cl)
+		_ = sim
+
+		a, b := spCosts(c.QueryResults()), spCosts(cl.QueryResults())
+		checkCosts(t, b, a, fmt.Sprintf("trial %d cluster-vs-central", trial))
+	}
+}
+
+func spProgramForCluster() string { return programs.ShortestPath("") }
+
+// clusterOverLinks deploys the shortest-path program over an arbitrary
+// bidirectional link set.
+func clusterOverLinks(t *testing.T, links []struct {
+	a, b string
+	cost float64
+}, opts Options) (*simnet.Sim, *Cluster) {
+	t.Helper()
+	sim := simnet.New(1)
+	prog := mustParse(t, spProgramForCluster())
+	nodes := map[string]bool{}
+	for _, l := range links {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+		nodes[l.a] = true
+		nodes[l.b] = true
+	}
+	cl, err := NewCluster(sim, prog, opts, ClusterConfig{ProcDelay: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cl.AddNode(simnet.NodeID(id))
+	}
+	for _, l := range links {
+		if !sim.HasLink(simnet.NodeID(l.a), simnet.NodeID(l.b)) {
+			if err := sim.AddLink(simnet.NodeID(l.a), simnet.NodeID(l.b), 0.010, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sim, cl
+}

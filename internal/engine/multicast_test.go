@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"ndlog/internal/programs"
+	"ndlog/internal/simnet"
+)
+
+// multicastCluster deploys routing + multicast over the Figure 2 network
+// with the given members joined to root "d".
+func multicastCluster(t *testing.T, members []string) (*simnet.Sim, *Cluster) {
+	t.Helper()
+	src := programs.Combine(programs.ShortestPathDV(""), programs.Multicast())
+	prog := mustParse(t, src)
+	for _, l := range figure2 {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+	}
+	for _, m := range members {
+		prog.Facts = append(prog.Facts, programs.MemberFact(m, "d"))
+	}
+	sim := simnet.New(1)
+	cl, err := NewCluster(sim, prog, Options{AggSel: true}, ClusterConfig{ProcDelay: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []simnet.NodeID{"a", "b", "c", "d", "e"} {
+		cl.AddNode(id)
+	}
+	for _, l := range figure2 {
+		if err := sim.AddLink(simnet.NodeID(l.a), simnet.NodeID(l.b), 0.010, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sim, cl
+}
+
+func childSet(cl *Cluster) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range cl.Tuples("child") {
+		// child(parent, root, child)
+		out[c.Fields[0].Addr()+"<-"+c.Fields[2].Addr()] = true
+	}
+	return out
+}
+
+// TestMulticastTree builds the tree for members {e, c} rooted at d on
+// the Figure 2 network. Shortest paths: e-a-c-b-d and c-b-d, so the
+// expected tree edges (parent <- child) are a<-e, c<-a, b<-c, d<-b,
+// with interior nodes grafted as members.
+func TestMulticastTree(t *testing.T) {
+	_, cl := multicastCluster(t, []string{"e", "c"})
+	runCluster(t, cl)
+	got := childSet(cl)
+	want := []string{"a<-e", "c<-a", "b<-c", "d<-b"}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing tree edge %s; have %v", w, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("tree edges = %v, want exactly %v", got, want)
+	}
+	// Grafting: interior nodes a, b became members.
+	members := map[string]bool{}
+	for _, m := range cl.Tuples("member") {
+		members[m.Fields[0].Addr()] = true
+	}
+	for _, n := range []string{"a", "b", "c", "e"} {
+		if !members[n] {
+			t.Errorf("node %s should be a (grafted) member", n)
+		}
+	}
+	// Fan-out counts.
+	for _, f := range cl.Tuples("fanout") {
+		if f.Fields[0].Addr() == "b" && f.Fields[2].Int() != 1 {
+			t.Errorf("fanout(b) = %v", f)
+		}
+	}
+}
+
+// TestMulticastRepair fails the link on the tree path and verifies the
+// tree reroutes: with link(c,b) gone, c's route to d goes via a-b... no:
+// c-a(1), a-b(5)... c's best becomes c-a-b-d? cost 1+5+1=7 vs c-b-d was
+// 2. The tree must follow the new routing.
+func TestMulticastRepair(t *testing.T) {
+	sim, cl := multicastCluster(t, []string{"c"})
+	if err := cl.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.RunToQuiescence(5_000_000) {
+		t.Fatal("initial run did not quiesce")
+	}
+	if !childSet(cl)["b<-c"] {
+		t.Fatalf("initial tree wrong: %v", childSet(cl))
+	}
+	// Fail link c-b.
+	sim.ScheduleFunc(1, func(now float64) {
+		cl.Inject("c", Deletion(programs.LinkFact("link", "c", "b", 1)))
+		cl.Inject("b", Deletion(programs.LinkFact("link", "b", "c", 1)))
+	})
+	if !sim.RunToQuiescence(5_000_000) {
+		t.Fatal("repair did not quiesce")
+	}
+	got := childSet(cl)
+	// New shortest path c->d: c-a-b-d (1+5+1=7). Tree edges: a<-c, b<-a, d<-b.
+	for _, w := range []string{"a<-c", "b<-a", "d<-b"} {
+		if !got[w] {
+			t.Errorf("post-repair tree missing %s; have %v", w, got)
+		}
+	}
+	if got["b<-c"] {
+		t.Errorf("stale tree edge b<-c survived: %v", got)
+	}
+}
+
+// TestMulticastProgramParses keeps the program text in sync with the
+// parser and checker.
+func TestMulticastProgramParses(t *testing.T) {
+	src := programs.Combine(programs.ShortestPathDV(""), programs.Multicast())
+	prog := mustParse(t, src)
+	if prog.Query == nil || prog.Query.Pred != "child" {
+		t.Errorf("query = %v", prog.Query)
+	}
+	if !strings.Contains(src, "mc1") {
+		t.Error("multicast rules missing")
+	}
+}

@@ -1,0 +1,632 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/funcs"
+	"ndlog/internal/planner"
+	"ndlog/internal/table"
+	"ndlog/internal/val"
+)
+
+// Mode selects the evaluation strategy (Section 3).
+type Mode uint8
+
+// Evaluation modes.
+const (
+	// PSN is pipelined semi-naïve evaluation (Algorithm 3): each tuple is
+	// processed as it arrives, with logical timestamps preventing
+	// repeated inferences. This is the distributed default.
+	PSN Mode = iota
+	// SN is classic semi-naïve evaluation (Algorithm 1): iterations over
+	// delta buffers. Centralized only; used to validate Theorem 1
+	// (FPS = FPP).
+	SN
+	// BSN is buffered semi-naïve: tuples arriving during an iteration are
+	// buffered and handled in a later local iteration. Operationally the
+	// centralized BSN coincides with SN over arbitrary batches.
+	BSN
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PSN:
+		return "psn"
+	case SN:
+		return "sn"
+	case BSN:
+		return "bsn"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Options configures a node (and, via Cluster, the whole deployment).
+type Options struct {
+	// Mode selects SN/BSN/PSN evaluation. Distributed clusters use PSN
+	// or BSN.
+	Mode Mode
+	// AggSel enables the aggregate-selections optimization
+	// (Section 5.1.1): tuples that do not improve their group aggregate
+	// do not trigger propagation strands.
+	AggSel bool
+	// AggSelPreds restricts pruning to the listed source predicates.
+	// Empty means every prunable aggregate selection applies. Use this
+	// when a program has monotonic aggregates whose inputs must still
+	// propagate (e.g. the answer-return walk feeding the cache minimum).
+	AggSelPreds []string
+	// AggSelPeriod > 0 enables *periodic* aggregate selections: instead
+	// of advertising every improvement immediately, groups are flushed
+	// every AggSelPeriod seconds of virtual time.
+	AggSelPeriod float64
+	// StrandFilter, when non-nil, is consulted before a trigger strand
+	// runs; returning false skips the strand. Used for query-result
+	// caching (Section 5.2), where a cache hit suppresses further
+	// exploration.
+	StrandFilter func(n *Node, ruleLabel string, d Delta) bool
+	// OnStore observes every accepted store/retract at a node, for the
+	// experiment harness ("% results over time").
+	OnStore func(nodeID string, d Delta, now float64)
+	// OnDerive observes every derived head tuple before routing, with
+	// the label of the deriving rule. Used by watch(...) tracing.
+	OnDerive func(nodeID, ruleLabel string, d Delta)
+}
+
+// Node is one NDlog runtime instance: the tables, aggregate state, and
+// delta queue of a single network node.
+type Node struct {
+	id   string
+	prog *program
+	opts Options
+	cat  *table.Catalog
+	// central loops every derived tuple back to this node regardless of
+	// its location specifier (single-site evaluation).
+	central bool
+
+	stamp uint64
+	now   float64
+	iter  uint64 // SN iteration counter
+
+	queue []Delta
+	out   []OutDelta
+
+	aggs map[*ast.Rule]*aggState
+	// sels maps a source predicate to the aggregate-selection controls
+	// that prune it.
+	sels map[string][]*selControl
+}
+
+// OutDelta is a derived delta bound for another node, returned by
+// Node.Drain for the driver (simulated cluster or real transport) to
+// deliver.
+type OutDelta struct {
+	Dst   string
+	Delta Delta
+}
+
+// aggState is the incremental state of one aggregate rule.
+type aggState struct {
+	st  *strand
+	agg *table.GroupAgg
+	// groupFields remembers the non-aggregate head fields per group key
+	// so retractions can reconstruct the old head tuple.
+	groupFields map[string][]val.Value
+}
+
+// selControl binds a prunable aggregate selection to its aggregate state
+// and the index used to find group members for re-advertisement.
+type selControl struct {
+	sel     planner.AggSelection
+	state   *aggState
+	idxSig  string
+	pending map[string]bool // groups awaiting a periodic flush
+}
+
+// newNode builds a node for a compiled program.
+func newNode(id string, prog *program, opts Options) *Node {
+	n := &Node{
+		id:   id,
+		prog: prog,
+		opts: opts,
+		cat:  table.NewCatalog(),
+		aggs: map[*ast.Rule]*aggState{},
+		sels: map[string][]*selControl{},
+	}
+	for name, d := range prog.decls {
+		n.cat.Declare(name, d.Keys, d.Lifetime, d.MaxSize)
+	}
+	for _, sts := range prog.strands {
+		for _, st := range sts {
+			if !st.isAgg {
+				continue
+			}
+			if _, ok := n.aggs[st.rule]; ok {
+				continue
+			}
+			agg := st.rule.Head.Args[st.aggIdx].(*ast.Agg)
+			n.aggs[st.rule] = &aggState{
+				st:          st,
+				agg:         table.NewGroupAgg(agg.Func),
+				groupFields: map[string][]val.Value{},
+			}
+		}
+	}
+	if opts.AggSel {
+		allowed := map[string]bool{}
+		for _, p := range opts.AggSelPreds {
+			allowed[p] = true
+		}
+		for _, sel := range prog.aggSels {
+			if !sel.Prunable() {
+				continue
+			}
+			if len(allowed) > 0 && !allowed[sel.SrcPred] {
+				continue
+			}
+			state := n.aggStateFor(sel)
+			if state == nil {
+				continue
+			}
+			ctrl := &selControl{
+				sel:     sel,
+				state:   state,
+				idxSig:  n.cat.Get(sel.SrcPred).EnsureIndex(sel.GroupCols),
+				pending: map[string]bool{},
+			}
+			n.sels[sel.SrcPred] = append(n.sels[sel.SrcPred], ctrl)
+		}
+	}
+	return n
+}
+
+func (n *Node) aggStateFor(sel planner.AggSelection) *aggState {
+	for rule, st := range n.aggs {
+		if rule.Head.Pred == sel.AggPred && st.st.atoms[0].Pred == sel.SrcPred {
+			return st
+		}
+	}
+	return nil
+}
+
+// ID returns the node's network identifier.
+func (n *Node) ID() string { return n.id }
+
+// Catalog exposes the node's tables (read-mostly; external mutation is
+// reserved for tests and cache hooks).
+func (n *Node) Catalog() *table.Catalog { return n.cat }
+
+// SetNow advances the node's virtual clock (driver responsibility).
+func (n *Node) SetNow(now float64) { n.now = now }
+
+// Push enqueues a delta for processing.
+func (n *Node) Push(d Delta) { n.queue = append(n.queue, d) }
+
+// QueueLen returns the number of pending deltas.
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// Drain processes the queue to a local fixpoint and returns the deltas
+// destined for other nodes. PSN processes tuple-at-a-time; SN/BSN run
+// batched local iterations.
+func (n *Node) Drain() []OutDelta {
+	switch n.opts.Mode {
+	case SN, BSN:
+		n.drainSN()
+	default:
+		n.drainPSN()
+	}
+	out := n.out
+	n.out = nil
+	return out
+}
+
+func (n *Node) drainPSN() {
+	for len(n.queue) > 0 {
+		d := n.queue[0]
+		n.queue = n.queue[1:]
+		n.process(d)
+	}
+}
+
+// drainSN implements Algorithm 1: repeatedly flush the delta buffer,
+// insert the whole batch with one iteration stamp, then execute all rule
+// strands over the batch.
+func (n *Node) drainSN() {
+	for len(n.queue) > 0 {
+		n.iter++
+		batch := n.queue
+		n.queue = nil
+
+		type accepted struct {
+			t     val.Tuple
+			stamp uint64
+		}
+		var inserts []accepted
+		for _, d := range batch {
+			if d.Sign > 0 {
+				if t, ok := n.storeInsert(d.Tuple, n.iter); ok {
+					inserts = append(inserts, accepted{t: t, stamp: n.iter})
+				}
+			} else {
+				n.processDelete(d.Tuple)
+			}
+		}
+		for _, in := range inserts {
+			n.afterInsert(in.t, in.stamp, int64(n.iter), int64(n.iter))
+		}
+	}
+}
+
+func (n *Node) process(d Delta) {
+	if d.Sign > 0 {
+		n.processInsert(d.Tuple)
+	} else {
+		n.processDelete(d.Tuple)
+	}
+}
+
+// storeInsert applies the table effects of an insertion: duplicate
+// counting, primary-key replacement (update = delete + insert), and
+// eviction. It returns false when the tuple is a duplicate.
+func (n *Node) storeInsert(t val.Tuple, stamp uint64) (val.Tuple, bool) {
+	tbl := n.cat.Get(t.Pred)
+	// Capture the displaced row before the insert so its advertisement
+	// state survives.
+	if e, ok := tbl.Get(t); ok && !e.Tuple.Equal(t) {
+		old := e.Tuple
+		wasAdv := e.Adv
+		oldStamp := e.Stamp
+		res := tbl.Insert(t, stamp, n.now)
+		if res.Status != table.StatusReplaced {
+			// Concurrent structure change cannot happen single-threaded.
+			panic("engine: expected replacement")
+		}
+		n.afterDelete(old, wasAdv, oldStamp)
+		return t, true
+	}
+	res := tbl.Insert(t, stamp, n.now)
+	switch res.Status {
+	case table.StatusDuplicate:
+		// Soft-state refresh semantics (Section 4.2): re-inserting a
+		// soft-state tuple re-advertises it so downstream soft state is
+		// refreshed in turn. Hard-state duplicates only bump the count.
+		if tbl.TTL() >= 0 {
+			n.refreshAdvertise(t, stamp)
+		}
+		return val.Tuple{}, false
+	case table.StatusNew:
+		for _, ev := range res.Evicted {
+			if !ev.Equal(t) {
+				n.afterDelete(ev, true, stamp)
+			}
+		}
+		return t, true
+	}
+	return val.Tuple{}, false
+}
+
+func (n *Node) processInsert(t val.Tuple) {
+	n.stamp++
+	stamp := n.stamp
+	if _, ok := n.storeInsert(t, stamp); !ok {
+		return
+	}
+	// PSN bounds: pre-trigger atoms see strictly older tuples, post-trigger
+	// atoms see up to and including this stamp — so a tuple joining itself
+	// (self-join rules) derives each pair exactly once (Theorem 2).
+	n.afterInsert(t, stamp, int64(stamp), int64(stamp))
+}
+
+// afterInsert runs aggregate maintenance and (unless suppressed by
+// aggregate selections) the trigger strands for a newly stored tuple.
+// ltBefore/leAfter are the join stamp bounds (see joinCtx).
+func (n *Node) afterInsert(t val.Tuple, stamp uint64, ltBefore, leAfter int64) {
+	if n.opts.OnStore != nil {
+		n.opts.OnStore(n.id, Insert(t), n.now)
+	}
+	improving, contributed := n.runAggStrands(+1, t, ltBefore, leAfter)
+
+	ctrls := n.sels[t.Pred]
+	advertise := true
+	if len(ctrls) > 0 && contributed {
+		if n.opts.AggSelPeriod > 0 {
+			// Periodic mode: defer everything to the flush timer.
+			for _, c := range ctrls {
+				c.pending[t.KeyOn(c.sel.GroupCols)] = true
+			}
+			advertise = false
+		} else {
+			advertise = improving
+		}
+	}
+	if !advertise {
+		return
+	}
+	n.markAdv(t)
+	n.runNormalStrands(+1, t, ltBefore, leAfter, nil)
+}
+
+// refreshAdvertise re-runs the trigger strands of a refreshed
+// soft-state tuple. Downstream tables should themselves be soft state
+// (refresh replaces counting there); this is the trade-off the paper
+// names for the soft-state model — recomputation instead of precise
+// incremental deltas.
+func (n *Node) refreshAdvertise(t val.Tuple, stamp uint64) {
+	n.markAdv(t)
+	n.runNormalStrands(+1, t, int64(stamp), int64(stamp), nil)
+}
+
+func (n *Node) markAdv(t val.Tuple) {
+	if e, ok := n.cat.Get(t.Pred).Get(t); ok && e.Tuple.Equal(t) {
+		e.Adv = true
+	}
+}
+
+func (n *Node) processDelete(t val.Tuple) {
+	tbl := n.cat.Get(t.Pred)
+	e, ok := tbl.Get(t)
+	if !ok || !e.Tuple.Equal(t) {
+		return // deletion of an unknown tuple: no-op
+	}
+	wasAdv := e.Adv
+	stamp := e.Stamp
+	gone, _ := tbl.Delete(t)
+	if !gone {
+		return // derivation count still positive
+	}
+	n.afterDelete(t, wasAdv, stamp)
+}
+
+// afterDelete propagates the retraction of a tuple that has left its
+// table: aggregate removal (with fallback re-advertisement under
+// aggregate selections) and count-algorithm deletion strands.
+func (n *Node) afterDelete(t val.Tuple, wasAdv bool, stamp uint64) {
+	if n.opts.OnStore != nil {
+		n.opts.OnStore(n.id, Deletion(t), n.now)
+	}
+	n.runAggStrands(-1, t, noLimit, noLimit)
+
+	// Count-algorithm cancellation: run the deletion through every
+	// strand with unrestricted joins. This cancels both the derivations
+	// this tuple triggered and those where it joined later triggers as a
+	// partner. For tuples whose trigger strands were suppressed by
+	// aggregate selections, some emitted retractions correspond to
+	// derivations that never fired — those arrive at tuples that were
+	// never stored and are exact no-ops, because the head tuples of
+	// aggregate-selected programs (path vectors) functionally determine
+	// their derivation. wasAdv is not consulted here; it only guards
+	// double re-advertisement.
+	_ = wasAdv
+	n.runNormalStrands(-1, t, noLimit, noLimit, &t)
+
+	// Aggregate-selection fallback: the group's best may now be a stored
+	// tuple that was never advertised.
+	for _, c := range n.sels[t.Pred] {
+		key := t.KeyOn(c.sel.GroupCols)
+		if n.opts.AggSelPeriod > 0 {
+			c.pending[key] = true
+			continue
+		}
+		n.readvertiseBest(c, key)
+	}
+}
+
+// readvertiseBest advertises the stored group-best tuple if none is
+// advertised yet. Only one representative per group runs its trigger
+// strands — matching immediate mode, where ties beyond the first
+// improvement are suppressed.
+func (n *Node) readvertiseBest(c *selControl, groupKey string) {
+	best, ok := c.state.agg.Current(groupKey)
+	if !ok {
+		return
+	}
+	tbl := n.cat.Get(c.sel.SrcPred)
+	entries := tbl.Match(c.idxSig, groupKey)
+	// Sort for determinism (Match order is map-derived).
+	sorted := append([]*table.Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Stamp < sorted[j].Stamp })
+	for _, e := range sorted {
+		if e.Adv && e.Tuple.Fields[c.sel.ValueCol].Equal(best) {
+			return // a best-valued tuple is already advertised
+		}
+	}
+	for _, e := range sorted {
+		if e.Adv || !e.Tuple.Fields[c.sel.ValueCol].Equal(best) {
+			continue
+		}
+		e.Adv = true
+		// Original stamp bounds: later-arriving partners already joined
+		// this tuple when they were deltas, so replaying with the old
+		// bounds derives each pair exactly once.
+		n.runNormalStrands(+1, e.Tuple, int64(e.Stamp), int64(e.Stamp), nil)
+		return
+	}
+}
+
+// FlushPending advertises the current best of every pending group
+// (periodic aggregate selections). The driver calls it on a timer.
+func (n *Node) FlushPending() {
+	for _, ctrls := range n.sels {
+		for _, c := range ctrls {
+			keys := make([]string, 0, len(c.pending))
+			for k := range c.pending {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			c.pending = map[string]bool{}
+			for _, k := range keys {
+				n.readvertiseBest(c, k)
+			}
+		}
+	}
+}
+
+// PendingGroups reports how many groups await a periodic flush.
+func (n *Node) PendingGroups() int {
+	total := 0
+	for _, ctrls := range n.sels {
+		for _, c := range ctrls {
+			total += len(c.pending)
+		}
+	}
+	return total
+}
+
+// runAggStrands routes a delta through the aggregate rules it feeds and
+// enqueues the resulting aggregate output changes locally. Join stamp
+// bounds mirror the normal strands so that multi-atom aggregate rules
+// (e.g. SP3-SD joining magicDst with pathDst) count each contribution
+// exactly once. It reports whether the delta improved (became the
+// current value of) at least one aggregate group, and whether it
+// contributed to any aggregate at all — a tuple feeding no group gives
+// aggregate selections nothing to prune on and must stay advertised.
+func (n *Node) runAggStrands(sign int8, t val.Tuple, ltBefore, leAfter int64) (improving, contributed bool) {
+	for _, st := range n.prog.strands[t.Pred] {
+		if !st.isAgg {
+			continue
+		}
+		state := n.aggs[st.rule]
+		ctx := &joinCtx{cat: n.cat, ltBefore: ltBefore, leAfter: leAfter}
+		if sign < 0 {
+			ctx.ltBefore, ctx.leAfter = noLimit, noLimit
+			ctx.deleted = &t
+			ctx.deletedPred = t.Pred
+		}
+		err := st.run(ctx, t, func(d derived) {
+			contributed = true
+			fields := d.tuple.Fields
+			groupKey, groupVals := aggGroup(fields, st.aggIdx)
+			value := fields[st.aggIdx]
+			var ch table.Change
+			if sign > 0 {
+				ch = state.agg.Add(groupKey, value)
+				state.groupFields[groupKey] = groupVals
+			} else {
+				ch = state.agg.Remove(groupKey, value)
+			}
+			if cur, ok := state.agg.Current(groupKey); ok && cur.Equal(value) && sign > 0 {
+				improving = improving || ch.Changed()
+			}
+			if !ch.Changed() {
+				return
+			}
+			if ch.HadOld {
+				n.route(derived{tuple: aggHead(d.tuple.Pred, groupVals, st.aggIdx, ch.Old), loc: d.loc}, -1, st.rule.Label)
+			}
+			if ch.HasNew {
+				n.route(derived{tuple: aggHead(d.tuple.Pred, groupVals, st.aggIdx, ch.New), loc: d.loc}, +1, st.rule.Label)
+			}
+			if !ch.HasNew {
+				delete(state.groupFields, groupKey)
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("engine: aggregate rule %s: %v", st.rule.Label, err))
+		}
+	}
+	return improving, contributed
+}
+
+// aggGroup splits head fields into a group key (all but the aggregate
+// position) and the field slice.
+func aggGroup(fields []val.Value, aggIdx int) (string, []val.Value) {
+	parts := make([]string, 0, len(fields)-1)
+	for i, f := range fields {
+		if i == aggIdx {
+			continue
+		}
+		parts = append(parts, f.String())
+	}
+	return joinKey(parts), append([]val.Value(nil), fields...)
+}
+
+// aggHead rebuilds an aggregate head tuple with the aggregate value
+// substituted at aggIdx.
+func aggHead(pred string, groupVals []val.Value, aggIdx int, aggVal val.Value) val.Tuple {
+	fields := make([]val.Value, len(groupVals))
+	copy(fields, groupVals)
+	fields[aggIdx] = aggVal
+	return val.NewTuple(pred, fields...)
+}
+
+// runNormalStrands executes the non-aggregate trigger strands for a
+// delta. deleted is non-nil for retractions (self-join correction).
+func (n *Node) runNormalStrands(sign int8, t val.Tuple, ltBefore, leAfter int64, deleted *val.Tuple) {
+	ctx := &joinCtx{cat: n.cat, ltBefore: ltBefore, leAfter: leAfter}
+	if sign < 0 {
+		ctx.ltBefore, ctx.leAfter = noLimit, noLimit
+		ctx.deleted = deleted
+		if deleted != nil {
+			ctx.deletedPred = deleted.Pred
+		}
+	}
+	d := Delta{Sign: sign, Tuple: t}
+	for _, st := range n.prog.strands[t.Pred] {
+		if st.isAgg {
+			continue
+		}
+		if n.opts.StrandFilter != nil && !n.opts.StrandFilter(n, st.rule.Label, d) {
+			continue
+		}
+		err := st.run(ctx, t, func(dr derived) {
+			n.route(dr, sign, st.rule.Label)
+		})
+		if err != nil {
+			panic(fmt.Sprintf("engine: rule %s: %v", st.rule.Label, err))
+		}
+	}
+}
+
+// route dispatches a derived delta to its location: locally enqueued or
+// handed to the driver for network transmission.
+func (n *Node) route(d derived, sign int8, ruleLabel string) {
+	delta := Delta{Sign: sign, Tuple: d.tuple}
+	if n.opts.OnDerive != nil {
+		n.opts.OnDerive(n.id, ruleLabel, delta)
+	}
+	if n.central || d.loc == n.id {
+		n.queue = append(n.queue, delta)
+		return
+	}
+	n.out = append(n.out, OutDelta{Dst: d.loc, Delta: delta})
+}
+
+// ExpireSoftState removes TTL-lapsed tuples and propagates their
+// deletions (soft-state semantics, Section 4.2).
+func (n *Node) ExpireSoftState() {
+	for _, name := range n.cat.Names() {
+		tbl := n.cat.Get(name)
+		if tbl.TTL() < 0 {
+			continue
+		}
+		// Capture Adv flags before expiry removes entries.
+		type dead struct {
+			t      val.Tuple
+			wasAdv bool
+			stamp  uint64
+		}
+		var deads []dead
+		tbl.Scan(func(e *table.Entry) bool {
+			if e.Expires >= 0 && e.Expires <= n.now {
+				deads = append(deads, dead{t: e.Tuple, wasAdv: e.Adv, stamp: e.Stamp})
+			}
+			return true
+		})
+		tbl.ExpireBefore(n.now)
+		for _, d := range deads {
+			n.afterDelete(d.t, d.wasAdv, d.stamp)
+		}
+	}
+}
+
+// Tuples returns the live tuples of a predicate at this node, sorted.
+func (n *Node) Tuples(pred string) []val.Tuple {
+	return n.cat.Get(pred).Tuples()
+}
+
+// unifyEnvForTest exposes unify for white-box tests.
+func unifyEnvForTest(a *ast.Atom, t val.Tuple) (funcs.Env, bool) {
+	env := funcs.Env{}
+	ok := unify(a, t, env)
+	return env, ok
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ndlog/internal/val"
+)
+
+// ShareConfig enables opportunistic message sharing (Section 5.2):
+// outbound tuples are buffered for Delay seconds; tuples bound for the
+// same destination that are identical modulo a few "varying" columns
+// (typically the metric attribute) are combined into one message that
+// encodes the shared columns once.
+type ShareConfig struct {
+	// Delay is the outbound buffering window in virtual seconds (the
+	// paper uses 300 ms).
+	Delay float64
+	// Group maps a predicate to its share group; predicates in the same
+	// group may combine (e.g. the per-metric path predicates path_lat,
+	// path_rel, path_rnd).
+	Group map[string]string
+	// VaryCols lists, per predicate, the columns allowed to differ within
+	// a combined message (e.g. the cost column).
+	VaryCols map[string][]int
+}
+
+// shareKey computes the grouping key for a delta: share group plus the
+// non-varying columns. Deltas with equal keys combine.
+func (sc *ShareConfig) shareKey(d Delta) (string, bool) {
+	group, ok := sc.Group[d.Tuple.Pred]
+	if !ok {
+		return "", false
+	}
+	vary := map[int]bool{}
+	for _, c := range sc.VaryCols[d.Tuple.Pred] {
+		vary[c] = true
+	}
+	key := group
+	for i, f := range d.Tuple.Fields {
+		if vary[i] {
+			continue
+		}
+		key += "\x00" + f.String()
+	}
+	return key, true
+}
+
+// EncodeShared marshals a batch of deltas with cross-tuple field
+// sharing. Deltas are partitioned by share key; each partition encodes
+// its first tuple completely and the rest as (sign, pred, varying
+// column values).
+func EncodeShared(sc *ShareConfig, ds []Delta) []byte {
+	type group struct {
+		key    string
+		deltas []Delta
+	}
+	byKey := map[string]*group{}
+	var order []*group
+	for _, d := range ds {
+		key, ok := sc.shareKey(d)
+		if !ok {
+			key = "\x01solo\x00" + d.Tuple.Key() // unshareable: own group
+		}
+		g, seen := byKey[key]
+		if !seen {
+			g = &group{key: key}
+			byKey[key] = g
+			order = append(order, g)
+		}
+		g.deltas = append(g.deltas, d)
+	}
+
+	buf := []byte{byte(msgShared)}
+	buf = binary.AppendUvarint(buf, uint64(len(order)))
+	for _, g := range order {
+		base := g.deltas[0]
+		buf = appendSign(buf, base.Sign)
+		buf = val.AppendTuple(buf, base.Tuple)
+		extras := g.deltas[1:]
+		buf = binary.AppendUvarint(buf, uint64(len(extras)))
+		for _, e := range extras {
+			buf = appendSign(buf, e.Sign)
+			buf = appendShareString(buf, e.Tuple.Pred)
+			vary := sc.VaryCols[e.Tuple.Pred]
+			cols := append([]int(nil), vary...)
+			sort.Ints(cols)
+			buf = binary.AppendUvarint(buf, uint64(len(cols)))
+			for _, c := range cols {
+				buf = binary.AppendUvarint(buf, uint64(c))
+				if c < len(e.Tuple.Fields) {
+					buf = val.AppendValue(buf, e.Tuple.Fields[c])
+				} else {
+					buf = val.AppendValue(buf, val.Nil)
+				}
+			}
+		}
+	}
+	return buf
+}
+
+func appendSign(buf []byte, sign int8) []byte {
+	if sign >= 0 {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendShareString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readShareString(b []byte) (string, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", 0, fmt.Errorf("engine: corrupt shared string")
+	}
+	return string(b[n : n+int(l)]), n + int(l), nil
+}
+
+// DecodeShared expands a share-combined message back into its deltas.
+func DecodeShared(b []byte) ([]Delta, error) {
+	if len(b) == 0 || msgKind(b[0]) != msgShared {
+		return nil, fmt.Errorf("engine: not a shared message")
+	}
+	b = b[1:]
+	ngroups, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("engine: corrupt shared header")
+	}
+	b = b[n:]
+	var out []Delta
+	for gi := uint64(0); gi < ngroups; gi++ {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("engine: truncated shared group")
+		}
+		sign := int8(1)
+		if b[0] == 0 {
+			sign = -1
+		}
+		b = b[1:]
+		base, m, err := val.DecodeTuple(b)
+		if err != nil {
+			return nil, err
+		}
+		b = b[m:]
+		out = append(out, Delta{Sign: sign, Tuple: base})
+		nextra, m2 := binary.Uvarint(b)
+		if m2 <= 0 {
+			return nil, fmt.Errorf("engine: corrupt extra count")
+		}
+		b = b[m2:]
+		for ei := uint64(0); ei < nextra; ei++ {
+			if len(b) == 0 {
+				return nil, fmt.Errorf("engine: truncated extra")
+			}
+			esign := int8(1)
+			if b[0] == 0 {
+				esign = -1
+			}
+			b = b[1:]
+			pred, m3, err := readShareString(b)
+			if err != nil {
+				return nil, err
+			}
+			b = b[m3:]
+			ncols, m4 := binary.Uvarint(b)
+			if m4 <= 0 {
+				return nil, fmt.Errorf("engine: corrupt vary count")
+			}
+			b = b[m4:]
+			fields := make([]val.Value, len(base.Fields))
+			copy(fields, base.Fields)
+			for ci := uint64(0); ci < ncols; ci++ {
+				col, m5 := binary.Uvarint(b)
+				if m5 <= 0 {
+					return nil, fmt.Errorf("engine: corrupt vary column")
+				}
+				b = b[m5:]
+				v, m6, err := val.DecodeValue(b)
+				if err != nil {
+					return nil, err
+				}
+				b = b[m6:]
+				if int(col) < len(fields) {
+					fields[col] = v
+				}
+			}
+			out = append(out, Delta{Sign: esign, Tuple: val.NewTuple(pred, fields...)})
+		}
+	}
+	return out, nil
+}
+
+// DecodeMessage dispatches on the message kind byte.
+func DecodeMessage(b []byte) ([]Delta, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("engine: empty message")
+	}
+	switch msgKind(b[0]) {
+	case msgDeltas:
+		return DecodeDeltas(b)
+	case msgShared:
+		return DecodeShared(b)
+	}
+	return nil, fmt.Errorf("engine: unknown message kind %d", b[0])
+}

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/funcs"
+	"ndlog/internal/planner"
+	"ndlog/internal/table"
+	"ndlog/internal/val"
+)
+
+// strand is one compiled rule strand (Figure 3/5 of the paper): a rule
+// together with the body atom that acts as its delta input. A rule with
+// n body atoms compiles into n strands; the strand whose trigger matches
+// an incoming delta joins it against the stored state of the remaining
+// atoms.
+type strand struct {
+	rule    *ast.Rule
+	atoms   []*ast.Atom // body atoms in body order
+	trigger int         // index into atoms of the delta input
+	// tail holds assignments and selections in body order.
+	tail []ast.Term
+	// isAgg marks aggregate-head rules, which are evaluated through the
+	// incremental GroupAgg machinery instead of join output.
+	isAgg  bool
+	aggIdx int // head aggregate argument position (isAgg only)
+}
+
+// program is a compiled NDlog program, shared (immutable) by all nodes.
+type program struct {
+	source  *ast.Program         // localized program
+	strands map[string][]*strand // trigger pred -> strands
+	aggSels []planner.AggSelection
+	decls   map[string]*ast.TableDecl
+	// aggSelByPred indexes prunable aggregate selections by source pred.
+	aggSelByPred map[string][]planner.AggSelection
+}
+
+// compile checks, localizes and compiles prog into strands.
+func compile(prog *ast.Program) (*program, error) {
+	if err := planner.Check(prog); err != nil {
+		return nil, err
+	}
+	local, err := planner.Localize(prog)
+	if err != nil {
+		return nil, err
+	}
+	p := &program{
+		source:       local,
+		strands:      map[string][]*strand{},
+		decls:        map[string]*ast.TableDecl{},
+		aggSelByPred: map[string][]planner.AggSelection{},
+	}
+	for _, d := range local.Materialized {
+		p.decls[d.Name] = d
+	}
+	p.aggSels = planner.DetectAggSelections(local)
+	for _, s := range p.aggSels {
+		if s.Prunable() {
+			p.aggSelByPred[s.SrcPred] = append(p.aggSelByPred[s.SrcPred], s)
+		}
+	}
+	for _, r := range local.Rules {
+		if _, _, err := planner.EvalSite(r); err != nil {
+			return nil, err
+		}
+		atoms := r.Atoms()
+		var tail []ast.Term
+		for _, t := range r.Body {
+			switch t.(type) {
+			case *ast.Assign, *ast.Select:
+				tail = append(tail, t)
+			}
+		}
+		aggIdx := r.Head.AggregateIndex()
+		for i := range atoms {
+			st := &strand{
+				rule:    r,
+				atoms:   atoms,
+				trigger: i,
+				tail:    tail,
+				isAgg:   aggIdx >= 0,
+				aggIdx:  aggIdx,
+			}
+			p.strands[atoms[i].Pred] = append(p.strands[atoms[i].Pred], st)
+		}
+	}
+	return p, nil
+}
+
+// unify binds atom arguments against tuple fields, extending env. It
+// returns false on mismatch (constant disagreement, inconsistent repeated
+// variable, or arity mismatch).
+func unify(a *ast.Atom, t val.Tuple, env funcs.Env) bool {
+	if len(a.Args) != len(t.Fields) {
+		return false
+	}
+	for i, arg := range a.Args {
+		switch x := arg.(type) {
+		case *ast.Var:
+			if bound, ok := env[x.Name]; ok {
+				if !bound.Equal(t.Fields[i]) {
+					return false
+				}
+				continue
+			}
+			env[x.Name] = t.Fields[i]
+		case *ast.Const:
+			if !x.Value.Equal(t.Fields[i]) {
+				return false
+			}
+		default:
+			// Computed arguments are not allowed in body atoms (the
+			// planner's checks exclude them); be safe anyway.
+			return false
+		}
+	}
+	return true
+}
+
+// derived is one strand output: a head tuple destined for a location.
+type derived struct {
+	tuple val.Tuple
+	loc   string
+}
+
+// joinCtx carries the per-delta join parameters. The two stamp bounds
+// implement the book-keeping that prevents repeated inferences:
+//
+//   - PSN (Algorithm 3): every stored tuple carries a distinct logical
+//     timestamp; a +delta with stamp s joins entries with stamp < s at
+//     atoms before the trigger and stamp <= s at atoms after it
+//     (ltBefore = leAfter = s). Theorem 2's argument — only the
+//     maximum-timestamp input generates a derivation — then guarantees
+//     uniqueness, including for a tuple joining itself in self-join
+//     rules (counted once, at the post-trigger position).
+//   - SN (Algorithm 1): tuples of iteration i share stamp i; atoms before
+//     the trigger read strictly older iterations (Stamp < i) and atoms
+//     after it read up to the current one (Stamp <= i), matching the
+//     Δ-rule form p1^old,...,Δpk^old,pk+1,...,pn of Section 3.1.
+//   - Deletions: no bounds (both maxed); every live derivation that used
+//     the retracted tuple must be cancelled.
+type joinCtx struct {
+	cat *table.Catalog
+	// ltBefore bounds atoms at positions < trigger: Stamp < ltBefore.
+	ltBefore int64
+	// leAfter bounds atoms at positions > trigger: Stamp <= leAfter.
+	leAfter int64
+	// deleted is the tuple being retracted (deletions only). For
+	// counting correctness in self-joins, atoms after the trigger with
+	// the same predicate also match the deleted tuple itself.
+	deleted     *val.Tuple
+	deletedPred string
+}
+
+// noLimit disables a stamp bound.
+const noLimit = int64(1)<<62 - 1
+
+// run evaluates the strand for one delta tuple, invoking emit for every
+// derived head tuple. The delta's sign is handled by the caller: the
+// same join produces insertions for +deltas and deletions for -deltas.
+func (s *strand) run(ctx *joinCtx, delta val.Tuple, emit func(derived)) error {
+	env := funcs.Env{}
+	if !unify(s.atoms[s.trigger], delta, env) {
+		return nil
+	}
+	return s.joinFrom(ctx, 0, env, emit)
+}
+
+// joinFrom joins the remaining atoms (skipping the trigger) depth-first
+// in body order, then evaluates assignments/selections and the head.
+func (s *strand) joinFrom(ctx *joinCtx, idx int, env funcs.Env, emit func(derived)) error {
+	if idx == len(s.atoms) {
+		return s.finish(ctx, env, emit)
+	}
+	if idx == s.trigger {
+		return s.joinFrom(ctx, idx+1, env, emit)
+	}
+	a := s.atoms[idx]
+	tbl := ctx.cat.Get(a.Pred)
+
+	// Choose bound columns for an index probe.
+	var cols []int
+	var keyParts []string
+	for i, arg := range a.Args {
+		switch x := arg.(type) {
+		case *ast.Var:
+			if v, ok := env[x.Name]; ok {
+				cols = append(cols, i)
+				keyParts = append(keyParts, v.String())
+			}
+		case *ast.Const:
+			cols = append(cols, i)
+			keyParts = append(keyParts, x.Value.String())
+		}
+	}
+
+	tryEntry := func(t val.Tuple, stamp int64) error {
+		if idx < s.trigger {
+			if stamp >= ctx.ltBefore {
+				return nil
+			}
+		} else if stamp > ctx.leAfter {
+			return nil
+		}
+		child := env.Clone()
+		if !unify(a, t, child) {
+			return nil
+		}
+		return s.joinFrom(ctx, idx+1, child, emit)
+	}
+
+	if len(cols) > 0 {
+		sig := tbl.EnsureIndex(cols)
+		key := joinKey(keyParts)
+		for _, e := range tbl.Match(sig, key) {
+			if err := tryEntry(e.Tuple, int64(e.Stamp)); err != nil {
+				return err
+			}
+		}
+	} else {
+		var scanErr error
+		tbl.Scan(func(e *table.Entry) bool {
+			if err := tryEntry(e.Tuple, int64(e.Stamp)); err != nil {
+				scanErr = err
+				return false
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+
+	// Deletion self-join correction: the retracted tuple still counts as
+	// a join partner for later occurrences of its own predicate.
+	if ctx.deleted != nil && a.Pred == ctx.deletedPred && idx > s.trigger {
+		if err := tryEntry(*ctx.deleted, -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinKey(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}
+
+// finish evaluates the tail (assignments, selections) and instantiates
+// the head. Aggregate rules stop before head instantiation; the caller
+// routes them through GroupAgg.
+func (s *strand) finish(ctx *joinCtx, env funcs.Env, emit func(derived)) error {
+	for _, t := range s.tail {
+		switch x := t.(type) {
+		case *ast.Assign:
+			v, err := funcs.Eval(x.Expr, env)
+			if err != nil {
+				return fmt.Errorf("rule %s: %w", s.rule.Label, err)
+			}
+			env[x.Var] = v
+		case *ast.Select:
+			ok, err := funcs.EvalBool(x.Cond, env)
+			if err != nil {
+				return fmt.Errorf("rule %s: %w", s.rule.Label, err)
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+	head, err := s.instantiateHead(env)
+	if err != nil {
+		return err
+	}
+	emit(derived{tuple: head, loc: head.Loc()})
+	return nil
+}
+
+// instantiateHead builds the head tuple from the environment. For
+// aggregate rules, the aggregate position receives the raw aggregated
+// variable's value; the caller replaces it with the group aggregate.
+func (s *strand) instantiateHead(env funcs.Env) (val.Tuple, error) {
+	fields := make([]val.Value, len(s.rule.Head.Args))
+	for i, arg := range s.rule.Head.Args {
+		if agg, ok := arg.(*ast.Agg); ok {
+			v, found := env[agg.Var]
+			if !found {
+				return val.Tuple{}, fmt.Errorf("rule %s: aggregate variable %s unbound", s.rule.Label, agg.Var)
+			}
+			fields[i] = v
+			continue
+		}
+		v, err := funcs.Eval(arg, env)
+		if err != nil {
+			return val.Tuple{}, fmt.Errorf("rule %s head: %w", s.rule.Label, err)
+		}
+		fields[i] = v
+	}
+	return val.NewTuple(s.rule.Head.Pred, fields...), nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ndlog/internal/topology"
+)
+
+func TestAggSelImmediate(t *testing.T) {
+	res, err := RunAggSel(Small(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("results = %d", len(res))
+	}
+	byMetric := map[topology.Metric]SPResult{}
+	for _, r := range res {
+		byMetric[r.Metric] = r
+		if r.Missing != 0 || r.Wrong != 0 {
+			t.Errorf("%s: missing=%d wrong=%d", r.Metric, r.Missing, r.Wrong)
+		}
+		if r.TotalMB <= 0 || r.PeakKBps <= 0 {
+			t.Errorf("%s: empty bandwidth", r.Metric)
+		}
+		if len(r.Completion) == 0 || r.Completion[len(r.Completion)-1].V != 1.0 {
+			t.Errorf("%s: completion did not reach 1: %v", r.Metric, r.Completion)
+		}
+	}
+	// The paper's qualitative claim: Random is the stress case — worst
+	// convergence and highest cost among the four metrics.
+	rnd := byMetric[topology.Random]
+	for _, m := range []topology.Metric{topology.HopCount, topology.Latency, topology.Reliability} {
+		if rnd.TotalMB < byMetric[m].TotalMB {
+			t.Errorf("Random MB %.3f < %s MB %.3f", rnd.TotalMB, m, byMetric[m].TotalMB)
+		}
+	}
+	out := FormatAggSel(res, 0)
+	for _, want := range []string{"Hop-Count", "Random", "converge(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatAggSel missing %q", want)
+		}
+	}
+}
+
+func TestAggSelPeriodicReducesBandwidth(t *testing.T) {
+	cfg := Small()
+	imm, err := RunAggSel(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := RunAggSel(cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range imm {
+		if per[i].Missing != 0 || per[i].Wrong != 0 {
+			t.Errorf("periodic %s: missing=%d wrong=%d", per[i].Metric, per[i].Missing, per[i].Wrong)
+		}
+		if per[i].TotalMB >= imm[i].TotalMB {
+			t.Errorf("%s: periodic %.4f MB >= immediate %.4f MB",
+				imm[i].Metric, per[i].TotalMB, imm[i].TotalMB)
+		}
+	}
+	if out := CompareAggSel(imm, per); !strings.Contains(out, "reduction") {
+		t.Errorf("CompareAggSel output: %q", out)
+	}
+}
+
+func TestMagicExperiment(t *testing.T) {
+	cfg := Small()
+	res, err := RunMagic(cfg, 24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Queries) - 1
+	// MS grows with query count; MSC is never more expensive than MS;
+	// restricted destination sets are cheaper still at the tail.
+	if res.MS[last] <= res.MS[0] {
+		t.Errorf("MS should grow: %v", res.MS)
+	}
+	if res.MSC[last] > res.MS[last] {
+		t.Errorf("MSC %.4f > MS %.4f at %d queries", res.MSC[last], res.MS[last], res.Queries[last])
+	}
+	if res.MSC10[last] > res.MSC30[last] {
+		t.Errorf("MSC-10 %.4f > MSC-30 %.4f", res.MSC10[last], res.MSC30[last])
+	}
+	// No-MS is flat.
+	if res.NoMS[0] != res.NoMS[last] || res.NoMS[0] <= 0 {
+		t.Errorf("No-MS should be a positive constant: %v", res.NoMS)
+	}
+	if out := FormatMagic(res); !strings.Contains(out, "MSC-10%") {
+		t.Errorf("FormatMagic output: %q", out)
+	}
+}
+
+func TestShareExperiment(t *testing.T) {
+	cfg := Small()
+	res, err := RunShare(cfg, 0.050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShareMB >= res.NoShareMB {
+		t.Errorf("share %.4f MB >= no-share %.4f MB", res.ShareMB, res.NoShareMB)
+	}
+	if res.SharePeak > res.NoSharePeak {
+		t.Errorf("share peak %.2f > no-share peak %.2f", res.SharePeak, res.NoSharePeak)
+	}
+	if len(res.Individual) != 3 {
+		t.Errorf("individual runs = %d", len(res.Individual))
+	}
+	if out := FormatShare(res); !strings.Contains(out, "No-Share") {
+		t.Errorf("FormatShare output: %q", out)
+	}
+}
+
+func TestUpdateExperiment(t *testing.T) {
+	cfg := Small()
+	res, err := RunUpdates(cfg, []float64{2}, 10, 0.10, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bursts < 3 {
+		t.Fatalf("bursts = %d", res.Bursts)
+	}
+	if res.Missing != 0 || res.Wrong != 0 {
+		t.Errorf("final state: missing=%d wrong=%d", res.Missing, res.Wrong)
+	}
+	// Incremental maintenance must be much cheaper than from-scratch.
+	if res.BurstAvgMB >= res.InitialMB {
+		t.Errorf("burst avg %.4f MB >= initial %.4f MB", res.BurstAvgMB, res.InitialMB)
+	}
+	if out := FormatUpdates(res, "Figure 13"); !strings.Contains(out, "from-scratch") {
+		t.Errorf("FormatUpdates output: %q", out)
+	}
+}
+
+func TestInterleavedUpdates(t *testing.T) {
+	cfg := Small()
+	res, err := RunUpdates(cfg, []float64{0.5, 2}, 8, 0.10, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missing != 0 || res.Wrong != 0 {
+		t.Errorf("final state: missing=%d wrong=%d", res.Missing, res.Wrong)
+	}
+}
+
+func TestHybridAnalysis(t *testing.T) {
+	res := RunHybrid(Small(), 40)
+	if res.Pairs != 40 {
+		t.Fatalf("pairs = %d", res.Pairs)
+	}
+	// The optimal split can never cost more than either pure strategy.
+	if res.AvgHyb > res.AvgTD || res.AvgHyb > res.AvgBU {
+		t.Errorf("hybrid avg %.1f worse than TD %.1f / BU %.1f",
+			res.AvgHyb, res.AvgTD, res.AvgBU)
+	}
+	if res.HybWins+res.TDWins+res.BUWins != res.Pairs {
+		t.Errorf("win counts don't add up: %+v", res)
+	}
+	if out := FormatHybrid(res); !strings.Contains(out, "hybrid") {
+		t.Errorf("FormatHybrid output: %q", out)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// HybridResult evaluates the cost-based rewrite analysis of Section 5.3:
+// for single-pair shortest-path discovery queries, compare the message
+// cost of pure top-down search from the source (N(s, dist)), pure
+// bottom-up from the destination (N(d, dist)), and the optimal hybrid
+// split that runs both searches with radii rs + rd = dist minimizing
+// N(s,rs) + N(d,rd).
+type HybridResult struct {
+	Pairs   int
+	AvgTD   float64 // average N(s, dist(s,d))
+	AvgBU   float64 // average N(d, dist(s,d))
+	AvgHyb  float64 // average optimal-split cost
+	HybWins int     // pairs where the hybrid beats both pure strategies
+	TDWins  int     // pairs where TD is (weakly) optimal
+	BUWins  int     // pairs where BU is (weakly) optimal
+}
+
+// RunHybrid samples random (src,dst) pairs on the experiment overlay and
+// evaluates the three strategies with the neighborhood-function cost
+// model of Section 5.3.
+func RunHybrid(cfg Config, pairs int) HybridResult {
+	o := BuildOverlay(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed + 55))
+	res := HybridResult{Pairs: pairs}
+	for i := 0; i < pairs; i++ {
+		s := o.Nodes[rng.Intn(len(o.Nodes))]
+		d := o.Nodes[rng.Intn(len(o.Nodes))]
+		if s == d {
+			i--
+			continue
+		}
+		dist := o.HopDistance(s, d)
+		td := o.Neighborhood(s, dist)
+		bu := o.Neighborhood(d, dist)
+		_, _, hyb := o.HybridSplit(s, d)
+		res.AvgTD += float64(td)
+		res.AvgBU += float64(bu)
+		res.AvgHyb += float64(hyb)
+		switch {
+		case hyb < td && hyb < bu:
+			res.HybWins++
+		case td <= bu:
+			res.TDWins++
+		default:
+			res.BUWins++
+		}
+	}
+	res.AvgTD /= float64(pairs)
+	res.AvgBU /= float64(pairs)
+	res.AvgHyb /= float64(pairs)
+	return res
+}
+
+// FormatHybrid renders the Section 5.3 analysis table.
+func FormatHybrid(r HybridResult) string {
+	var b strings.Builder
+	b.WriteString("== Section 5.3: cost-based TD/BU/hybrid rewrite analysis ==\n\n")
+	fmt.Fprintf(&b, "random (src,dst) pairs: %d\n\n", r.Pairs)
+	fmt.Fprintf(&b, "%-22s %12s\n", "strategy", "avg msgs")
+	fmt.Fprintf(&b, "%-22s %12.1f\n", "top-down (from src)", r.AvgTD)
+	fmt.Fprintf(&b, "%-22s %12.1f\n", "bottom-up (from dst)", r.AvgBU)
+	fmt.Fprintf(&b, "%-22s %12.1f\n", "hybrid optimal split", r.AvgHyb)
+	fmt.Fprintf(&b, "\nhybrid strictly best on %d/%d pairs (TD weakly best: %d, BU: %d)\n",
+		r.HybWins, r.Pairs, r.TDWins, r.BUWins)
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/metrics"
+	"ndlog/internal/programs"
+	"ndlog/internal/topology"
+)
+
+// shareMetrics are the three queries run concurrently in Figure 12.
+var shareMetrics = []topology.Metric{topology.Latency, topology.Reliability, topology.Random}
+
+// shareSuffix maps a metric to its predicate suffix.
+func shareSuffix(m topology.Metric) string {
+	switch m {
+	case topology.Latency:
+		return "_lat"
+	case topology.Reliability:
+		return "_rel"
+	default:
+		return "_rnd"
+	}
+}
+
+// ShareResult is the Figure 12 outcome.
+type ShareResult struct {
+	// Individual per-query bandwidth series (the Latency, Reliability
+	// and Random lines).
+	Individual map[topology.Metric][]metrics.Point
+	// NoShare is the three queries running together with the 300 ms
+	// outbound delay but no combining; Share adds opportunistic message
+	// sharing.
+	NoShare, Share         []metrics.Point
+	NoShareMB, ShareMB     float64
+	NoSharePeak, SharePeak float64
+}
+
+// RunShare reproduces Figure 12: the Latency, Reliability and Random
+// queries run concurrently; outbound tuples are delayed `delay` seconds
+// (300 ms in the paper) and, in the Share configuration, combined when
+// they agree on everything but the metric attribute.
+func RunShare(cfg Config, delay float64) (ShareResult, error) {
+	o := BuildOverlay(cfg)
+	res := ShareResult{Individual: map[topology.Metric][]metrics.Point{}}
+
+	// Individual runs (no batching: the plain per-query footprint).
+	for _, m := range shareMetrics {
+		dep, err := deploy(cfg, o, programs.ShortestPath(shareSuffix(m)),
+			engine.Options{AggSel: true}, engine.ClusterConfig{},
+			map[string]topology.Metric{shareSuffix(m): m}, nil)
+		if err != nil {
+			return res, err
+		}
+		ok, err := dep.cluster.Run(cfg.MaxEvents)
+		if err != nil || !ok {
+			return res, fmt.Errorf("individual %s: ok=%v err=%v", m, ok, err)
+		}
+		res.Individual[m] = dep.bw.PerNodeKBps()
+	}
+
+	combined := programs.Combine(
+		programs.ShortestPath("_lat"),
+		programs.ShortestPath("_rel"),
+		programs.ShortestPath("_rnd"),
+	)
+	links := map[string]topology.Metric{}
+	group := map[string]string{}
+	vary := map[string][]int{}
+	for _, m := range shareMetrics {
+		sfx := shareSuffix(m)
+		links[sfx] = m
+		group["path"+sfx] = "path"
+		vary["path"+sfx] = []int{4} // the cost column
+	}
+
+	runCombined := func(ccfg engine.ClusterConfig) (*deployment, error) {
+		dep, err := deploy(cfg, o, combined, engine.Options{AggSel: true}, ccfg, links, nil)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := dep.cluster.Run(cfg.MaxEvents)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("combined run: ok=%v err=%v", ok, err)
+		}
+		return dep, nil
+	}
+
+	noShare, err := runCombined(engine.ClusterConfig{Batch: delay})
+	if err != nil {
+		return res, fmt.Errorf("no-share: %w", err)
+	}
+	share, err := runCombined(engine.ClusterConfig{
+		Share: &engine.ShareConfig{Delay: delay, Group: group, VaryCols: vary},
+	})
+	if err != nil {
+		return res, fmt.Errorf("share: %w", err)
+	}
+	res.NoShare = noShare.bw.PerNodeKBps()
+	res.Share = share.bw.PerNodeKBps()
+	res.NoShareMB = noShare.bw.TotalMB()
+	res.ShareMB = share.bw.TotalMB()
+	res.NoSharePeak = noShare.bw.PeakKBps()
+	res.SharePeak = share.bw.PeakKBps()
+	return res, nil
+}
+
+// FormatShare renders the Figure 12 series and summary.
+func FormatShare(r ShareResult) string {
+	var b strings.Builder
+	b.WriteString("== Figure 12: per-node bandwidth (kBps) with opportunistic message sharing ==\n\n")
+	labels := []string{"Share", "No-Share"}
+	series := [][]metrics.Point{r.Share, r.NoShare}
+	for _, m := range shareMetrics {
+		labels = append(labels, m.String())
+		series = append(series, r.Individual[m])
+	}
+	b.WriteString(metrics.FormatSeries("time", labels, series))
+	red := 0.0
+	if r.NoShareMB > 0 {
+		red = 1 - r.ShareMB/r.NoShareMB
+	}
+	fmt.Fprintf(&b, "\nTotal: no-share %.3f MB, share %.3f MB (reduction %s)\n",
+		r.NoShareMB, r.ShareMB, fmtPct(red))
+	fmt.Fprintf(&b, "Peak per-node: no-share %.2f kBps, share %.2f kBps\n",
+		r.NoSharePeak, r.SharePeak)
+	return b.String()
+}

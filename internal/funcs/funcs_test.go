@@ -1,0 +1,348 @@
+package funcs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/parser"
+	"ndlog/internal/val"
+)
+
+// exprOf parses a single expression by wrapping it in a rule selection.
+func exprOf(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	r, err := parser.ParseRule("r p(@S) :- q(@S), " + src + ".")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	switch term := r.Body[1].(type) {
+	case *ast.Select:
+		return term.Cond
+	case *ast.Assign:
+		return term.Expr
+	}
+	t.Fatalf("unexpected term type for %q", src)
+	return nil
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	env := Env{"A": val.NewInt(7), "B": val.NewInt(2), "F": val.NewFloat(0.5)}
+	cases := []struct {
+		src  string
+		want val.Value
+	}{
+		{"X := A + B", val.NewInt(9)},
+		{"X := A - B", val.NewInt(5)},
+		{"X := A * B", val.NewInt(14)},
+		{"X := A / B", val.NewInt(3)},
+		{"X := A % B", val.NewInt(1)},
+		{"X := A + F", val.NewFloat(7.5)},
+		{"X := F * 2", val.NewFloat(1)},
+		{"X := A + B * 2", val.NewInt(11)},
+		{"X := (A + B) * 2", val.NewInt(18)},
+		{"X := -3 + A", val.NewInt(4)},
+	}
+	for _, c := range cases {
+		got, err := Eval(exprOf(t, c.src), env)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalComparison(t *testing.T) {
+	env := Env{"A": val.NewInt(3), "B": val.NewInt(5), "F": val.NewFloat(3),
+		"S": val.NewString("x"), "T": val.NewBool(true)}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"A < B", true},
+		{"A <= B", true},
+		{"B < A", false},
+		{"A >= B", false},
+		{"B > A", true},
+		{"A == 3", true},
+		{"A == F", true}, // numeric equality across kinds
+		{"A != B", true},
+		{"A < F + 1", true},
+		{"A <= F", true}, // 3 <= 3.0 numerically
+		{"A >= F", true},
+		{"S == \"x\"", true},
+		{"A < B && B < 10", true},
+		{"A > B || B > 4", true},
+		{"A > B || B > 9", false},
+		{"T && A < B", true},
+	}
+	for _, c := range cases {
+		got, err := EvalBool(exprOf(t, c.src), env)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := Env{"A": val.NewInt(1), "S": val.NewString("x"), "L": val.NewList()}
+	cases := []struct {
+		src string
+		err error
+	}{
+		{"X := Missing + 1", ErrUnboundVar},
+		{"X := A / 0", ErrDivByZero},
+		{"X := A % 0", ErrDivByZero},
+		{"X := S * 2", ErrType},
+		{"X := f_nosuch(A)", ErrUnknownFunc},
+		{"X := f_size(A)", ErrType},
+		{"X := f_size(L, L)", ErrArity},
+		{"S < A", ErrType},
+		{"A && A > 0", ErrType},
+	}
+	for _, c := range cases {
+		_, err := Eval(exprOf(t, c.src), env)
+		if err == nil {
+			t.Errorf("%s: expected error", c.src)
+			continue
+		}
+		if !errors.Is(err, c.err) {
+			t.Errorf("%s: err = %v, want %v", c.src, err, c.err)
+		}
+	}
+}
+
+func TestEvalBoolNonBool(t *testing.T) {
+	if _, err := EvalBool(exprOf(t, "X := 1 + 1"), Env{}); err == nil {
+		t.Error("EvalBool on int should fail")
+	}
+}
+
+func addrList(names ...string) val.Value {
+	vs := make([]val.Value, len(names))
+	for i, n := range names {
+		vs[i] = val.NewAddr(n)
+	}
+	return val.NewList(vs...)
+}
+
+func TestPathFunctions(t *testing.T) {
+	env := Env{
+		"S": val.NewAddr("a"),
+		"P": addrList("b", "d"),
+	}
+	got, err := Eval(exprOf(t, "X := f_concatPath(S, P)"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(addrList("a", "b", "d")) {
+		t.Errorf("f_concatPath = %v", got)
+	}
+
+	got, err = Eval(exprOf(t, "X := f_append(P, S)"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(addrList("b", "d", "a")) {
+		t.Errorf("f_append = %v", got)
+	}
+
+	for _, c := range []struct {
+		src  string
+		want bool
+	}{
+		{"f_member(P, @b) == true", true},
+		{"f_member(P, S) == false", true},
+	} {
+		ok, err := EvalBool(exprOf(t, c.src), env)
+		if err != nil || ok != c.want {
+			t.Errorf("%s = %v, %v", c.src, ok, err)
+		}
+	}
+
+	got, _ = Eval(exprOf(t, "X := f_size(P)"), env)
+	if got.Int() != 2 {
+		t.Errorf("f_size = %v", got)
+	}
+	got, _ = Eval(exprOf(t, "X := f_first(P)"), env)
+	if got.Addr() != "b" {
+		t.Errorf("f_first = %v", got)
+	}
+	got, _ = Eval(exprOf(t, "X := f_last(P)"), env)
+	if got.Addr() != "d" {
+		t.Errorf("f_last = %v", got)
+	}
+	got, _ = Eval(exprOf(t, "X := f_reverse(P)"), env)
+	if !got.Equal(addrList("d", "b")) {
+		t.Errorf("f_reverse = %v", got)
+	}
+	if _, err := Eval(exprOf(t, "X := f_first(nil)"), env); err == nil {
+		t.Error("f_first(nil) should fail")
+	}
+	if _, err := Eval(exprOf(t, "X := f_last(nil)"), env); err == nil {
+		t.Error("f_last(nil) should fail")
+	}
+}
+
+func TestListLiteralWithVars(t *testing.T) {
+	env := Env{"A": val.NewAddr("a"), "B": val.NewAddr("b")}
+	got, err := Eval(exprOf(t, "X := [A, B, @c]"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(addrList("a", "b", "c")) {
+		t.Errorf("list literal = %v", got)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	env := Env{"A": val.NewInt(3), "B": val.NewInt(-5)}
+	if got, _ := Eval(exprOf(t, "X := f_min(A, B)"), env); got.Int() != -5 {
+		t.Errorf("f_min = %v", got)
+	}
+	if got, _ := Eval(exprOf(t, "X := f_max(A, B)"), env); got.Int() != 3 {
+		t.Errorf("f_max = %v", got)
+	}
+	if got, _ := Eval(exprOf(t, "X := f_abs(B)"), env); got.Int() != 5 {
+		t.Errorf("f_abs = %v", got)
+	}
+	if got, _ := Eval(exprOf(t, "X := f_abs(A)"), env); got.Int() != 3 {
+		t.Errorf("f_abs = %v", got)
+	}
+	envf := Env{"F": val.NewFloat(-1.5)}
+	if got, _ := Eval(exprOf(t, "X := f_abs(F)"), envf); got.Float() != 1.5 {
+		t.Errorf("f_abs float = %v", got)
+	}
+	if _, err := Eval(exprOf(t, "X := f_abs(@a)"), Env{}); err == nil {
+		t.Error("f_abs on addr should fail")
+	}
+}
+
+func TestPrevHop(t *testing.T) {
+	env := Env{"P": addrList("s", "z", "d")}
+	cases := []struct {
+		of   string
+		want val.Value
+	}{
+		{"@d", val.NewAddr("z")},
+		{"@z", val.NewAddr("s")},
+		{"@s", val.Nil},  // first element has no predecessor
+		{"@qq", val.Nil}, // absent
+	}
+	for _, c := range cases {
+		got, err := Eval(exprOf(t, "X := f_prevHop(P, "+c.of+")"), env)
+		if err != nil {
+			t.Errorf("f_prevHop(P,%s): %v", c.of, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("f_prevHop(P,%s) = %v, want %v", c.of, got, c.want)
+		}
+	}
+	if _, err := Eval(exprOf(t, "X := f_prevHop(P)"), env); err == nil {
+		t.Error("arity error expected")
+	}
+}
+
+func TestNth(t *testing.T) {
+	env := Env{"P": addrList("s", "z", "d")}
+	cases := []struct {
+		idx  string
+		want val.Value
+	}{
+		{"0", val.NewAddr("s")},
+		{"1", val.NewAddr("z")},
+		{"2", val.NewAddr("d")},
+		{"3", val.Nil},
+		{"-1", val.Nil},
+	}
+	for _, c := range cases {
+		got, err := Eval(exprOf(t, "X := f_nth(P, "+c.idx+")"), env)
+		if err != nil {
+			t.Errorf("f_nth(P,%s): %v", c.idx, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("f_nth(P,%s) = %v, want %v", c.idx, got, c.want)
+		}
+	}
+	if _, err := Eval(exprOf(t, "X := f_nth(P, @a)"), env); err == nil {
+		t.Error("non-int index should fail")
+	}
+	if _, err := Eval(exprOf(t, "X := f_nth(P)"), env); err == nil {
+		t.Error("arity error expected")
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	Register("f_custom_test", func(args []val.Value) (val.Value, error) {
+		return val.NewInt(42), nil
+	})
+	fn, ok := Lookup("f_custom_test")
+	if !ok {
+		t.Fatal("registered builtin not found")
+	}
+	v, err := fn(nil)
+	if err != nil || v.Int() != 42 {
+		t.Errorf("custom builtin = %v, %v", v, err)
+	}
+	if _, ok := Lookup("f_definitely_missing"); ok {
+		t.Error("Lookup found a missing function")
+	}
+}
+
+func TestEnvClone(t *testing.T) {
+	e := Env{"A": val.NewInt(1)}
+	c := e.Clone()
+	c["A"] = val.NewInt(2)
+	c["B"] = val.NewInt(3)
+	if e["A"].Int() != 1 {
+		t.Error("clone mutated original")
+	}
+	if _, ok := e["B"]; ok {
+		t.Error("clone shares map")
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	env := Env{"A": val.NewString("foo"), "B": val.NewString("bar")}
+	got, err := Eval(exprOf(t, "X := A + B"), env)
+	if err != nil || got.Str() != "foobar" {
+		t.Errorf("string + = %v, %v", got, err)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// RHS has an unbound variable; short-circuit must avoid evaluating it.
+	env := Env{"F": val.NewBool(false), "T": val.NewBool(true)}
+	ok, err := EvalBool(exprOf(t, "F && Missing > 0"), env)
+	if err != nil || ok {
+		t.Errorf("false && ... = %v, %v", ok, err)
+	}
+	ok, err = EvalBool(exprOf(t, "T || Missing > 0"), env)
+	if err != nil || !ok {
+		t.Errorf("true || ... = %v, %v", ok, err)
+	}
+	// Non-bool RHS must error when it is evaluated.
+	if _, err := EvalBool(exprOf(t, "T && 1 + 1"), env); err == nil {
+		t.Error("&& with int RHS should fail")
+	}
+	if _, err := EvalBool(exprOf(t, "F || 1 + 1"), env); err == nil {
+		t.Error("|| with int RHS should fail")
+	}
+}
+
+func TestErrorMessagesCarryFunctionName(t *testing.T) {
+	_, err := Eval(exprOf(t, "X := f_size(@a)"), Env{})
+	if err == nil || !strings.Contains(err.Error(), "f_size") {
+		t.Errorf("error should name the function: %v", err)
+	}
+}

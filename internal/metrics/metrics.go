@@ -1,0 +1,195 @@
+// Package metrics collects the measurements the paper's evaluation
+// plots: per-node bandwidth over time (kBps), aggregate communication
+// (MB), convergence time, and the fraction of eventual best results
+// completed over time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bandwidth accumulates transmitted bytes into fixed-width time buckets.
+type Bandwidth struct {
+	Bucket float64 // bucket width in seconds
+	Nodes  int     // node count, for per-node averaging
+	bytes  map[int]float64
+	total  float64
+}
+
+// NewBandwidth creates a collector with the given bucket width and node
+// count.
+func NewBandwidth(bucket float64, nodes int) *Bandwidth {
+	return &Bandwidth{Bucket: bucket, Nodes: nodes, bytes: map[int]float64{}}
+}
+
+// Record adds a transmission of the given size at virtual time now.
+func (b *Bandwidth) Record(now float64, bytes int) {
+	b.bytes[int(now/b.Bucket)] += float64(bytes)
+	b.total += float64(bytes)
+}
+
+// TotalMB returns the aggregate communication in megabytes.
+func (b *Bandwidth) TotalMB() float64 { return b.total / 1e6 }
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64
+	V float64
+}
+
+// PerNodeKBps returns the average per-node bandwidth series in kB/s.
+func (b *Bandwidth) PerNodeKBps() []Point {
+	if len(b.bytes) == 0 {
+		return nil
+	}
+	maxIdx := 0
+	for i := range b.bytes {
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	nodes := b.Nodes
+	if nodes == 0 {
+		nodes = 1
+	}
+	out := make([]Point, 0, maxIdx+1)
+	for i := 0; i <= maxIdx; i++ {
+		kbps := b.bytes[i] / b.Bucket / float64(nodes) / 1000
+		out = append(out, Point{T: float64(i) * b.Bucket, V: kbps})
+	}
+	return out
+}
+
+// PeakKBps returns the maximum of the per-node bandwidth series.
+func (b *Bandwidth) PeakKBps() float64 {
+	peak := 0.0
+	for _, p := range b.PerNodeKBps() {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	return peak
+}
+
+// Completion tracks when each expected result first becomes correct,
+// yielding the "% results over time" series of Figures 8 and 10.
+type Completion struct {
+	expected  int
+	firstSeen map[string]float64
+}
+
+// NewCompletion creates a tracker for the given number of expected
+// results.
+func NewCompletion(expected int) *Completion {
+	return &Completion{expected: expected, firstSeen: map[string]float64{}}
+}
+
+// Mark records that result key was first correct at time now (later
+// marks for the same key are ignored).
+func (c *Completion) Mark(key string, now float64) {
+	if _, ok := c.firstSeen[key]; !ok {
+		c.firstSeen[key] = now
+	}
+}
+
+// Done returns how many expected results have been marked.
+func (c *Completion) Done() int { return len(c.firstSeen) }
+
+// Expected returns the denominator.
+func (c *Completion) Expected() int { return c.expected }
+
+// Fraction returns Done/Expected.
+func (c *Completion) Fraction() float64 {
+	if c.expected == 0 {
+		return 1
+	}
+	return float64(len(c.firstSeen)) / float64(c.expected)
+}
+
+// ConvergenceTime returns the time the last expected result arrived, or
+// NaN if incomplete.
+func (c *Completion) ConvergenceTime() float64 {
+	if len(c.firstSeen) < c.expected || c.expected == 0 {
+		return math.NaN()
+	}
+	worst := 0.0
+	for _, t := range c.firstSeen {
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Series returns the completion fraction sampled at step intervals from
+// 0 to the convergence time (or the latest mark).
+func (c *Completion) Series(step float64) []Point {
+	times := make([]float64, 0, len(c.firstSeen))
+	for _, t := range c.firstSeen {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	if len(times) == 0 {
+		return nil
+	}
+	end := times[len(times)-1]
+	var out []Point
+	i := 0
+	for t := 0.0; ; t += step {
+		for i < len(times) && times[i] <= t {
+			i++
+		}
+		frac := float64(i) / float64(max(c.expected, 1))
+		out = append(out, Point{T: t, V: frac})
+		if t >= end {
+			break
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatSeries renders labelled series side by side as aligned text
+// columns — the textual equivalent of one of the paper's plots.
+func FormatSeries(xlabel string, labels []string, series [][]Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", xlabel)
+	for _, l := range labels {
+		fmt.Fprintf(&b, " %14s", l)
+	}
+	b.WriteByte('\n')
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var t float64
+		for _, s := range series {
+			if i < len(s) {
+				t = s[i].T
+				break
+			}
+		}
+		fmt.Fprintf(&b, "%-10.2f", t)
+		for _, s := range series {
+			if i < len(s) {
+				fmt.Fprintf(&b, " %14.3f", s[i].V)
+			} else {
+				fmt.Fprintf(&b, " %14s", "")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBandwidthSeries(t *testing.T) {
+	b := NewBandwidth(1.0, 10)
+	b.Record(0.2, 5000)
+	b.Record(0.9, 5000)
+	b.Record(2.5, 20000)
+	s := b.PerNodeKBps()
+	if len(s) != 3 {
+		t.Fatalf("series = %v", s)
+	}
+	// Bucket 0: 10000 bytes / 1s / 10 nodes / 1000 = 1 kBps.
+	if s[0].V != 1.0 {
+		t.Errorf("bucket 0 = %v", s[0].V)
+	}
+	if s[1].V != 0 {
+		t.Errorf("bucket 1 = %v", s[1].V)
+	}
+	if s[2].V != 2.0 {
+		t.Errorf("bucket 2 = %v", s[2].V)
+	}
+	if b.PeakKBps() != 2.0 {
+		t.Errorf("peak = %v", b.PeakKBps())
+	}
+	if b.TotalMB() != 0.03 {
+		t.Errorf("total = %v", b.TotalMB())
+	}
+}
+
+func TestBandwidthEmpty(t *testing.T) {
+	b := NewBandwidth(1, 0)
+	if b.PerNodeKBps() != nil || b.PeakKBps() != 0 || b.TotalMB() != 0 {
+		t.Error("empty collector should be zero")
+	}
+	// Zero node count treated as 1 to avoid division by zero.
+	b.Record(0, 1000)
+	if b.PerNodeKBps()[0].V != 1 {
+		t.Errorf("zero-node series = %v", b.PerNodeKBps())
+	}
+}
+
+func TestCompletion(t *testing.T) {
+	c := NewCompletion(4)
+	c.Mark("a", 1.0)
+	c.Mark("b", 2.0)
+	c.Mark("a", 5.0) // ignored: already marked
+	if c.Done() != 2 || c.Fraction() != 0.5 {
+		t.Errorf("done=%d frac=%v", c.Done(), c.Fraction())
+	}
+	if !math.IsNaN(c.ConvergenceTime()) {
+		t.Error("incomplete tracker should have NaN convergence")
+	}
+	c.Mark("c", 3.0)
+	c.Mark("d", 2.5)
+	if got := c.ConvergenceTime(); got != 3.0 {
+		t.Errorf("convergence = %v", got)
+	}
+	s := c.Series(1.0)
+	if len(s) == 0 || s[len(s)-1].V != 1.0 {
+		t.Errorf("series = %v", s)
+	}
+	// At t=2.0, a and b (and nothing else) are done.
+	for _, p := range s {
+		if p.T == 2.0 && p.V != 0.5 {
+			t.Errorf("fraction at 2.0 = %v", p.V)
+		}
+	}
+	if c.Expected() != 4 {
+		t.Errorf("expected = %d", c.Expected())
+	}
+}
+
+func TestCompletionEdgeCases(t *testing.T) {
+	c := NewCompletion(0)
+	if c.Fraction() != 1 {
+		t.Error("zero-expected fraction should be 1")
+	}
+	if c.Series(1) != nil {
+		t.Error("empty series expected")
+	}
+	if !math.IsNaN(c.ConvergenceTime()) {
+		t.Error("zero-expected convergence should be NaN")
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	out := FormatSeries("time", []string{"A", "B"}, [][]Point{
+		{{T: 0, V: 1}, {T: 1, V: 2}},
+		{{T: 0, V: 3}},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[0], "A") || !strings.Contains(lines[0], "B") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1.000") || !strings.Contains(lines[1], "3.000") {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+}

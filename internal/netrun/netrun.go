@@ -1,0 +1,230 @@
+// Package netrun executes an NDlog deployment over real UDP sockets
+// (standard library net only). It is the bridge from the simulated
+// evaluation environment to an actual networked one: every NDlog node
+// gets its own socket and goroutine, derived tuples travel as UDP
+// datagrams encoded exactly like the simulator's messages, and
+// quiescence is detected by a cluster-wide idle timeout (a real network
+// has no global event queue to observe).
+//
+// The runner binds loopback addresses, so tests exercise genuine socket
+// I/O without leaving the machine. Message loss and reordering are
+// possible exactly as with real UDP; the engine's PSN evaluation and
+// soft-state options behave as they would in deployment.
+package netrun
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/engine"
+)
+
+// Runner drives one NDlog program over UDP.
+type Runner struct {
+	prog  *ast.Program
+	opts  engine.Options
+	nodes map[string]*netNode
+	// book maps NDlog addresses to UDP addresses.
+	book map[string]*net.UDPAddr
+
+	activity atomic.Int64 // bumps on every processed datagram
+	bytes    atomic.Int64
+	messages atomic.Int64
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+type netNode struct {
+	id   string
+	node *engine.Node
+	conn *net.UDPConn
+	mu   sync.Mutex // guards node (engine nodes are single-threaded)
+}
+
+// New creates a runner for prog with one engine node per id. Each node
+// binds an ephemeral UDP port on localhost.
+func New(prog *ast.Program, ids []string, opts engine.Options) (*Runner, error) {
+	r := &Runner{
+		prog:  prog,
+		opts:  opts,
+		nodes: map[string]*netNode{},
+		book:  map[string]*net.UDPAddr{},
+		stop:  make(chan struct{}),
+	}
+	for _, id := range ids {
+		n, err := engine.NewNode(id, prog, opts)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("netrun: bind %s: %w", id, err)
+		}
+		r.nodes[id] = &netNode{id: id, node: n, conn: conn}
+		r.book[id] = conn.LocalAddr().(*net.UDPAddr)
+	}
+	return r, nil
+}
+
+// Addr returns the UDP address serving an NDlog node.
+func (r *Runner) Addr(id string) *net.UDPAddr { return r.book[id] }
+
+// Bytes returns the total UDP payload bytes sent.
+func (r *Runner) Bytes() int64 { return r.bytes.Load() }
+
+// Messages returns the number of datagrams sent.
+func (r *Runner) Messages() int64 { return r.messages.Load() }
+
+// Start launches the receive loops and seeds every node with its home
+// base facts.
+func (r *Runner) Start() {
+	for _, nn := range r.nodes {
+		r.wg.Add(1)
+		go r.receiveLoop(nn)
+	}
+	for _, nn := range r.nodes {
+		nn.mu.Lock()
+		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
+		for _, f := range engine.HomeFacts(r.prog, nn.id) {
+			nn.node.Push(engine.Insert(f))
+		}
+		outs := nn.node.Drain()
+		nn.mu.Unlock()
+		r.dispatch(nn, outs)
+	}
+}
+
+func (r *Runner) receiveLoop(nn *netNode) {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		// A short read deadline lets the loop notice shutdown.
+		nn.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, _, err := nn.conn.ReadFromUDP(buf)
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		if err != nil {
+			continue // deadline or transient error; keep serving
+		}
+		deltas, err := engine.DecodeMessage(buf[:n])
+		if err != nil {
+			continue // corrupt datagram: drop, like any UDP protocol
+		}
+		nn.mu.Lock()
+		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
+		for _, d := range deltas {
+			nn.node.Push(d)
+		}
+		outs := nn.node.Drain()
+		nn.mu.Unlock()
+		r.activity.Add(1)
+		r.dispatch(nn, outs)
+	}
+}
+
+// Inject delivers a delta to a node from outside (e.g. a link update).
+func (r *Runner) Inject(id string, d engine.Delta) error {
+	nn, ok := r.nodes[id]
+	if !ok {
+		return fmt.Errorf("netrun: unknown node %q", id)
+	}
+	nn.mu.Lock()
+	nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
+	nn.node.Push(d)
+	outs := nn.node.Drain()
+	nn.mu.Unlock()
+	r.activity.Add(1)
+	r.dispatch(nn, outs)
+	return nil
+}
+
+// dispatch sends outbound deltas as one datagram per delta (the
+// simulator's default policy) from the node's own socket.
+func (r *Runner) dispatch(nn *netNode, outs []engine.OutDelta) {
+	for _, o := range outs {
+		dst, ok := r.book[o.Dst]
+		if !ok {
+			continue
+		}
+		payload := engine.EncodeDeltas([]engine.Delta{o.Delta})
+		if _, err := nn.conn.WriteToUDP(payload, dst); err == nil {
+			r.bytes.Add(int64(len(payload)))
+			r.messages.Add(1)
+		}
+	}
+}
+
+// WaitQuiescent blocks until no node has processed a datagram for idle,
+// or until timeout. It reports whether the cluster went idle.
+func (r *Runner) WaitQuiescent(idle, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	last := r.activity.Load()
+	lastChange := time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(idle / 4)
+		cur := r.activity.Load()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			continue
+		}
+		if time.Since(lastChange) >= idle {
+			return true
+		}
+	}
+	return false
+}
+
+// Tuples gathers a predicate across all nodes (snapshot under each
+// node's lock).
+func (r *Runner) Tuples(pred string) []string {
+	var out []string
+	for _, nn := range r.nodes {
+		nn.mu.Lock()
+		for _, t := range nn.node.Tuples(pred) {
+			out = append(out, t.Key())
+		}
+		nn.mu.Unlock()
+	}
+	return out
+}
+
+// NodeTuples returns one node's tuples for a predicate, as keys.
+func (r *Runner) NodeTuples(id, pred string) []string {
+	nn, ok := r.nodes[id]
+	if !ok {
+		return nil
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	var out []string
+	for _, t := range nn.node.Tuples(pred) {
+		out = append(out, t.Key())
+	}
+	return out
+}
+
+// Close shuts down all sockets and waits for the receive loops.
+func (r *Runner) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	for _, nn := range r.nodes {
+		if nn.conn != nil {
+			nn.conn.Close()
+		}
+	}
+	r.wg.Wait()
+}

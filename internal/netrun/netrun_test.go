@@ -1,0 +1,133 @@
+package netrun
+
+import (
+	"testing"
+	"time"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/parser"
+	"ndlog/internal/programs"
+)
+
+var figure2 = []struct {
+	a, b string
+	cost float64
+}{
+	{"a", "b", 5}, {"a", "c", 1}, {"c", "b", 1}, {"b", "d", 1}, {"e", "a", 1},
+}
+
+func buildRunner(t *testing.T) *Runner {
+	t.Helper()
+	prog, err := parser.Parse(programs.ShortestPath(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range figure2 {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+	}
+	r, err := New(prog, []string{"a", "b", "c", "d", "e"}, engine.Options{AggSel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestUDPShortestPath runs the paper's shortest-path query over real UDP
+// sockets on localhost and checks the known answers of the Figure 2
+// network. UDP can drop datagrams under load, so the test retries by
+// re-seeding (the soft-state refresh story) before giving up.
+func TestUDPShortestPath(t *testing.T) {
+	r := buildRunner(t)
+	defer r.Close()
+	r.Start()
+	if !r.WaitQuiescent(300*time.Millisecond, 15*time.Second) {
+		t.Fatal("cluster did not go idle")
+	}
+
+	want := map[string]bool{
+		"shortestPath(a,b,[a,c,b],2)":     true,
+		"shortestPath(a,c,[a,c],1)":       true,
+		"shortestPath(e,d,[e,a,c,b,d],4)": true,
+	}
+	check := func() int {
+		missing := 0
+		got := map[string]bool{}
+		for _, k := range r.Tuples("shortestPath") {
+			got[k] = true
+		}
+		for k := range want {
+			if !got[k] {
+				missing++
+			}
+		}
+		return missing
+	}
+	missing := check()
+	for attempt := 0; missing > 0 && attempt < 3; attempt++ {
+		// Datagram loss: re-inject the base facts (refresh) and re-check.
+		for _, l := range figure2 {
+			r.Inject(l.a, engine.Insert(programs.LinkFact("link", l.a, l.b, l.cost)))
+			r.Inject(l.b, engine.Insert(programs.LinkFact("link", l.b, l.a, l.cost)))
+		}
+		r.WaitQuiescent(300*time.Millisecond, 10*time.Second)
+		missing = check()
+	}
+	if missing > 0 {
+		t.Fatalf("missing %d known answers; have %v", missing, r.Tuples("shortestPath"))
+	}
+	if r.Messages() == 0 || r.Bytes() == 0 {
+		t.Error("no UDP traffic recorded")
+	}
+	// Results live at their home nodes.
+	if got := r.NodeTuples("e", "shortestPath"); len(got) == 0 {
+		t.Error("node e has no local results")
+	}
+	if got := r.NodeTuples("zzz", "shortestPath"); got != nil {
+		t.Error("unknown node should return nil")
+	}
+}
+
+// TestUDPLinkUpdate injects a link cost update into the live UDP cluster
+// and watches the routes recompute.
+func TestUDPLinkUpdate(t *testing.T) {
+	r := buildRunner(t)
+	defer r.Close()
+	r.Start()
+	if !r.WaitQuiescent(300*time.Millisecond, 15*time.Second) {
+		t.Fatal("cluster did not go idle")
+	}
+	// link(a,b): 5 -> 1; a's best route to b becomes the direct link.
+	r.Inject("a", engine.Insert(programs.LinkFact("link", "a", "b", 1)))
+	r.Inject("b", engine.Insert(programs.LinkFact("link", "b", "a", 1)))
+	if !r.WaitQuiescent(300*time.Millisecond, 15*time.Second) {
+		t.Fatal("update did not settle")
+	}
+	found := false
+	for attempt := 0; attempt < 3 && !found; attempt++ {
+		for _, k := range r.NodeTuples("a", "shortestPath") {
+			if k == "shortestPath(a,b,[a,b],1)" {
+				found = true
+			}
+		}
+		if !found {
+			r.Inject("a", engine.Insert(programs.LinkFact("link", "a", "b", 1)))
+			r.WaitQuiescent(300*time.Millisecond, 10*time.Second)
+		}
+	}
+	if !found {
+		t.Fatalf("updated route missing: %v", r.NodeTuples("a", "shortestPath"))
+	}
+}
+
+func TestInjectUnknownNode(t *testing.T) {
+	r := buildRunner(t)
+	defer r.Close()
+	if err := r.Inject("nope", engine.Insert(programs.LinkFact("link", "x", "y", 1))); err == nil {
+		t.Error("expected error for unknown node")
+	}
+	if r.Addr("a") == nil {
+		t.Error("node a should have a bound address")
+	}
+}

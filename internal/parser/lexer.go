@@ -1,0 +1,353 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates lexical token kinds of the NDlog surface syntax.
+type tokKind uint8
+
+const (
+	tokEOF      tokKind = iota
+	tokIdent            // lower-case identifier: predicate, function, constant address
+	tokVar              // upper-case identifier: variable
+	tokInt              // integer literal
+	tokFloat            // float literal
+	tokString           // quoted string literal
+	tokLParen           // (
+	tokRParen           // )
+	tokLBracket         // [
+	tokRBracket         // ]
+	tokComma            // ,
+	tokDot              // .
+	tokAt               // @
+	tokHash             // #
+	tokLt               // <
+	tokLe               // <=
+	tokGt               // >
+	tokGe               // >=
+	tokEqEq             // ==
+	tokNe               // !=
+	tokAssign           // := or =
+	tokPlus             // +
+	tokMinus            // -
+	tokStar             // *
+	tokSlash            // /
+	tokPercent          // %
+	tokAndAnd           // &&
+	tokOrOr             // ||
+	tokImplies          // :-
+	tokColon            // :
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "EOF", tokIdent: "identifier", tokVar: "variable", tokInt: "int",
+	tokFloat: "float", tokString: "string", tokLParen: "(", tokRParen: ")",
+	tokLBracket: "[", tokRBracket: "]", tokComma: ",", tokDot: ".", tokAt: "@",
+	tokHash: "#", tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=",
+	tokEqEq: "==", tokNe: "!=", tokAssign: ":=", tokPlus: "+", tokMinus: "-",
+	tokStar: "*", tokSlash: "/", tokPercent: "%", tokAndAnd: "&&",
+	tokOrOr: "||", tokImplies: ":-", tokColon: ":",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+// token is a lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.text != "" {
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}
+
+// lexer turns NDlog source into tokens. It supports //-comments and
+// /* */-comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// Error is a parse or lex error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r, sz := l.peekRune()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance(sz)
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			line, col := l.line, l.col
+			l.advance(2)
+			for !strings.HasPrefix(l.src[l.pos:], "*/") {
+				if l.pos >= len(l.src) {
+					return l.errorf(line, col, "unterminated comment")
+				}
+				l.advance(1)
+			}
+			l.advance(2)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(tokEOF, ""), nil
+	}
+	r, _ := l.peekRune()
+
+	// Multi-character operators first.
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case ":-":
+		l.advance(2)
+		return mk(tokImplies, ""), nil
+	case ":=":
+		l.advance(2)
+		return mk(tokAssign, ""), nil
+	case "<=":
+		l.advance(2)
+		return mk(tokLe, ""), nil
+	case ">=":
+		l.advance(2)
+		return mk(tokGe, ""), nil
+	case "==":
+		l.advance(2)
+		return mk(tokEqEq, ""), nil
+	case "!=":
+		l.advance(2)
+		return mk(tokNe, ""), nil
+	case "&&":
+		l.advance(2)
+		return mk(tokAndAnd, ""), nil
+	case "||":
+		l.advance(2)
+		return mk(tokOrOr, ""), nil
+	}
+
+	switch r {
+	case '(':
+		l.advance(1)
+		return mk(tokLParen, ""), nil
+	case ')':
+		l.advance(1)
+		return mk(tokRParen, ""), nil
+	case '[':
+		l.advance(1)
+		return mk(tokLBracket, ""), nil
+	case ']':
+		l.advance(1)
+		return mk(tokRBracket, ""), nil
+	case ',':
+		l.advance(1)
+		return mk(tokComma, ""), nil
+	case '@':
+		l.advance(1)
+		return mk(tokAt, ""), nil
+	case '#':
+		l.advance(1)
+		return mk(tokHash, ""), nil
+	case '<':
+		l.advance(1)
+		return mk(tokLt, ""), nil
+	case '>':
+		l.advance(1)
+		return mk(tokGt, ""), nil
+	case '=':
+		l.advance(1)
+		return mk(tokAssign, ""), nil
+	case '+':
+		l.advance(1)
+		return mk(tokPlus, ""), nil
+	case '-':
+		l.advance(1)
+		return mk(tokMinus, ""), nil
+	case '*':
+		l.advance(1)
+		return mk(tokStar, ""), nil
+	case '/':
+		l.advance(1)
+		return mk(tokSlash, ""), nil
+	case '%':
+		l.advance(1)
+		return mk(tokPercent, ""), nil
+	case ':':
+		l.advance(1)
+		return mk(tokColon, ""), nil
+	case '"':
+		return l.lexString(line, col)
+	case '.':
+		// "." is end-of-statement unless it begins a float like ".5"
+		// (we do not support leading-dot floats; always a dot).
+		l.advance(1)
+		return mk(tokDot, ""), nil
+	}
+
+	if unicode.IsDigit(r) {
+		return l.lexNumber(line, col)
+	}
+	if isIdentStart(r) {
+		start := l.pos
+		for l.pos < len(l.src) {
+			r, sz := l.peekRune()
+			if !isIdentCont(r) {
+				break
+			}
+			l.advance(sz)
+		}
+		text := l.src[start:l.pos]
+		first, _ := utf8.DecodeRuneInString(text)
+		if unicode.IsUpper(first) || first == '_' {
+			return mk(tokVar, text), nil
+		}
+		return mk(tokIdent, text), nil
+	}
+	return token{}, l.errorf(line, col, "unexpected character %q", r)
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+
+func isIdentCont(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (l *lexer) lexString(line, col int) (token, error) {
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(line, col, "unterminated string")
+		}
+		r, sz := l.peekRune()
+		if r == '"' {
+			l.advance(1)
+			return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+		}
+		if r == '\\' {
+			l.advance(1)
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated escape")
+			}
+			e, esz := l.peekRune()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteRune(e)
+			default:
+				return token{}, l.errorf(l.line, l.col, "unknown escape \\%c", e)
+			}
+			l.advance(esz)
+			continue
+		}
+		b.WriteRune(r)
+		l.advance(sz)
+	}
+}
+
+func (l *lexer) lexNumber(line, col int) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigitByte(l.src[l.pos]) {
+		l.advance(1)
+	}
+	isFloat := false
+	// A '.' is part of the number only if followed by a digit; otherwise it
+	// terminates the statement.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isDigitByte(l.src[l.pos+1]) {
+		isFloat = true
+		l.advance(1)
+		for l.pos < len(l.src) && isDigitByte(l.src[l.pos]) {
+			l.advance(1)
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.advance(1)
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.advance(1)
+		}
+		if l.pos < len(l.src) && isDigitByte(l.src[l.pos]) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigitByte(l.src[l.pos]) {
+				l.advance(1)
+			}
+		} else {
+			// not an exponent; rewind
+			l.pos = save
+		}
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	return token{kind: kind, text: l.src[start:l.pos], line: line, col: col}, nil
+}
+
+func isDigitByte(b byte) bool { return b >= '0' && b <= '9' }

@@ -1,0 +1,178 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer(src)
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func kinds(ts []token) []tokKind {
+	out := make([]tokKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexOperators(t *testing.T) {
+	src := `:- := <= >= == != && || ( ) [ ] , . @ # < > = + - * / % :`
+	want := []tokKind{
+		tokImplies, tokAssign, tokLe, tokGe, tokEqEq, tokNe, tokAndAnd,
+		tokOrOr, tokLParen, tokRParen, tokLBracket, tokRBracket, tokComma,
+		tokDot, tokAt, tokHash, tokLt, tokGt, tokAssign, tokPlus, tokMinus,
+		tokStar, tokSlash, tokPercent, tokColon,
+	}
+	got := kinds(lexAll(t, src))
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexIdentifiersAndVars(t *testing.T) {
+	ts := lexAll(t, `path Path _x f_concat x-y node1`)
+	want := []struct {
+		kind tokKind
+		text string
+	}{
+		{tokIdent, "path"},
+		{tokVar, "Path"},
+		{tokVar, "_x"},
+		{tokIdent, "f_concat"},
+		{tokIdent, "x-y"}, // hyphens allowed inside identifiers (node names)
+		{tokIdent, "node1"},
+	}
+	if len(ts) != len(want) {
+		t.Fatalf("tokens = %v", ts)
+	}
+	for i, w := range want {
+		if ts[i].kind != w.kind || ts[i].text != w.text {
+			t.Errorf("token %d = %v, want %v %q", i, ts[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind tokKind
+		text string
+	}{
+		{"0", tokInt, "0"},
+		{"42", tokInt, "42"},
+		{"2.5", tokFloat, "2.5"},
+		{"1e3", tokFloat, "1e3"},
+		{"1E-2", tokFloat, "1E-2"},
+		{"1e+4", tokFloat, "1e+4"},
+	}
+	for _, c := range cases {
+		ts := lexAll(t, c.src)
+		if len(ts) != 1 || ts[0].kind != c.kind || ts[0].text != c.text {
+			t.Errorf("lex %q = %v", c.src, ts)
+		}
+	}
+	// "3." is an int followed by end-of-statement dot.
+	ts := lexAll(t, "3.")
+	if len(ts) != 2 || ts[0].kind != tokInt || ts[1].kind != tokDot {
+		t.Errorf("lex 3. = %v", ts)
+	}
+	// "1e" with no exponent digits: int then identifier.
+	ts = lexAll(t, "1e")
+	if len(ts) != 2 || ts[0].kind != tokInt || ts[1].kind != tokIdent {
+		t.Errorf("lex 1e = %v", ts)
+	}
+	// "2.5.3" is float then dot then int (statement boundary semantics).
+	ts = lexAll(t, "2.5.3")
+	if len(ts) != 3 || ts[0].kind != tokFloat || ts[1].kind != tokDot || ts[2].kind != tokInt {
+		t.Errorf("lex 2.5.3 = %v", ts)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	ts := lexAll(t, `"a\nb\tc\"d\\e"`)
+	if len(ts) != 1 || ts[0].kind != tokString {
+		t.Fatalf("tokens = %v", ts)
+	}
+	if ts[0].text != "a\nb\tc\"d\\e" {
+		t.Errorf("text = %q", ts[0].text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`"bad \q escape"`,
+		`"trailing \`,
+		"?",
+	}
+	for _, src := range cases {
+		l := newLexer(src)
+		var err error
+		for {
+			var tok token
+			tok, err = l.next()
+			if err != nil || tok.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("lex %q: expected error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	ts := lexAll(t, "a\n  bb\n    ccc")
+	if ts[0].line != 1 || ts[0].col != 1 {
+		t.Errorf("token 0 at %d:%d", ts[0].line, ts[0].col)
+	}
+	if ts[1].line != 2 || ts[1].col != 3 {
+		t.Errorf("token 1 at %d:%d", ts[1].line, ts[1].col)
+	}
+	if ts[2].line != 3 || ts[2].col != 5 {
+		t.Errorf("token 2 at %d:%d", ts[2].line, ts[2].col)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if got := (token{kind: tokIdent, text: "foo"}).String(); !strings.Contains(got, "foo") {
+		t.Errorf("token String = %q", got)
+	}
+	if got := (token{kind: tokImplies}).String(); got != ":-" {
+		t.Errorf("implies String = %q", got)
+	}
+	if got := tokKind(200).String(); !strings.HasPrefix(got, "tok(") {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	ts := lexAll(t, "a // rest of line\nb /* multi\nline */ c")
+	if len(ts) != 3 {
+		t.Fatalf("tokens = %v", ts)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if ts[i].text != want {
+			t.Errorf("token %d = %q", i, ts[i].text)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/val"
+)
+
+// shortestPathSrc is the paper's Figure 1 program in our surface syntax.
+const shortestPathSrc = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(path, infinity, infinity, keys(1,2,3,4)).
+
+SP1 path(@S,@D,@D,P,C) :- #link(@S,@D,C), P := f_concatPath(S, nil).
+SP2 path(@S,@D,@Z,P,C) :- #link(@S,@Z,C1), path(@Z,@D,@Z2,P2,C2),
+	C := C1 + C2, P := f_concatPath(S, P2).
+SP3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).
+SP4 shortestPath(@S,@D,P,C) :- spCost(@S,@D,C), path(@S,@D,@Z,P,C).
+
+query shortestPath(@S,@D,P,C).
+`
+
+func TestParseShortestPath(t *testing.T) {
+	prog, err := Parse(shortestPathSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Materialized) != 2 {
+		t.Fatalf("materialized = %d, want 2", len(prog.Materialized))
+	}
+	link := prog.Decl("link")
+	if link == nil || len(link.Keys) != 2 || link.Keys[0] != 0 || link.Keys[1] != 1 {
+		t.Errorf("link decl = %+v", link)
+	}
+	if link.Lifetime >= 0 {
+		t.Errorf("link lifetime should be infinite, got %v", link.Lifetime)
+	}
+	if len(prog.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(prog.Rules))
+	}
+	sp2 := prog.RuleByLabel("SP2")
+	if sp2 == nil {
+		t.Fatal("no SP2 rule")
+	}
+	if la := sp2.LinkAtom(); la == nil || la.Pred != "link" {
+		t.Errorf("SP2 link atom = %v", la)
+	}
+	if sp2.IsLocal() {
+		t.Error("SP2 should be non-local")
+	}
+	sp3 := prog.RuleByLabel("SP3")
+	if !sp3.Head.HasAggregate() {
+		t.Error("SP3 head should have aggregate")
+	}
+	if idx := sp3.Head.AggregateIndex(); idx != 2 {
+		t.Errorf("SP3 aggregate index = %d, want 2", idx)
+	}
+	agg := sp3.Head.Args[2].(*ast.Agg)
+	if agg.Func != ast.AggMin || agg.Var != "C" {
+		t.Errorf("SP3 aggregate = %v", agg)
+	}
+	if prog.Query == nil || prog.Query.Pred != "shortestPath" {
+		t.Errorf("query = %v", prog.Query)
+	}
+	// SP1's head and its single body atom are both located at @S, so the
+	// rule is local (Definition 3).
+	sp1 := prog.RuleByLabel("SP1")
+	if !sp1.IsLocal() {
+		t.Error("SP1 should be local: head and link both at @S")
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	prog, err := Parse(`
+link(a, b, 5).
+link(b, a, 5).
+cost(a, -3).
+name(a, "alpha").
+pv(a, [a, b], 2.5).
+flag(a, true).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Facts) != 6 {
+		t.Fatalf("facts = %d", len(prog.Facts))
+	}
+	f := prog.Facts[0]
+	if f.Pred != "link" || f.Fields[0].Addr() != "a" || f.Fields[1].Addr() != "b" || f.Fields[2].Int() != 5 {
+		t.Errorf("fact 0 = %v", f)
+	}
+	if prog.Facts[2].Fields[1].Int() != -3 {
+		t.Errorf("negative const = %v", prog.Facts[2])
+	}
+	if prog.Facts[3].Fields[1].Str() != "alpha" {
+		t.Errorf("string const = %v", prog.Facts[3])
+	}
+	l := prog.Facts[4].Fields[1]
+	if l.Kind() != val.KindList || len(l.List()) != 2 {
+		t.Errorf("list const = %v", l)
+	}
+	if prog.Facts[4].Fields[2].Float() != 2.5 {
+		t.Errorf("float const = %v", prog.Facts[4])
+	}
+	if !prog.Facts[5].Fields[1].Bool() {
+		t.Errorf("bool const = %v", prog.Facts[5])
+	}
+}
+
+func TestParseLabelStyles(t *testing.T) {
+	srcs := []string{
+		`SP1 p(@S) :- q(@S).`,
+		`SP1: p(@S) :- q(@S).`,
+		`r1 p(@S) :- q(@S).`,
+		`r1: p(@S) :- #link(@S,@D).`,
+	}
+	for _, src := range srcs {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if len(prog.Rules) != 1 || prog.Rules[0].Label == "" {
+			t.Errorf("Parse(%q): rules=%v", src, prog.Rules)
+		}
+	}
+	// Unlabelled rule.
+	prog, err := Parse(`p(@S) :- q(@S).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rules[0].Label != "" {
+		t.Errorf("unexpected label %q", prog.Rules[0].Label)
+	}
+}
+
+func TestParseAssignAndSelect(t *testing.T) {
+	r, err := ParseRule(`r p(@S,C) :- q(@S,C1,C2), C := C1 + C2 * 2, C < 10, f_member(P, S) == false.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 4 {
+		t.Fatalf("body terms = %d", len(r.Body))
+	}
+	asn, ok := r.Body[1].(*ast.Assign)
+	if !ok || asn.Var != "C" {
+		t.Fatalf("term 1 = %v", r.Body[1])
+	}
+	// Precedence: C1 + (C2 * 2)
+	b := asn.Expr.(*ast.BinOp)
+	if b.Op != ast.OpAdd {
+		t.Errorf("expected +, got %v", b.Op)
+	}
+	if inner, ok := b.R.(*ast.BinOp); !ok || inner.Op != ast.OpMul {
+		t.Errorf("expected * on right, got %v", b.R)
+	}
+	if _, ok := r.Body[2].(*ast.Select); !ok {
+		t.Errorf("term 2 = %T", r.Body[2])
+	}
+	sel, ok := r.Body[3].(*ast.Select)
+	if !ok {
+		t.Fatalf("term 3 = %T", r.Body[3])
+	}
+	cmp := sel.Cond.(*ast.BinOp)
+	if cmp.Op != ast.OpEq {
+		t.Errorf("expected ==, got %v", cmp.Op)
+	}
+	if _, ok := cmp.L.(*ast.Call); !ok {
+		t.Errorf("expected call on left, got %T", cmp.L)
+	}
+}
+
+func TestParseEqualsAsAssign(t *testing.T) {
+	// The paper writes "P = f_concatPath(...)"; single '=' is assignment.
+	r, err := ParseRule(`r p(@S,P) :- q(@S), P = f_concatPath(S, nil).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Body[1].(*ast.Assign); !ok {
+		t.Errorf("term 1 = %T, want Assign", r.Body[1])
+	}
+}
+
+func TestParseWatchAndQueryColon(t *testing.T) {
+	prog, err := Parse(`
+watch(path).
+watch(link).
+Query: sp(@S,@D).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Watches) != 2 || prog.Watches[0] != "path" {
+		t.Errorf("watches = %v", prog.Watches)
+	}
+	if prog.Query == nil || prog.Query.Pred != "sp" {
+		t.Errorf("query = %v", prog.Query)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	prog, err := Parse(`
+// line comment
+/* block
+   comment */
+p(@S) :- q(@S). // trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Errorf("rules = %d", len(prog.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`p(@S) :- q(@S)`,                    // missing dot
+		`p(@S :- q(@S).`,                    // missing paren
+		`p(@S) :- .`,                        // empty body term
+		`materialize(link, 3).`,             // wrong arity
+		`materialize(link, x, 1, keys(1)).`, // bad lifetime
+		`materialize(link, 1, 1, keys(0)).`, // key < 1
+		`query p(@S). query q(@S).`,         // double query
+		`lbl p(a).`,                         // labelled fact
+		`p(X).`,                             // non-ground fact
+		`p("unterminated).`,                 // bad string
+		`/* unterminated`,                   // bad comment
+		`p(@S) :- q(@S), @.`,                // @ without name
+		`p(1 ? 2).`,                         // bad char
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("p(@S) :-\n  q(@S)")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var perr *Error
+	if !asError(err, &perr) {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should carry position: %v", err)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestRoundTripString(t *testing.T) {
+	prog, err := Parse(shortestPathSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rendering and reparsing must produce the same structure.
+	prog2, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\nsource:\n%s", err, prog.String())
+	}
+	if len(prog2.Rules) != len(prog.Rules) || len(prog2.Materialized) != len(prog.Materialized) {
+		t.Errorf("roundtrip changed shape: %d rules vs %d", len(prog2.Rules), len(prog.Rules))
+	}
+	for i := range prog.Rules {
+		if prog.Rules[i].String() != prog2.Rules[i].String() {
+			t.Errorf("rule %d differs:\n%s\n%s", i, prog.Rules[i], prog2.Rules[i])
+		}
+	}
+}
+
+func TestParseAllAggregates(t *testing.T) {
+	for _, name := range []string{"min", "max", "count", "sum"} {
+		src := `r a(@S, ` + name + `<C>) :- b(@S, C).`
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if !prog.Rules[0].Head.HasAggregate() {
+			t.Errorf("%s: no aggregate detected", name)
+		}
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	prog, err := Parse(`f(a, 1, 2.5, 1e3, -4).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := prog.Facts[0].Fields
+	if fs[1].Int() != 1 || fs[2].Float() != 2.5 || fs[3].Float() != 1000 || fs[4].Int() != -4 {
+		t.Errorf("fields = %v", fs)
+	}
+}
+
+func TestParseAddressConstInRule(t *testing.T) {
+	r, err := ParseRule(`m magicDst(@D) :- periodic(@D), D == @d12.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := r.Body[1].(*ast.Select)
+	cmp := sel.Cond.(*ast.BinOp)
+	c := cmp.R.(*ast.Const)
+	if c.Value.Kind() != val.KindAddr || c.Value.Addr() != "d12" {
+		t.Errorf("address const = %v", c.Value)
+	}
+}
+
+func TestRuleClone(t *testing.T) {
+	r, err := ParseRule(`r p(@S, min<C>) :- #link(@S,@D,C), C := C + 1, C < 9, f_member(P, S) == false.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Clone()
+	if c.String() != r.String() {
+		t.Errorf("clone differs:\n%s\n%s", r, c)
+	}
+	// Mutating the clone must not affect the original.
+	c.Head.Pred = "q"
+	c.Body[0].(*ast.Atom).Pred = "other"
+	if r.Head.Pred != "p" || r.Body[0].(*ast.Atom).Pred != "link" {
+		t.Error("clone shares structure with original")
+	}
+}

@@ -1,0 +1,88 @@
+package planner
+
+import (
+	"ndlog/internal/ast"
+)
+
+// AggSelection describes an aggregate-selection opportunity
+// (Section 5.1.1): a monotonic aggregate over SrcPred whose running
+// state can prune SrcPred tuples that cannot contribute to the final
+// answer. For the shortest-path query,
+//
+//	SP3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).
+//
+// yields {SrcPred: path, AggPred: spCost, Func: min,
+// GroupCols: [0 1], ValueCol: 4}: a new path tuple whose cost is not
+// smaller than the current group minimum need not be stored or
+// propagated.
+type AggSelection struct {
+	SrcPred   string
+	AggPred   string
+	Func      ast.AggFunc
+	GroupCols []int // columns of SrcPred forming the aggregation group
+	ValueCol  int   // column of SrcPred being aggregated
+}
+
+// Prunable reports whether the aggregate admits selection-based pruning
+// (only min and max are monotonic in the required sense).
+func (s AggSelection) Prunable() bool {
+	return s.Func == ast.AggMin || s.Func == ast.AggMax
+}
+
+// DetectAggSelections finds aggregate-selection opportunities: rules with
+// a single aggregate head argument over a single body predicate whose
+// group-by variables map positionally onto body columns.
+func DetectAggSelections(p *ast.Program) []AggSelection {
+	var out []AggSelection
+	for _, r := range p.Rules {
+		sel, ok := detectOne(r)
+		if ok {
+			out = append(out, sel)
+		}
+	}
+	return out
+}
+
+func detectOne(r *ast.Rule) (AggSelection, bool) {
+	aggIdx := r.Head.AggregateIndex()
+	if aggIdx < 0 {
+		return AggSelection{}, false
+	}
+	atoms := r.Atoms()
+	if len(atoms) != 1 {
+		return AggSelection{}, false
+	}
+	src := atoms[0]
+	// Map body variable name -> first column position.
+	varCol := map[string]int{}
+	for i, a := range src.Args {
+		if v, ok := a.(*ast.Var); ok {
+			if _, seen := varCol[v.Name]; !seen {
+				varCol[v.Name] = i
+			}
+		}
+	}
+	sel := AggSelection{SrcPred: src.Pred, AggPred: r.Head.Pred}
+	for i, a := range r.Head.Args {
+		if i == aggIdx {
+			agg := a.(*ast.Agg)
+			sel.Func = agg.Func
+			col, ok := varCol[agg.Var]
+			if !ok {
+				return AggSelection{}, false
+			}
+			sel.ValueCol = col
+			continue
+		}
+		v, ok := a.(*ast.Var)
+		if !ok {
+			return AggSelection{}, false
+		}
+		col, ok := varCol[v.Name]
+		if !ok {
+			return AggSelection{}, false
+		}
+		sel.GroupCols = append(sel.GroupCols, col)
+	}
+	return sel, true
+}

@@ -1,0 +1,237 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"ndlog/internal/ast"
+)
+
+// Localize applies the rule-localization rewrite (Algorithm 2 of the
+// paper) to every non-local rule whose body spans both endpoints of its
+// link literal. The result is an equivalent program in which every rule
+// body is evaluable at a single node, and all communication consists of
+// shipping derived tuples across link edges (Claim 1).
+//
+// For a rule
+//
+//	h(@L,...) :- #link(@S,@D,...), p1(@S,...), ..., pi(@S,...),
+//	             pi+1(@D,...), ..., pn(@D,...), <assigns/selects>
+//
+// the rewrite produces
+//
+//	hD(@D,@S,V...) :- #link(@S,@D,...), p1(@S,...), ..., pi(@S,...).
+//	h(@L,...)      :- hD(@D,@S,V...), pi+1(@D,...), ..., pn(@D,...),
+//	                  <assigns/selects>.
+//
+// where V... are the source-side bindings needed downstream. When @L=@S
+// the second rule evaluates at @D and its head tuple travels back across
+// the (bidirectional) link to @S. Algorithm 2 expresses that return trip
+// with an explicit reverse #link(@D,@S) literal; we omit the literal —
+// the engine routes head tuples to their location specifier directly,
+// and the physical message still traverses the same (bidirectional)
+// link — so that directed link relations keep their semantics. The
+// localized program is therefore internal: it satisfies single-site
+// bodies (EvalSite) but its back-propagating rules are not re-checked
+// against Definition 5.
+func Localize(p *ast.Program) (*ast.Program, error) {
+	out := p.Clone()
+	var rules []*ast.Rule
+	gen := 0
+	for _, r := range out.Rules {
+		if bodySingleSite(r) {
+			rules = append(rules, r)
+			continue
+		}
+		split, err := localizeRule(r, &gen)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, split...)
+	}
+	out.Rules = rules
+	return out, nil
+}
+
+// bodySingleSite reports whether all body atoms share one location
+// variable, i.e. the body is already evaluable at a single node.
+func bodySingleSite(r *ast.Rule) bool {
+	atoms := r.Atoms()
+	if len(atoms) == 0 {
+		return true
+	}
+	loc := atoms[0].LocVar()
+	for _, a := range atoms[1:] {
+		if a.LocVar() != loc {
+			return false
+		}
+	}
+	return true
+}
+
+func localizeRule(r *ast.Rule, gen *int) ([]*ast.Rule, error) {
+	link := r.LinkAtom()
+	if link == nil {
+		return nil, checkErrf(r, "cannot localize: body spans multiple locations without a link literal")
+	}
+	srcVar := link.LocVar()
+	dstVar := ""
+	if v, ok := link.Args[1].(*ast.Var); ok {
+		dstVar = v.Name
+	}
+	if srcVar == "" || dstVar == "" {
+		return nil, checkErrf(r, "cannot localize: link endpoints must be variables")
+	}
+
+	var srcAtoms, dstAtoms []*ast.Atom
+	for _, a := range r.Atoms() {
+		if a == link {
+			continue
+		}
+		switch a.LocVar() {
+		case srcVar:
+			srcAtoms = append(srcAtoms, a)
+		case dstVar:
+			dstAtoms = append(dstAtoms, a)
+		default:
+			return nil, checkErrf(r, "atom %s not at a link endpoint", a.Pred)
+		}
+	}
+
+	// Source-side bindings: variables bound by the link or source atoms.
+	srcBound := atomVars(append([]*ast.Atom{link}, srcAtoms...))
+
+	// Variables needed downstream of the shipping step.
+	needed := map[string]bool{}
+	for _, a := range dstAtoms {
+		mergeVars(needed, atomVars([]*ast.Atom{a}))
+	}
+	for _, t := range r.Body {
+		switch x := t.(type) {
+		case *ast.Assign:
+			mergeVars(needed, ast.Vars(x.Expr))
+		case *ast.Select:
+			mergeVars(needed, ast.Vars(x.Cond))
+		}
+	}
+	for _, arg := range r.Head.Args {
+		mergeVars(needed, ast.Vars(arg))
+	}
+
+	carry := []string{}
+	for name := range needed {
+		if srcBound[name] && name != srcVar && name != dstVar {
+			carry = append(carry, name)
+		}
+	}
+	sort.Strings(carry)
+
+	// Which variables are address-typed in the original rule (written @X
+	// in some atom position)? Preserve that marking in generated atoms.
+	isAddr := addrVarSet(r)
+
+	*gen++
+	shipPred := fmt.Sprintf("%s_d%d", r.Head.Pred, *gen)
+	mkVar := func(name string) *ast.Var {
+		return &ast.Var{Name: name, Loc: isAddr[name]}
+	}
+
+	shipArgs := []ast.Expr{
+		&ast.Var{Name: dstVar, Loc: true},
+		&ast.Var{Name: srcVar, Loc: true},
+	}
+	for _, name := range carry {
+		shipArgs = append(shipArgs, mkVar(name))
+	}
+
+	label := r.Label
+	if label == "" {
+		label = r.Head.Pred
+	}
+	shipRule := &ast.Rule{
+		Label: label + "a",
+		Head:  ast.Atom{Pred: shipPred, Args: shipArgs},
+	}
+	shipRule.Body = append(shipRule.Body, cloneAtomExpr(link))
+	for _, a := range srcAtoms {
+		shipRule.Body = append(shipRule.Body, cloneAtomExpr(a))
+	}
+
+	finalRule := &ast.Rule{
+		Label: label + "b",
+		Head:  *cloneAtomExpr(&r.Head),
+	}
+	shipRef := &ast.Atom{Pred: shipPred, Args: cloneExprs(shipArgs)}
+	finalRule.Body = append(finalRule.Body, shipRef)
+	for _, a := range dstAtoms {
+		finalRule.Body = append(finalRule.Body, cloneAtomExpr(a))
+	}
+	for _, t := range r.Body {
+		switch t.(type) {
+		case *ast.Assign, *ast.Select:
+			finalRule.Body = append(finalRule.Body, cloneTermExpr(t))
+		}
+	}
+	return []*ast.Rule{shipRule, finalRule}, nil
+}
+
+func atomVars(atoms []*ast.Atom) map[string]bool {
+	out := map[string]bool{}
+	for _, a := range atoms {
+		for _, arg := range a.Args {
+			mergeVars(out, ast.Vars(arg))
+		}
+	}
+	return out
+}
+
+func mergeVars(dst, src map[string]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+func addrVarSet(r *ast.Rule) map[string]bool {
+	out := map[string]bool{}
+	atoms := append([]*ast.Atom{&r.Head}, r.Atoms()...)
+	for _, a := range atoms {
+		for _, arg := range a.Args {
+			if v, ok := arg.(*ast.Var); ok && v.Loc {
+				out[v.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+func cloneAtomExpr(a *ast.Atom) *ast.Atom {
+	rr := &ast.Rule{Head: *a}
+	return &rr.Clone().Head
+}
+
+func cloneExprs(es []ast.Expr) []ast.Expr {
+	a := &ast.Atom{Args: es}
+	return cloneAtomExpr(a).Args
+}
+
+func cloneTermExpr(t ast.Term) ast.Term {
+	r := &ast.Rule{Body: []ast.Term{t}}
+	return r.Clone().Body[0]
+}
+
+// EvalSite returns the location variable at which a (localized) rule's
+// body executes, and whether the head is shipped elsewhere. It errors if
+// the body is not single-site (callers must Localize first).
+func EvalSite(r *ast.Rule) (bodyLoc string, remoteHead bool, err error) {
+	atoms := r.Atoms()
+	if len(atoms) == 0 {
+		return r.Head.LocVar(), false, nil
+	}
+	bodyLoc = atoms[0].LocVar()
+	for _, a := range atoms[1:] {
+		if a.LocVar() != bodyLoc {
+			return "", false, checkErrf(r, "body not single-site; localize first")
+		}
+	}
+	return bodyLoc, r.Head.LocVar() != bodyLoc, nil
+}

@@ -1,0 +1,213 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/val"
+)
+
+// MagicSets applies the magic-sets rewrite (Bancilhon et al., used in
+// Section 5.1.2 of the paper) to limit evaluation to the portion of the
+// data relevant to a query with constant bindings.
+//
+// The query atom carries the binding pattern: constant arguments are
+// bound ("b"), variables are free ("f"). For every reachable IDB
+// predicate with at least one bound argument, the rewrite:
+//
+//   - adds a magic predicate magic_p_<adornment>(bound args),
+//   - guards each rule defining p with the magic predicate, and
+//   - generates magic rules that push bindings sideways left-to-right
+//     through rule bodies,
+//   - seeds the magic table with the query constants.
+//
+// Restrictions (sufficient for the paper's workloads): one adornment per
+// predicate (a second distinct adornment is an error), no negation, and
+// a predicate's location argument must be bound whenever any argument is
+// bound — otherwise the rewritten program would not be location-specific
+// NDlog. The distributed experiments in Section 6.3 use the hand-written
+// magic program from the paper (SP1-SD..SP4-SD); this transform serves
+// the centralized engine and tooling.
+func MagicSets(p *ast.Program, query *ast.Atom) (*ast.Program, error) {
+	idb := IDBPredicates(p)
+	if !idb[query.Pred] {
+		return nil, fmt.Errorf("magic: query predicate %s has no rules", query.Pred)
+	}
+	qa := adornment(query.Args, map[string]bool{})
+	if !strings.Contains(qa, "b") {
+		// Nothing bound: rewrite is a no-op.
+		return p.Clone(), nil
+	}
+
+	out := p.Clone()
+	adorned := map[string]string{} // pred -> adornment
+	queue := []string{query.Pred}
+	adorned[query.Pred] = qa
+
+	var magicRules []*ast.Rule
+	guarded := map[string]bool{}
+
+	for len(queue) > 0 {
+		pred := queue[0]
+		queue = queue[1:]
+		ad := adorned[pred]
+		if ad[0] != 'b' {
+			return nil, fmt.Errorf("magic: predicate %s: location argument must be bound (adornment %s)", pred, ad)
+		}
+		for _, r := range out.Rules {
+			if r.Head.Pred != pred || guarded[ruleKey(r)] {
+				continue
+			}
+			guarded[ruleKey(r)] = true
+			mags, err := rewriteRule(r, ad, idb, adorned, &queue)
+			if err != nil {
+				return nil, err
+			}
+			magicRules = append(magicRules, mags...)
+		}
+	}
+	out.Rules = append(out.Rules, magicRules...)
+
+	// Seed the magic table with the query constants.
+	seedArgs := boundArgs(query.Args, qa)
+	seed, err := constAtomToFact(magicName(query.Pred, qa), seedArgs)
+	if err != nil {
+		return nil, fmt.Errorf("magic: query seed: %w", err)
+	}
+	out.Facts = append(out.Facts, seed)
+	return out, nil
+}
+
+func ruleKey(r *ast.Rule) string { return r.String() }
+
+// adornment computes the b/f pattern of an atom's arguments given the
+// set of currently bound variables.
+func adornment(args []ast.Expr, bound map[string]bool) string {
+	var b strings.Builder
+	for _, a := range args {
+		switch x := a.(type) {
+		case *ast.Const:
+			b.WriteByte('b')
+		case *ast.Var:
+			if bound[x.Name] {
+				b.WriteByte('b')
+			} else {
+				b.WriteByte('f')
+			}
+		case *ast.Agg:
+			b.WriteByte('f')
+		default:
+			// Computed argument: bound iff all its variables are bound.
+			all := true
+			for name := range ast.Vars(a) {
+				if !bound[name] {
+					all = false
+					break
+				}
+			}
+			if all {
+				b.WriteByte('b')
+			} else {
+				b.WriteByte('f')
+			}
+		}
+	}
+	return b.String()
+}
+
+func magicName(pred, ad string) string { return "magic_" + pred + "_" + ad }
+
+func boundArgs(args []ast.Expr, ad string) []ast.Expr {
+	var out []ast.Expr
+	for i, a := range args {
+		if i < len(ad) && ad[i] == 'b' {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// rewriteRule guards r with its magic predicate and emits magic rules
+// for the IDB atoms in its body (left-to-right sideways information
+// passing). It mutates r in place (r belongs to a cloned program).
+func rewriteRule(r *ast.Rule, ad string, idb map[string]bool, adorned map[string]string, queue *[]string) ([]*ast.Rule, error) {
+	headBound := map[string]bool{}
+	for i, a := range r.Head.Args {
+		if i < len(ad) && ad[i] == 'b' {
+			mergeVars(headBound, ast.Vars(a))
+		}
+	}
+	magicGuard := &ast.Atom{
+		Pred: magicName(r.Head.Pred, ad),
+		Args: cloneExprs(boundArgs(r.Head.Args, ad)),
+	}
+
+	bound := map[string]bool{}
+	mergeVars(bound, headBound)
+
+	var magicRules []*ast.Rule
+	var prefix []ast.Term // terms preceding the current atom
+	for _, t := range r.Body {
+		switch x := t.(type) {
+		case *ast.Atom:
+			if idb[x.Pred] {
+				sub := adornment(x.Args, bound)
+				if strings.Contains(sub, "b") {
+					if prev, ok := adorned[x.Pred]; ok && prev != sub {
+						return nil, fmt.Errorf("magic: predicate %s reached with adornments %s and %s; one adornment supported", x.Pred, prev, sub)
+					}
+					if _, ok := adorned[x.Pred]; !ok {
+						adorned[x.Pred] = sub
+						*queue = append(*queue, x.Pred)
+					}
+					mr := &ast.Rule{
+						Label: "m_" + r.Label + "_" + x.Pred,
+						Head: ast.Atom{
+							Pred: magicName(x.Pred, sub),
+							Args: cloneExprs(boundArgs(x.Args, sub)),
+						},
+					}
+					mr.Body = append(mr.Body, cloneTermExpr(magicGuard))
+					for _, pt := range prefix {
+						mr.Body = append(mr.Body, cloneTermExpr(pt))
+					}
+					magicRules = append(magicRules, mr)
+				}
+			}
+			mergeVars(bound, atomVars([]*ast.Atom{x}))
+		case *ast.Assign:
+			bound[x.Var] = true
+		}
+		prefix = append(prefix, t)
+	}
+
+	// Guard the original rule.
+	r.Body = append([]ast.Term{magicGuard}, r.Body...)
+	return magicRules, nil
+}
+
+// constAtomToFact converts an all-constant argument list into a fact.
+func constAtomToFact(pred string, args []ast.Expr) (val.Tuple, error) {
+	fields := make([]val.Value, 0, len(args))
+	for _, a := range args {
+		c, ok := a.(*ast.Const)
+		if !ok {
+			return val.Tuple{}, fmt.Errorf("argument %s is not a constant", a)
+		}
+		fields = append(fields, c.Value)
+	}
+	return val.NewTuple(pred, fields...), nil
+}
+
+// Reorder swaps two body terms of a rule in place. Predicate reordering
+// (Section 5.1.2) turns a right-recursive rule into a left-recursive one
+// and switches the query's search strategy between bottom-up and
+// top-down.
+func Reorder(r *ast.Rule, i, j int) error {
+	if i < 0 || j < 0 || i >= len(r.Body) || j >= len(r.Body) {
+		return fmt.Errorf("planner: reorder %d,%d out of range (body has %d terms)", i, j, len(r.Body))
+	}
+	r.Body[i], r.Body[j] = r.Body[j], r.Body[i]
+	return nil
+}

@@ -1,0 +1,150 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/val"
+)
+
+const reachSrc = `
+r1 reach(@S, @D) :- edge(@S, @D).
+r2 reach(@S, @D) :- edge(@S, @Z), reach(@Z, @D).
+`
+
+func TestMagicSetsReachable(t *testing.T) {
+	p := parse(t, reachSrc)
+	q := &ast.Atom{Pred: "reach", Args: []ast.Expr{
+		&ast.Const{Value: val.NewAddr("a")},
+		&ast.Var{Name: "D"},
+	}}
+	mp, err := MagicSets(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mp.String()
+	// Both rules guarded by the magic predicate.
+	if got := strings.Count(s, "magic_reach_bf("); got < 3 {
+		t.Errorf("expected >=3 magic_reach_bf references, got %d:\n%s", got, s)
+	}
+	// Seed fact present.
+	found := false
+	for _, f := range mp.Facts {
+		if f.Pred == "magic_reach_bf" && f.Fields[0].Addr() == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing seed fact:\n%s", s)
+	}
+	// The recursive rule must generate a magic rule passing bindings
+	// through the edge atom.
+	var magicRule *ast.Rule
+	for _, r := range mp.Rules {
+		if r.Head.Pred == "magic_reach_bf" {
+			magicRule = r
+		}
+	}
+	if magicRule == nil {
+		t.Fatalf("no magic rule:\n%s", s)
+	}
+	preds := []string{}
+	for _, a := range magicRule.Atoms() {
+		preds = append(preds, a.Pred)
+	}
+	if len(preds) != 2 || preds[0] != "magic_reach_bf" || preds[1] != "edge" {
+		t.Errorf("magic rule body = %v: %s", preds, magicRule)
+	}
+}
+
+func TestMagicSetsNoBindings(t *testing.T) {
+	p := parse(t, reachSrc)
+	q := &ast.Atom{Pred: "reach", Args: []ast.Expr{
+		&ast.Var{Name: "S"}, &ast.Var{Name: "D"},
+	}}
+	mp, err := MagicSets(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(mp.String(), "magic_") {
+		t.Errorf("free query must be a no-op:\n%s", mp)
+	}
+}
+
+func TestMagicSetsUnknownPred(t *testing.T) {
+	p := parse(t, reachSrc)
+	q := &ast.Atom{Pred: "nosuch", Args: []ast.Expr{&ast.Const{Value: val.NewAddr("a")}}}
+	if _, err := MagicSets(p, q); err == nil {
+		t.Error("unknown predicate accepted")
+	}
+}
+
+func TestMagicSetsFreeLocationRejected(t *testing.T) {
+	// Binding only the second argument leaves the location free, which
+	// would break location specificity.
+	p := parse(t, reachSrc)
+	q := &ast.Atom{Pred: "reach", Args: []ast.Expr{
+		&ast.Var{Name: "S"},
+		&ast.Const{Value: val.NewAddr("d")},
+	}}
+	if _, err := MagicSets(p, q); err == nil {
+		t.Error("free-location adornment accepted")
+	}
+}
+
+func TestMagicSetsConflictingAdornments(t *testing.T) {
+	p := parse(t, `
+r1 a(@S, @D) :- b(@S, @D).
+r2 top(@S) :- a(@S, @D), seed(@S).
+r3 top(@S) :- seed2(@S, @D), a(@D, @S2), S2 == S.
+`)
+	// From top^b: r2 calls a with bf; r3 calls a with bf too (D bound by
+	// seed2)? D is bound after seed2, S2 free -> bf. Same adornment, OK.
+	q := &ast.Atom{Pred: "top", Args: []ast.Expr{&ast.Const{Value: val.NewAddr("x")}}}
+	if _, err := MagicSets(p, q); err != nil {
+		t.Fatalf("same adornment should be fine: %v", err)
+	}
+	// Now force a genuine conflict: a called once as bf and once as bb.
+	p2 := parse(t, `
+r1 a(@S, @D) :- b(@S, @D).
+r2 top(@S) :- a(@S, @D), seed(@S).
+r3 top(@S) :- a(@S, @s99), seed(@S).
+`)
+	if _, err := MagicSets(p2, q); err == nil {
+		t.Error("conflicting adornments accepted")
+	}
+}
+
+func TestMagicSetsShortestPathStyle(t *testing.T) {
+	// Destination-bound magic on the paper's SP program (Section 5.1.2,
+	// SP1-D): pathDst computed top-down from a bound source.
+	p := parse(t, `
+SP1 pathDst(@D,@S,@D,C) :- #link(@S,@D,C).
+SP2 pathDst(@D,@S,@Z1,C) :- pathDst(@Z,@S,@Z1,C1), #link(@Z,@D,C2), C := C1 + C2.
+`)
+	q := &ast.Atom{Pred: "pathDst", Args: []ast.Expr{
+		&ast.Var{Name: "D", Loc: true},
+		&ast.Const{Value: val.NewAddr("src7")},
+		&ast.Var{Name: "Z"},
+		&ast.Var{Name: "C"},
+	}}
+	// Location (first arg) free, S bound -> rejected by NDlog constraint.
+	if _, err := MagicSets(p, q); err == nil {
+		t.Error("expected rejection: location argument unbound")
+	}
+	// Binding the location works.
+	q2 := &ast.Atom{Pred: "pathDst", Args: []ast.Expr{
+		&ast.Const{Value: val.NewAddr("dst3")},
+		&ast.Var{Name: "S"},
+		&ast.Var{Name: "Z"},
+		&ast.Var{Name: "C"},
+	}}
+	mp, err := MagicSets(p, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mp.String(), "magic_pathDst_bfff(") {
+		t.Errorf("missing adorned magic predicate:\n%s", mp)
+	}
+}

@@ -1,0 +1,102 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+
+	"ndlog/internal/parser"
+	"ndlog/internal/planner"
+)
+
+// TestAllProgramsParseAndCheck keeps every shipped program text in sync
+// with the parser and the Definition-6 checker.
+func TestAllProgramsParseAndCheck(t *testing.T) {
+	srcs := map[string]string{
+		"ShortestPath":         ShortestPath(""),
+		"ShortestPath(_lat)":   ShortestPath("_lat"),
+		"ShortestPathDV":       ShortestPathDV(""),
+		"MagicShortestPath":    MagicShortestPath(),
+		"CachedSourceRoute":    CachedSourceRoute(),
+		"Multicast+DV":         Combine(ShortestPathDV(""), Multicast()),
+		"ShortestPath combine": Combine(ShortestPath("_a"), ShortestPath("_b")),
+	}
+	for name, src := range srcs {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+			continue
+		}
+		if err := planner.Check(prog); err != nil {
+			t.Errorf("%s: check: %v", name, err)
+		}
+		if prog.Query == nil {
+			t.Errorf("%s: no query", name)
+		}
+		if _, err := planner.Localize(prog); err != nil {
+			t.Errorf("%s: localize: %v", name, err)
+		}
+	}
+}
+
+func TestSuffixedPredicates(t *testing.T) {
+	src := ShortestPath("_rnd")
+	for _, want := range []string{"link_rnd", "path_rnd", "spCost_rnd", "shortestPath_rnd", "sp1_rnd"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("suffixed program missing %q", want)
+		}
+	}
+}
+
+func TestCombineKeepsLastQueryOnly(t *testing.T) {
+	src := Combine(ShortestPath("_a"), ShortestPath("_b"))
+	if got := strings.Count(src, "query "); got != 1 {
+		t.Errorf("combined program has %d query statements", got)
+	}
+	if !strings.Contains(src, "query shortestPath_b") {
+		t.Error("last program's query should survive")
+	}
+}
+
+func TestFactBuilders(t *testing.T) {
+	l := LinkFact("link", "a", "b", 2.5)
+	if l.Pred != "link" || l.Fields[0].Addr() != "a" || l.Fields[2].Float() != 2.5 {
+		t.Errorf("LinkFact = %v", l)
+	}
+	if f := MagicSrcFact("s"); f.Key() != "magicSrc(s)" {
+		t.Errorf("MagicSrcFact = %v", f)
+	}
+	if f := MagicDstFact("d"); f.Key() != "magicDst(d)" {
+		t.Errorf("MagicDstFact = %v", f)
+	}
+	if f := MagicQueryFact("s", "d"); f.Key() != "magicQuery(s,d)" {
+		t.Errorf("MagicQueryFact = %v", f)
+	}
+	if f := MemberFact("n", "r"); f.Key() != "member(n,r)" {
+		t.Errorf("MemberFact = %v", f)
+	}
+}
+
+// TestAggSelDetectableInShippedPrograms: the optimizer hooks the shipped
+// programs rely on must stay detectable after parsing.
+func TestAggSelDetectableInShippedPrograms(t *testing.T) {
+	for name, src := range map[string]string{
+		"ShortestPath":      ShortestPath(""),
+		"ShortestPathDV":    ShortestPathDV(""),
+		"CachedSourceRoute": CachedSourceRoute(),
+	} {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sels := planner.DetectAggSelections(prog)
+		prunable := 0
+		for _, s := range sels {
+			if s.Prunable() {
+				prunable++
+			}
+		}
+		if prunable == 0 {
+			t.Errorf("%s: no prunable aggregate selection detected", name)
+		}
+	}
+}

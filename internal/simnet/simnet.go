@@ -1,0 +1,321 @@
+// Package simnet is a deterministic discrete-event network simulator.
+// It stands in for the paper's 100-machine Emulab deployment: nodes
+// exchange messages over point-to-point links with configurable latency
+// and loss, message delivery preserves per-link FIFO order (required by
+// Theorem 4), and every transmitted byte is accounted so the experiment
+// harness can reproduce the paper's bandwidth figures.
+//
+// Virtual time is in seconds. Handlers run instantaneously in virtual
+// time; processing cost is modelled by scheduling delayed sends/timers.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID names a simulated node.
+type NodeID string
+
+// Handler receives messages and timer callbacks for one node.
+type Handler interface {
+	// HandleMessage is invoked at virtual time now when payload arrives
+	// from a neighbor.
+	HandleMessage(now float64, from NodeID, payload []byte)
+	// HandleTimer is invoked at virtual time now for a timer scheduled
+	// with ScheduleTimer.
+	HandleTimer(now float64, key string)
+}
+
+// HeaderBytes is the fixed per-message overhead added to every payload
+// when accounting bandwidth (an IP+UDP-like header).
+const HeaderBytes = 28
+
+// ErrNoLink is returned when sending between unconnected nodes.
+var ErrNoLink = errors.New("simnet: no link between nodes")
+
+// ErrUnknownNode is returned for operations on unregistered nodes.
+var ErrUnknownNode = errors.New("simnet: unknown node")
+
+type link struct {
+	latency float64
+	loss    float64 // probability a message is dropped
+	// lastArrival enforces FIFO delivery even when extra per-message
+	// delays vary: a message never arrives before its predecessor.
+	lastArrival float64
+}
+
+type eventKind uint8
+
+const (
+	evDeliver eventKind = iota
+	evTimer
+	evFunc
+)
+
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for equal times
+	kind eventKind
+
+	// deliver
+	from, to NodeID
+	payload  []byte
+
+	// timer
+	node NodeID
+	key  string
+
+	// func
+	fn func(now float64)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// SendObserver is notified of every message transmission, for bandwidth
+// accounting. bytes includes HeaderBytes.
+type SendObserver func(now float64, from, to NodeID, bytes int)
+
+// Sim is the simulator. The zero value is not usable; call New.
+type Sim struct {
+	now      float64
+	seq      uint64
+	queue    eventQueue
+	nodes    map[NodeID]Handler
+	links    map[NodeID]map[NodeID]*link
+	rng      *rand.Rand
+	observer SendObserver
+
+	// Stats.
+	messages     int64
+	bytes        int64
+	dropped      int64
+	lastDelivery float64
+}
+
+// New creates a simulator with the given seed for loss decisions.
+func New(seed int64) *Sim {
+	return &Sim{
+		nodes: map[NodeID]Handler{},
+		links: map[NodeID]map[NodeID]*link{},
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Messages returns the number of delivered messages.
+func (s *Sim) Messages() int64 { return s.messages }
+
+// Bytes returns the total bytes transmitted (including headers).
+func (s *Sim) Bytes() int64 { return s.bytes }
+
+// Dropped returns the number of lost messages.
+func (s *Sim) Dropped() int64 { return s.dropped }
+
+// LastDelivery returns the virtual time of the most recent message
+// delivery — the convergence time once the simulation quiesces.
+func (s *Sim) LastDelivery() float64 { return s.lastDelivery }
+
+// Observe registers an observer called on every send.
+func (s *Sim) Observe(fn SendObserver) { s.observer = fn }
+
+// AddNode registers a node and its handler.
+func (s *Sim) AddNode(id NodeID, h Handler) {
+	s.nodes[id] = h
+	if s.links[id] == nil {
+		s.links[id] = map[NodeID]*link{}
+	}
+}
+
+// Nodes returns all registered node IDs in sorted order.
+func (s *Sim) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddLink creates a bidirectional link with the given one-way latency in
+// seconds and loss probability in [0,1).
+func (s *Sim) AddLink(a, b NodeID, latency, loss float64) error {
+	if _, ok := s.nodes[a]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, a)
+	}
+	if _, ok := s.nodes[b]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, b)
+	}
+	s.links[a][b] = &link{latency: latency, loss: loss}
+	s.links[b][a] = &link{latency: latency, loss: loss}
+	return nil
+}
+
+// RemoveLink tears down both directions of a link.
+func (s *Sim) RemoveLink(a, b NodeID) {
+	delete(s.links[a], b)
+	delete(s.links[b], a)
+}
+
+// SetLatency updates both directions of an existing link.
+func (s *Sim) SetLatency(a, b NodeID, latency float64) error {
+	la, ok := s.links[a][b]
+	if !ok {
+		return fmt.Errorf("%w: %s-%s", ErrNoLink, a, b)
+	}
+	lb := s.links[b][a]
+	la.latency = latency
+	lb.latency = latency
+	return nil
+}
+
+// HasLink reports whether a direct link exists.
+func (s *Sim) HasLink(a, b NodeID) bool {
+	_, ok := s.links[a][b]
+	return ok
+}
+
+// Neighbors returns the nodes directly linked to id, sorted.
+func (s *Sim) Neighbors(id NodeID) []NodeID {
+	out := make([]NodeID, 0, len(s.links[id]))
+	for n := range s.links[id] {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Send transmits payload from->to along a direct link, with an optional
+// extra sender-side delay (e.g. per-tuple processing cost or batching).
+// The message arrives after delay + link latency, never earlier than a
+// previously sent message on the same directed link (FIFO).
+func (s *Sim) Send(from, to NodeID, payload []byte, delay float64) error {
+	l, ok := s.links[from][to]
+	if !ok {
+		return fmt.Errorf("%w: %s->%s", ErrNoLink, from, to)
+	}
+	size := len(payload) + HeaderBytes
+	s.bytes += int64(size)
+	if s.observer != nil {
+		s.observer(s.now, from, to, size)
+	}
+	if l.loss > 0 && s.rng.Float64() < l.loss {
+		s.dropped++
+		return nil
+	}
+	arrive := s.now + delay + l.latency
+	if arrive < l.lastArrival {
+		arrive = l.lastArrival
+	}
+	l.lastArrival = arrive
+	s.push(&event{time: arrive, kind: evDeliver, from: from, to: to, payload: payload})
+	return nil
+}
+
+// SendLoopback delivers a payload to the sending node itself after
+// delay; used for locally recursive derivations that should consume
+// virtual processing time.
+func (s *Sim) SendLoopback(node NodeID, payload []byte, delay float64) {
+	s.push(&event{time: s.now + delay, kind: evDeliver, from: node, to: node, payload: payload})
+}
+
+// ScheduleTimer fires Handler.HandleTimer(key) on node after delay.
+func (s *Sim) ScheduleTimer(node NodeID, delay float64, key string) {
+	s.push(&event{time: s.now + delay, kind: evTimer, node: node, key: key})
+}
+
+// ScheduleFunc runs fn at now+delay. The harness uses this to inject
+// link updates mid-run.
+func (s *Sim) ScheduleFunc(delay float64, fn func(now float64)) {
+	s.push(&event{time: s.now + delay, kind: evFunc, fn: fn})
+}
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// Step processes one event. It returns false when the queue is empty.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	if e.time > s.now {
+		s.now = e.time
+	}
+	switch e.kind {
+	case evDeliver:
+		h, ok := s.nodes[e.to]
+		if !ok {
+			return true // node removed mid-flight; drop
+		}
+		s.messages++
+		s.lastDelivery = s.now
+		h.HandleMessage(s.now, e.from, e.payload)
+	case evTimer:
+		if h, ok := s.nodes[e.node]; ok {
+			h.HandleTimer(s.now, e.key)
+		}
+	case evFunc:
+		e.fn(s.now)
+	}
+	return true
+}
+
+// Run processes events until the queue is empty or virtual time would
+// exceed until (events beyond the horizon stay queued). It returns the
+// number of events processed.
+func (s *Sim) Run(until float64) int {
+	n := 0
+	for s.queue.Len() > 0 {
+		if s.queue[0].time > until {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if s.now < until && s.queue.Len() == 0 {
+		s.now = until
+	}
+	return n
+}
+
+// RunToQuiescence processes events until none remain or maxEvents is
+// reached (a safety valve against non-terminating programs). It reports
+// whether the network quiesced.
+func (s *Sim) RunToQuiescence(maxEvents int) bool {
+	for i := 0; i < maxEvents; i++ {
+		if !s.Step() {
+			return true
+		}
+	}
+	return s.queue.Len() == 0
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.queue.Len() }

@@ -1,0 +1,202 @@
+package table
+
+import (
+	"ndlog/internal/ast"
+	"ndlog/internal/val"
+)
+
+// GroupAgg maintains incremental aggregates (min, max, count, sum) per
+// group, supporting both insertions and deletions as required for
+// materialized-view maintenance under the bursty update model (paper
+// Section 4, citing Ramakrishnan et al. [27]).
+//
+// For min/max, each group keeps a multiset of contributing values; a
+// deletion of the current extreme triggers a rescan of the group (the
+// O(n)-space / cheap-recompute strategy the paper cites).
+type GroupAgg struct {
+	fn     ast.AggFunc
+	groups map[string]*aggGroup
+}
+
+type aggGroup struct {
+	// values maps a value's canonical key to its value and multiplicity.
+	values map[string]*aggVal
+	n      int     // total multiplicity (for count)
+	sum    float64 // running sum (for sum)
+	sumInt int64
+	allInt bool
+	cur    val.Value // current aggregate output
+	valid  bool
+}
+
+type aggVal struct {
+	v     val.Value
+	count int
+}
+
+// NewGroupAgg creates an incremental aggregate for fn.
+func NewGroupAgg(fn ast.AggFunc) *GroupAgg {
+	return &GroupAgg{fn: fn, groups: map[string]*aggGroup{}}
+}
+
+// Change describes how a group's aggregate moved after an Add or Remove.
+type Change struct {
+	// HadOld is true if the group had an aggregate value before.
+	HadOld bool
+	Old    val.Value
+	// HasNew is true if the group still has an aggregate value after.
+	HasNew bool
+	New    val.Value
+}
+
+// Changed reports whether the visible aggregate value changed.
+func (c Change) Changed() bool {
+	if c.HadOld != c.HasNew {
+		return true
+	}
+	if !c.HadOld {
+		return false
+	}
+	return !c.Old.Equal(c.New)
+}
+
+func (g *GroupAgg) group(key string) *aggGroup {
+	gr, ok := g.groups[key]
+	if !ok {
+		gr = &aggGroup{values: map[string]*aggVal{}, allInt: true}
+		g.groups[key] = gr
+	}
+	return gr
+}
+
+// Add inserts one occurrence of v into the group.
+func (g *GroupAgg) Add(key string, v val.Value) Change {
+	gr := g.group(key)
+	ch := Change{HadOld: gr.valid, Old: gr.cur}
+	k := v.String()
+	if av, ok := gr.values[k]; ok {
+		av.count++
+	} else {
+		gr.values[k] = &aggVal{v: v, count: 1}
+	}
+	gr.n++
+	if v.Kind() == val.KindInt {
+		gr.sumInt += v.Int()
+	} else {
+		gr.allInt = false
+	}
+	if v.IsNumeric() {
+		gr.sum += v.Float()
+	}
+	g.recomputeCheap(gr, v, true)
+	ch.HasNew, ch.New = gr.valid, gr.cur
+	return ch
+}
+
+// Remove deletes one occurrence of v from the group. Removing a value
+// that is not present is a no-op reporting no change.
+func (g *GroupAgg) Remove(key string, v val.Value) Change {
+	gr, ok := g.groups[key]
+	if !ok {
+		return Change{}
+	}
+	k := v.String()
+	av, ok := gr.values[k]
+	if !ok {
+		return Change{HadOld: gr.valid, Old: gr.cur, HasNew: gr.valid, New: gr.cur}
+	}
+	ch := Change{HadOld: gr.valid, Old: gr.cur}
+	av.count--
+	if av.count == 0 {
+		delete(gr.values, k)
+	}
+	gr.n--
+	if v.Kind() == val.KindInt {
+		gr.sumInt -= v.Int()
+	}
+	if v.IsNumeric() {
+		gr.sum -= v.Float()
+	}
+	if gr.n == 0 {
+		delete(g.groups, key)
+		return Change{HadOld: ch.HadOld, Old: ch.Old}
+	}
+	g.recompute(gr)
+	ch.HasNew, ch.New = gr.valid, gr.cur
+	return ch
+}
+
+// Current returns the group's aggregate value, if it has one.
+func (g *GroupAgg) Current(key string) (val.Value, bool) {
+	gr, ok := g.groups[key]
+	if !ok || !gr.valid {
+		return val.Nil, false
+	}
+	return gr.cur, true
+}
+
+// Groups returns the number of live groups.
+func (g *GroupAgg) Groups() int { return len(g.groups) }
+
+// recomputeCheap updates the aggregate after inserting v without a full
+// scan: min/max only move toward v, count/sum are running totals.
+func (g *GroupAgg) recomputeCheap(gr *aggGroup, v val.Value, _ bool) {
+	switch g.fn {
+	case ast.AggMin:
+		if !gr.valid || v.Compare(gr.cur) < 0 {
+			gr.cur = v
+		}
+	case ast.AggMax:
+		if !gr.valid || v.Compare(gr.cur) > 0 {
+			gr.cur = v
+		}
+	case ast.AggCount:
+		gr.cur = val.NewInt(int64(gr.n))
+	case ast.AggSum:
+		gr.cur = gr.sumValue()
+	}
+	gr.valid = true
+}
+
+// recompute rebuilds the aggregate after a deletion. Count and sum stay
+// incremental; min/max rescan the group's multiset only when needed.
+func (g *GroupAgg) recompute(gr *aggGroup) {
+	switch g.fn {
+	case ast.AggCount:
+		gr.cur = val.NewInt(int64(gr.n))
+		gr.valid = true
+		return
+	case ast.AggSum:
+		gr.cur = gr.sumValue()
+		gr.valid = true
+		return
+	}
+	// min/max: if the removed value was not the current extreme, nothing
+	// changed; Remove callers cannot tell us that cheaply, so check
+	// whether the current extreme is still present before rescanning.
+	if gr.valid {
+		if av, ok := gr.values[gr.cur.String()]; ok && av.count > 0 {
+			return
+		}
+	}
+	first := true
+	for _, av := range gr.values {
+		if first {
+			gr.cur = av.v
+			first = false
+			continue
+		}
+		c := av.v.Compare(gr.cur)
+		if (g.fn == ast.AggMin && c < 0) || (g.fn == ast.AggMax && c > 0) {
+			gr.cur = av.v
+		}
+	}
+	gr.valid = !first
+}
+
+func (gr *aggGroup) sumValue() val.Value {
+	if gr.allInt {
+		return val.NewInt(gr.sumInt)
+	}
+	return val.NewFloat(gr.sum)
+}

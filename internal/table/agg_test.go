@@ -1,0 +1,205 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/val"
+)
+
+func TestGroupAggMinBasic(t *testing.T) {
+	g := NewGroupAgg(ast.AggMin)
+	ch := g.Add("k", val.NewInt(5))
+	if ch.HadOld || !ch.HasNew || ch.New.Int() != 5 || !ch.Changed() {
+		t.Fatalf("first add change = %+v", ch)
+	}
+	ch = g.Add("k", val.NewInt(7))
+	if ch.Changed() {
+		t.Errorf("min unchanged by larger value: %+v", ch)
+	}
+	ch = g.Add("k", val.NewInt(2))
+	if !ch.Changed() || ch.New.Int() != 2 || ch.Old.Int() != 5 {
+		t.Errorf("min should drop to 2: %+v", ch)
+	}
+	// Removing a non-extreme value leaves the min alone.
+	ch = g.Remove("k", val.NewInt(7))
+	if ch.Changed() {
+		t.Errorf("removing non-min changed: %+v", ch)
+	}
+	// Removing the min rescans.
+	ch = g.Remove("k", val.NewInt(2))
+	if !ch.Changed() || ch.New.Int() != 5 {
+		t.Errorf("removing min: %+v", ch)
+	}
+	// Removing the last value empties the group.
+	ch = g.Remove("k", val.NewInt(5))
+	if ch.HasNew || !ch.HadOld || !ch.Changed() {
+		t.Errorf("removing last: %+v", ch)
+	}
+	if g.Groups() != 0 {
+		t.Errorf("groups = %d", g.Groups())
+	}
+	if _, ok := g.Current("k"); ok {
+		t.Error("Current on empty group should fail")
+	}
+}
+
+func TestGroupAggMinDuplicates(t *testing.T) {
+	g := NewGroupAgg(ast.AggMin)
+	g.Add("k", val.NewInt(3))
+	g.Add("k", val.NewInt(3))
+	// One of two copies removed: min survives.
+	ch := g.Remove("k", val.NewInt(3))
+	if ch.Changed() {
+		t.Errorf("multiset remove changed min: %+v", ch)
+	}
+	v, ok := g.Current("k")
+	if !ok || v.Int() != 3 {
+		t.Errorf("Current = %v, %v", v, ok)
+	}
+}
+
+func TestGroupAggMax(t *testing.T) {
+	g := NewGroupAgg(ast.AggMax)
+	g.Add("k", val.NewInt(1))
+	g.Add("k", val.NewInt(9))
+	g.Add("k", val.NewInt(4))
+	if v, _ := g.Current("k"); v.Int() != 9 {
+		t.Errorf("max = %v", v)
+	}
+	g.Remove("k", val.NewInt(9))
+	if v, _ := g.Current("k"); v.Int() != 4 {
+		t.Errorf("max after remove = %v", v)
+	}
+}
+
+func TestGroupAggCount(t *testing.T) {
+	g := NewGroupAgg(ast.AggCount)
+	g.Add("k", val.NewAddr("a"))
+	g.Add("k", val.NewAddr("b"))
+	g.Add("k", val.NewAddr("a"))
+	if v, _ := g.Current("k"); v.Int() != 3 {
+		t.Errorf("count = %v", v)
+	}
+	g.Remove("k", val.NewAddr("a"))
+	if v, _ := g.Current("k"); v.Int() != 2 {
+		t.Errorf("count after remove = %v", v)
+	}
+}
+
+func TestGroupAggSum(t *testing.T) {
+	g := NewGroupAgg(ast.AggSum)
+	g.Add("k", val.NewInt(3))
+	g.Add("k", val.NewInt(4))
+	if v, _ := g.Current("k"); v.Int() != 7 {
+		t.Errorf("int sum = %v", v)
+	}
+	g.Remove("k", val.NewInt(3))
+	if v, _ := g.Current("k"); v.Int() != 4 {
+		t.Errorf("int sum after remove = %v", v)
+	}
+	// Mixing in a float switches the sum to float.
+	g.Add("k", val.NewFloat(0.5))
+	if v, _ := g.Current("k"); v.Float() != 4.5 {
+		t.Errorf("float sum = %v", v)
+	}
+}
+
+func TestGroupAggSeparateGroups(t *testing.T) {
+	g := NewGroupAgg(ast.AggMin)
+	g.Add("x", val.NewInt(1))
+	g.Add("y", val.NewInt(2))
+	if g.Groups() != 2 {
+		t.Errorf("groups = %d", g.Groups())
+	}
+	vx, _ := g.Current("x")
+	vy, _ := g.Current("y")
+	if vx.Int() != 1 || vy.Int() != 2 {
+		t.Errorf("groups cross-talk: x=%v y=%v", vx, vy)
+	}
+}
+
+func TestGroupAggRemoveAbsent(t *testing.T) {
+	g := NewGroupAgg(ast.AggMin)
+	ch := g.Remove("nope", val.NewInt(1))
+	if ch.Changed() || ch.HadOld || ch.HasNew {
+		t.Errorf("remove from missing group: %+v", ch)
+	}
+	g.Add("k", val.NewInt(5))
+	ch = g.Remove("k", val.NewInt(99)) // value not in group
+	if ch.Changed() {
+		t.Errorf("remove of absent value changed: %+v", ch)
+	}
+}
+
+// TestGroupAggMatchesRecompute is a property test: a random interleaving
+// of adds and removes must always leave the incremental aggregate equal
+// to recomputing from the surviving multiset.
+func TestGroupAggMatchesRecompute(t *testing.T) {
+	for _, fn := range []ast.AggFunc{ast.AggMin, ast.AggMax, ast.AggCount, ast.AggSum} {
+		r := rand.New(rand.NewSource(int64(fn) + 99))
+		g := NewGroupAgg(fn)
+		live := map[int64]int{} // value -> multiplicity
+		for step := 0; step < 5000; step++ {
+			v := int64(r.Intn(40))
+			if r.Intn(3) > 0 || len(live) == 0 {
+				g.Add("k", val.NewInt(v))
+				live[v]++
+			} else {
+				// Remove a random live value (or occasionally an absent one).
+				if r.Intn(10) == 0 {
+					g.Remove("k", val.NewInt(1000)) // absent
+				} else {
+					for lv := range live {
+						g.Remove("k", val.NewInt(lv))
+						live[lv]--
+						if live[lv] == 0 {
+							delete(live, lv)
+						}
+						break
+					}
+				}
+			}
+			checkAgainstRecompute(t, fn, g, live)
+		}
+	}
+}
+
+func checkAgainstRecompute(t *testing.T, fn ast.AggFunc, g *GroupAgg, live map[int64]int) {
+	t.Helper()
+	got, ok := g.Current("k")
+	if len(live) == 0 {
+		if ok {
+			t.Fatalf("%v: aggregate %v on empty multiset", fn, got)
+		}
+		return
+	}
+	if !ok {
+		t.Fatalf("%v: no aggregate for non-empty multiset", fn)
+	}
+	var want int64
+	first := true
+	var n, sum int64
+	for v, c := range live {
+		n += int64(c)
+		sum += v * int64(c)
+		if first {
+			want = v
+			first = false
+			continue
+		}
+		if (fn == ast.AggMin && v < want) || (fn == ast.AggMax && v > want) {
+			want = v
+		}
+	}
+	switch fn {
+	case ast.AggCount:
+		want = n
+	case ast.AggSum:
+		want = sum
+	}
+	if got.Int() != want {
+		t.Fatalf("%v: incremental %d != recomputed %d (multiset %v)", fn, got.Int(), want, live)
+	}
+}

@@ -1,0 +1,387 @@
+// Package table implements the storage layer of the NDlog engine:
+// materialized relations with primary keys, secondary join indexes,
+// per-tuple derivation counts (the count algorithm of Gupta et al. used
+// in Section 4 of the paper), logical timestamps for pipelined
+// semi-naïve evaluation, and soft-state TTL expiry.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ndlog/internal/val"
+)
+
+// Entry is a stored tuple plus engine bookkeeping.
+type Entry struct {
+	Tuple val.Tuple
+	// Count is the number of outstanding derivations of this exact tuple
+	// (the count algorithm). The tuple is removed when Count reaches 0.
+	Count int
+	// Stamp is the logical timestamp assigned at arrival; PSN joins match
+	// a delta tuple only against entries with Stamp <= the delta's stamp,
+	// which replaces the Δp/p-old bookkeeping of classic semi-naïve.
+	Stamp uint64
+	// Expires is the virtual time at which this entry dies (soft state);
+	// negative means never (hard state).
+	Expires float64
+	// Adv records whether the engine has run this tuple's trigger strands
+	// (its "advertisement"). The aggregate-selection optimization defers
+	// or suppresses trigger strands for tuples that do not improve their
+	// group aggregate; Adv prevents double advertisement.
+	Adv bool
+}
+
+// Status describes the effect of an Insert.
+type Status uint8
+
+// Insert outcomes.
+const (
+	// StatusNew: no tuple with this primary key existed; the tuple was added.
+	StatusNew Status = iota
+	// StatusDuplicate: the identical tuple existed; its count was bumped.
+	StatusDuplicate
+	// StatusReplaced: a different tuple with the same primary key existed
+	// and was replaced (P2 key-update semantics: delete old, insert new).
+	StatusReplaced
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusNew:
+		return "new"
+	case StatusDuplicate:
+		return "duplicate"
+	case StatusReplaced:
+		return "replaced"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Table is one materialized relation at one node.
+type Table struct {
+	name    string
+	keys    []int // primary-key columns; empty means the whole row
+	ttl     float64
+	maxSize int
+
+	rows    map[string]*Entry
+	order   []string // insertion order of primary keys, for FIFO eviction
+	indexes map[string]*index
+}
+
+type index struct {
+	cols []int
+	m    map[string][]*Entry
+}
+
+// New creates a table. keys lists primary-key columns (0-based); empty
+// means the full row is the key. ttl < 0 means hard state. maxSize <= 0
+// means unbounded.
+func New(name string, keys []int, ttl float64, maxSize int) *Table {
+	return &Table{
+		name:    name,
+		keys:    append([]int(nil), keys...),
+		ttl:     ttl,
+		maxSize: maxSize,
+		rows:    map[string]*Entry{},
+		indexes: map[string]*index{},
+	}
+}
+
+// Name returns the relation name.
+func (t *Table) Name() string { return t.name }
+
+// Keys returns the primary-key columns (nil = whole row).
+func (t *Table) Keys() []int { return t.keys }
+
+// TTL returns the soft-state lifetime (<0 = hard state).
+func (t *Table) TTL() float64 { return t.ttl }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+func (t *Table) pk(tp val.Tuple) string {
+	if len(t.keys) == 0 {
+		return tp.Key()
+	}
+	return tp.KeyOn(t.keys)
+}
+
+// InsertResult reports what an Insert did, including any displaced tuples
+// the caller must propagate as deletions.
+type InsertResult struct {
+	Status   Status
+	Replaced val.Tuple // valid when Status == StatusReplaced
+	Evicted  []val.Tuple
+}
+
+// Insert adds tp with the given logical stamp at virtual time now.
+// Duplicate tuples bump the derivation count. A tuple with an existing
+// primary key but different fields replaces the old row; the displaced
+// tuple is returned so the engine can propagate its deletion.
+func (t *Table) Insert(tp val.Tuple, stamp uint64, now float64) InsertResult {
+	key := t.pk(tp)
+	expires := -1.0
+	if t.ttl >= 0 {
+		expires = now + t.ttl
+	}
+	if e, ok := t.rows[key]; ok {
+		if e.Tuple.Equal(tp) {
+			// Hard state counts derivations; soft state instead treats a
+			// duplicate insert as a refresh (the paper's soft-state
+			// model: facts are re-inserted with a new TTL, Section 4.2).
+			if t.ttl < 0 {
+				e.Count++
+			}
+			e.Expires = expires // re-insertion refreshes the TTL
+			return InsertResult{Status: StatusDuplicate}
+		}
+		old := e.Tuple
+		t.removeFromIndexes(e)
+		e.Tuple = tp
+		e.Count = 1
+		e.Stamp = stamp
+		e.Expires = expires
+		t.addToIndexes(e)
+		return InsertResult{Status: StatusReplaced, Replaced: old}
+	}
+	e := &Entry{Tuple: tp, Count: 1, Stamp: stamp, Expires: expires}
+	t.rows[key] = e
+	t.order = append(t.order, key)
+	t.addToIndexes(e)
+	res := InsertResult{Status: StatusNew}
+	if t.maxSize > 0 {
+		res.Evicted = t.evictOverflow()
+	}
+	return res
+}
+
+// evictOverflow drops the oldest rows until the table fits maxSize.
+func (t *Table) evictOverflow() []val.Tuple {
+	var evicted []val.Tuple
+	for len(t.rows) > t.maxSize && len(t.order) > 0 {
+		key := t.order[0]
+		t.order = t.order[1:]
+		e, ok := t.rows[key]
+		if !ok {
+			continue // stale order entry from an earlier delete
+		}
+		delete(t.rows, key)
+		t.removeFromIndexes(e)
+		evicted = append(evicted, e.Tuple)
+	}
+	return evicted
+}
+
+// Delete decrements the derivation count of tp. It returns (gone,
+// existed): existed is false if the exact tuple is not present; gone is
+// true when the count reached zero and the row was removed.
+func (t *Table) Delete(tp val.Tuple) (gone, existed bool) {
+	key := t.pk(tp)
+	e, ok := t.rows[key]
+	if !ok || !e.Tuple.Equal(tp) {
+		return false, false
+	}
+	e.Count--
+	if e.Count > 0 {
+		return false, true
+	}
+	delete(t.rows, key)
+	t.removeFromIndexes(e)
+	return true, true
+}
+
+// DeleteByKey removes the row whose primary key matches tp regardless of
+// its non-key fields and derivation count, returning the removed tuple.
+// Used for base-table updates where the new value displaces the old.
+func (t *Table) DeleteByKey(tp val.Tuple) (val.Tuple, bool) {
+	key := t.pk(tp)
+	e, ok := t.rows[key]
+	if !ok {
+		return val.Tuple{}, false
+	}
+	delete(t.rows, key)
+	t.removeFromIndexes(e)
+	return e.Tuple, true
+}
+
+// Contains reports whether the exact tuple is stored.
+func (t *Table) Contains(tp val.Tuple) bool {
+	e, ok := t.rows[t.pk(tp)]
+	return ok && e.Tuple.Equal(tp)
+}
+
+// Get returns the entry with tp's primary key, if any.
+func (t *Table) Get(tp val.Tuple) (*Entry, bool) {
+	e, ok := t.rows[t.pk(tp)]
+	return e, ok
+}
+
+// Count returns the derivation count of the exact tuple (0 if absent).
+func (t *Table) Count(tp val.Tuple) int {
+	e, ok := t.rows[t.pk(tp)]
+	if !ok || !e.Tuple.Equal(tp) {
+		return 0
+	}
+	return e.Count
+}
+
+// Scan visits every live entry; return false from fn to stop early.
+func (t *Table) Scan(fn func(*Entry) bool) {
+	for _, e := range t.rows {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Tuples returns all live tuples in deterministic (sorted-key) order.
+func (t *Table) Tuples() []val.Tuple {
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]val.Tuple, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, t.rows[k].Tuple)
+	}
+	return out
+}
+
+func indexSig(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+// EnsureIndex builds (or reuses) a secondary index over cols and returns
+// its signature for Match lookups.
+func (t *Table) EnsureIndex(cols []int) string {
+	sig := indexSig(cols)
+	if _, ok := t.indexes[sig]; ok {
+		return sig
+	}
+	idx := &index{cols: append([]int(nil), cols...), m: map[string][]*Entry{}}
+	for _, e := range t.rows {
+		k := e.Tuple.KeyOn(idx.cols)
+		idx.m[k] = append(idx.m[k], e)
+	}
+	t.indexes[sig] = idx
+	return sig
+}
+
+// Match returns the entries whose cols project to key. The index must
+// have been created with EnsureIndex.
+func (t *Table) Match(sig string, key string) []*Entry {
+	idx, ok := t.indexes[sig]
+	if !ok {
+		panic(fmt.Sprintf("table %s: Match on missing index %q", t.name, sig))
+	}
+	return idx.m[key]
+}
+
+func (t *Table) addToIndexes(e *Entry) {
+	for _, idx := range t.indexes {
+		k := e.Tuple.KeyOn(idx.cols)
+		idx.m[k] = append(idx.m[k], e)
+	}
+}
+
+func (t *Table) removeFromIndexes(e *Entry) {
+	for _, idx := range t.indexes {
+		k := e.Tuple.KeyOn(idx.cols)
+		list := idx.m[k]
+		for i := range list {
+			if list[i] == e {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(idx.m, k)
+		} else {
+			idx.m[k] = list
+		}
+	}
+}
+
+// ExpireBefore removes and returns all soft-state tuples whose TTL has
+// lapsed at virtual time now.
+func (t *Table) ExpireBefore(now float64) []val.Tuple {
+	if t.ttl < 0 {
+		return nil
+	}
+	var expired []val.Tuple
+	for k, e := range t.rows {
+		if e.Expires >= 0 && e.Expires <= now {
+			expired = append(expired, e.Tuple)
+			delete(t.rows, k)
+			t.removeFromIndexes(e)
+		}
+	}
+	return expired
+}
+
+// Catalog is the set of tables at one node.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+
+// Declare creates the table if absent and returns it. Redeclaring an
+// existing name returns the existing table unchanged.
+func (c *Catalog) Declare(name string, keys []int, ttl float64, maxSize int) *Table {
+	if t, ok := c.tables[name]; ok {
+		return t
+	}
+	t := New(name, keys, ttl, maxSize)
+	c.tables[name] = t
+	return t
+}
+
+// Get returns the table for name, creating a default (whole-row key,
+// hard-state) table on first use. NDlog predicates without a materialize
+// declaration behave this way in P2.
+func (c *Catalog) Get(name string) *Table {
+	if t, ok := c.tables[name]; ok {
+		return t
+	}
+	return c.Declare(name, nil, -1, 0)
+}
+
+// Has reports whether a table exists without creating it.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.tables[name]
+	return ok
+}
+
+// Names returns the declared table names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpireBefore expires soft state across all tables, returning the dead
+// tuples per table.
+func (c *Catalog) ExpireBefore(now float64) []val.Tuple {
+	var out []val.Tuple
+	for _, n := range c.Names() {
+		out = append(out, c.tables[n].ExpireBefore(now)...)
+	}
+	return out
+}

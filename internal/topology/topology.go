@@ -1,0 +1,413 @@
+// Package topology generates the network topologies of the paper's
+// evaluation (Section 6.1): GT-ITM-style transit-stub underlays and
+// random-neighbor overlays, link metrics (hop-count, latency,
+// reliability, random), the neighborhood function N(X,r) used by
+// cost-based optimization (Section 5.3), and a Dijkstra oracle that
+// supplies ground-truth shortest paths for the "% results" figures.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ndlog/internal/simnet"
+)
+
+// Underlay is the physical network: nodes and weighted edges where the
+// weight is one-way latency in seconds.
+type Underlay struct {
+	Nodes []simnet.NodeID
+	// Latency maps directed pairs; the graph is symmetric.
+	lat map[simnet.NodeID]map[simnet.NodeID]float64
+}
+
+// TransitStubParams configures the GT-ITM-style generator. The defaults
+// (via DefaultTransitStub) match Section 6.1: four transit nodes, three
+// stubs per transit, eight nodes per stub, 50/10/2 ms latencies.
+type TransitStubParams struct {
+	Transits       int
+	StubsPerTrans  int
+	NodesPerStub   int
+	TransitLatency float64 // transit <-> transit
+	StubLatency    float64 // transit <-> its stub nodes
+	IntraLatency   float64 // node <-> node within one stub
+}
+
+// DefaultTransitStub returns the paper's topology parameters (100 nodes:
+// 4 transit + 4*3*8 stub nodes).
+func DefaultTransitStub() TransitStubParams {
+	return TransitStubParams{
+		Transits:       4,
+		StubsPerTrans:  3,
+		NodesPerStub:   8,
+		TransitLatency: 0.050,
+		StubLatency:    0.010,
+		IntraLatency:   0.002,
+	}
+}
+
+// TransitStub builds the underlay: a full mesh of transit nodes, each
+// with StubsPerTrans stub networks; stub nodes form a clique wired to
+// their transit node.
+func TransitStub(p TransitStubParams) *Underlay {
+	u := &Underlay{lat: map[simnet.NodeID]map[simnet.NodeID]float64{}}
+	var transits []simnet.NodeID
+	for t := 0; t < p.Transits; t++ {
+		id := simnet.NodeID(fmt.Sprintf("t%d", t))
+		u.addNode(id)
+		transits = append(transits, id)
+	}
+	for i := 0; i < len(transits); i++ {
+		for j := i + 1; j < len(transits); j++ {
+			u.addEdge(transits[i], transits[j], p.TransitLatency)
+		}
+	}
+	for t := 0; t < p.Transits; t++ {
+		for s := 0; s < p.StubsPerTrans; s++ {
+			var stub []simnet.NodeID
+			for n := 0; n < p.NodesPerStub; n++ {
+				id := simnet.NodeID(fmt.Sprintf("n%d-%d-%d", t, s, n))
+				u.addNode(id)
+				stub = append(stub, id)
+				u.addEdge(id, transits[t], p.StubLatency)
+			}
+			for i := 0; i < len(stub); i++ {
+				for j := i + 1; j < len(stub); j++ {
+					u.addEdge(stub[i], stub[j], p.IntraLatency)
+				}
+			}
+		}
+	}
+	sort.Slice(u.Nodes, func(i, j int) bool { return u.Nodes[i] < u.Nodes[j] })
+	return u
+}
+
+func (u *Underlay) addNode(id simnet.NodeID) {
+	if _, ok := u.lat[id]; ok {
+		return
+	}
+	u.lat[id] = map[simnet.NodeID]float64{}
+	u.Nodes = append(u.Nodes, id)
+}
+
+func (u *Underlay) addEdge(a, b simnet.NodeID, latency float64) {
+	u.lat[a][b] = latency
+	u.lat[b][a] = latency
+}
+
+// Latency returns the direct-edge latency, or +Inf if not adjacent.
+func (u *Underlay) Latency(a, b simnet.NodeID) float64 {
+	if l, ok := u.lat[a][b]; ok {
+		return l
+	}
+	return math.Inf(1)
+}
+
+// PathLatency computes the shortest-path latency between two nodes over
+// the underlay (Dijkstra).
+func (u *Underlay) PathLatency(a, b simnet.NodeID) float64 {
+	dist := u.dijkstra(a)
+	if d, ok := dist[b]; ok {
+		return d
+	}
+	return math.Inf(1)
+}
+
+func (u *Underlay) dijkstra(src simnet.NodeID) map[simnet.NodeID]float64 {
+	dist := map[simnet.NodeID]float64{src: 0}
+	pq := &nodeHeap{{id: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeDist)
+		if it.d > dist[it.id] {
+			continue
+		}
+		for nb, w := range u.lat[it.id] {
+			nd := it.d + w
+			if cur, ok := dist[nb]; !ok || nd < cur {
+				dist[nb] = nd
+				heap.Push(pq, nodeDist{id: nb, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type nodeDist struct {
+	id simnet.NodeID
+	d  float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Metric identifies a link cost metric from the evaluation.
+type Metric uint8
+
+// The four metrics benchmarked in Section 6.2.
+const (
+	HopCount Metric = iota
+	Latency
+	Reliability
+	Random
+)
+
+var metricNames = map[Metric]string{
+	HopCount: "Hop-Count", Latency: "Latency",
+	Reliability: "Reliability", Random: "Random",
+}
+
+// String returns the metric's display name as used in the figures.
+func (m Metric) String() string {
+	if s, ok := metricNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("metric(%d)", uint8(m))
+}
+
+// AllMetrics lists the four benchmarked metrics in figure order.
+func AllMetrics() []Metric { return []Metric{HopCount, Latency, Reliability, Random} }
+
+// OverlayLink is one (bidirectional) overlay edge with its metric costs.
+type OverlayLink struct {
+	A, B simnet.NodeID
+	// LatencySec is the underlay shortest-path latency between A and B,
+	// which is also the simulated delivery latency of the overlay edge.
+	LatencySec float64
+	// Cost per metric. Costs are additive along paths; Reliability is
+	// -log(linkReliability) scaled, so minimizing the sum maximizes
+	// end-to-end reliability. Random is uniform in [1, 100).
+	Cost map[Metric]float64
+}
+
+// Overlay is the logical network the NDlog program runs on.
+type Overlay struct {
+	Nodes []simnet.NodeID
+	Links []OverlayLink // one entry per undirected edge
+	adj   map[simnet.NodeID]map[simnet.NodeID]*OverlayLink
+}
+
+// NewOverlay builds an overlay where every node picks degree random
+// neighbors (edges are symmetric; the realized degree is >= degree).
+// The construction retries until the overlay is connected so that
+// all-pairs experiments have complete answers.
+func NewOverlay(u *Underlay, degree int, seed int64) *Overlay {
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; ; attempt++ {
+		o := buildOverlay(u, degree, rng)
+		if o.Connected() {
+			return o
+		}
+		if attempt > 50 {
+			// Extremely unlikely with degree 4 on 100 nodes; fall back to
+			// the last attempt rather than looping forever.
+			return o
+		}
+	}
+}
+
+func buildOverlay(u *Underlay, degree int, rng *rand.Rand) *Overlay {
+	o := &Overlay{
+		Nodes: append([]simnet.NodeID(nil), u.Nodes...),
+		adj:   map[simnet.NodeID]map[simnet.NodeID]*OverlayLink{},
+	}
+	for _, n := range o.Nodes {
+		o.adj[n] = map[simnet.NodeID]*OverlayLink{}
+	}
+	// Precompute underlay distances from every node (cheap at 100 nodes).
+	dist := map[simnet.NodeID]map[simnet.NodeID]float64{}
+	for _, n := range o.Nodes {
+		dist[n] = u.dijkstra(n)
+	}
+	for _, n := range o.Nodes {
+		for len(o.adj[n]) < degree {
+			nb := o.Nodes[rng.Intn(len(o.Nodes))]
+			if nb == n {
+				continue
+			}
+			if _, dup := o.adj[n][nb]; dup {
+				continue
+			}
+			lat := dist[n][nb]
+			// Reliability: loss correlated with latency (Section 6.1) —
+			// longer links lose more. Convert to an additive cost.
+			loss := 0.01 + 2.0*lat
+			relCost := -math.Log(1 - loss)
+			link := &OverlayLink{
+				A: n, B: nb, LatencySec: lat,
+				Cost: map[Metric]float64{
+					HopCount:    1,
+					Latency:     lat * 1000, // milliseconds
+					Reliability: relCost * 1000,
+					Random:      1 + rng.Float64()*99,
+				},
+			}
+			o.Links = append(o.Links, *link)
+			o.adj[n][nb] = link
+			o.adj[nb][n] = link
+		}
+	}
+	return o
+}
+
+// Neighbors returns a node's overlay neighbors in sorted order.
+func (o *Overlay) Neighbors(n simnet.NodeID) []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(o.adj[n]))
+	for nb := range o.adj[n] {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Link returns the overlay link between two adjacent nodes.
+func (o *Overlay) Link(a, b simnet.NodeID) (*OverlayLink, bool) {
+	l, ok := o.adj[a][b]
+	return l, ok
+}
+
+// Connected reports whether the overlay is a single component.
+func (o *Overlay) Connected() bool {
+	if len(o.Nodes) == 0 {
+		return true
+	}
+	seen := map[simnet.NodeID]bool{o.Nodes[0]: true}
+	stack := []simnet.NodeID{o.Nodes[0]}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for nb := range o.adj[n] {
+			if !seen[nb] {
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return len(seen) == len(o.Nodes)
+}
+
+// Neighborhood computes the neighborhood function N(x, r): the number of
+// distinct nodes within r overlay hops of x (Section 5.3). N(x, 0) = 1.
+func (o *Overlay) Neighborhood(x simnet.NodeID, r int) int {
+	seen := map[simnet.NodeID]bool{x: true}
+	frontier := []simnet.NodeID{x}
+	for hop := 0; hop < r && len(frontier) > 0; hop++ {
+		var next []simnet.NodeID
+		for _, n := range frontier {
+			for nb := range o.adj[n] {
+				if !seen[nb] {
+					seen[nb] = true
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	return len(seen)
+}
+
+// HopDistance returns the overlay hop count between two nodes (BFS), or
+// -1 if unreachable.
+func (o *Overlay) HopDistance(a, b simnet.NodeID) int {
+	if a == b {
+		return 0
+	}
+	seen := map[simnet.NodeID]bool{a: true}
+	frontier := []simnet.NodeID{a}
+	for hop := 1; len(frontier) > 0; hop++ {
+		var next []simnet.NodeID
+		for _, n := range frontier {
+			for nb := range o.adj[n] {
+				if nb == b {
+					return hop
+				}
+				if !seen[nb] {
+					seen[nb] = true
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// HybridSplit solves the cost-based rewrite optimization of Section 5.3:
+// split the search radius dist(s,d) between s and d to minimize
+// N(s,rs) + N(d,rd) subject to rs + rd = dist(s,d). It returns the
+// optimal radii and the message-cost estimate.
+func (o *Overlay) HybridSplit(s, d simnet.NodeID) (rs, rd, cost int) {
+	total := o.HopDistance(s, d)
+	if total < 0 {
+		return -1, -1, -1
+	}
+	best := math.MaxInt
+	for r := 0; r <= total; r++ {
+		c := o.Neighborhood(s, r) + o.Neighborhood(d, total-r)
+		if c < best {
+			best = c
+			rs, rd = r, total-r
+		}
+	}
+	return rs, rd, best
+}
+
+// ShortestPaths runs Dijkstra over the overlay for one metric from src,
+// returning cost and predecessor maps. It is the oracle against which
+// the engine's distributed answers are verified.
+func (o *Overlay) ShortestPaths(src simnet.NodeID, m Metric) (map[simnet.NodeID]float64, map[simnet.NodeID]simnet.NodeID) {
+	dist := map[simnet.NodeID]float64{src: 0}
+	prev := map[simnet.NodeID]simnet.NodeID{}
+	pq := &nodeHeap{{id: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeDist)
+		if it.d > dist[it.id] {
+			continue
+		}
+		// Deterministic neighbor order for stable tie-breaking.
+		for _, nb := range o.Neighbors(it.id) {
+			l := o.adj[it.id][nb]
+			nd := it.d + l.Cost[m]
+			if cur, ok := dist[nb]; !ok || nd < cur {
+				dist[nb] = nd
+				prev[nb] = it.id
+				heap.Push(pq, nodeDist{id: nb, d: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// Line builds a simple path topology n0-n1-...-n(k-1) with uniform
+// latency, for tests and examples.
+func Line(k int, latency float64) *Overlay {
+	o := &Overlay{adj: map[simnet.NodeID]map[simnet.NodeID]*OverlayLink{}}
+	for i := 0; i < k; i++ {
+		id := simnet.NodeID(fmt.Sprintf("n%d", i))
+		o.Nodes = append(o.Nodes, id)
+		o.adj[id] = map[simnet.NodeID]*OverlayLink{}
+	}
+	for i := 0; i+1 < k; i++ {
+		a, b := o.Nodes[i], o.Nodes[i+1]
+		l := &OverlayLink{A: a, B: b, LatencySec: latency, Cost: map[Metric]float64{
+			HopCount: 1, Latency: latency * 1000, Reliability: 1, Random: 1,
+		}}
+		o.Links = append(o.Links, *l)
+		o.adj[a][b] = l
+		o.adj[b][a] = l
+	}
+	return o
+}

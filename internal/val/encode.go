@@ -1,0 +1,200 @@
+package val
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire encoding. Tuples cross simulated network links as byte slices so
+// that the experiment harness can account bandwidth the way the paper
+// does (kBps per node, aggregate MB). The format is a compact
+// tag-length-value encoding:
+//
+//	tuple  := pred(string) nfields(uvarint) value*
+//	value  := kind(byte) payload
+//	string := len(uvarint) bytes
+//
+// The encoding round-trips exactly (see TestEncodeRoundTrip) and is also
+// used by the opportunistic message-sharing optimizer to measure the
+// bytes saved by combining tuples.
+
+// ErrCorrupt is returned when decoding malformed bytes.
+var ErrCorrupt = errors.New("val: corrupt encoding")
+
+// AppendValue appends the wire encoding of v to dst and returns the
+// extended slice.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNil:
+	case KindAddr, KindString:
+		dst = appendString(dst, v.s)
+	case KindInt:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindBool:
+		dst = append(dst, byte(v.i))
+	case KindFloat:
+		dst = binary.AppendUvarint(dst, math.Float64bits(v.f))
+	case KindList:
+		dst = binary.AppendUvarint(dst, uint64(len(v.l)))
+		for i := range v.l {
+			dst = AppendValue(dst, v.l[i])
+		}
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeValue decodes one value from b, returning the value and the
+// number of bytes consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Nil, 0, ErrCorrupt
+	}
+	k := Kind(b[0])
+	n := 1
+	switch k {
+	case KindNil:
+		return Nil, n, nil
+	case KindAddr, KindString:
+		s, m, err := decodeString(b[n:])
+		if err != nil {
+			return Nil, 0, err
+		}
+		n += m
+		if k == KindAddr {
+			return NewAddr(s), n, nil
+		}
+		return NewString(s), n, nil
+	case KindInt:
+		i, m := binary.Varint(b[n:])
+		if m <= 0 {
+			return Nil, 0, ErrCorrupt
+		}
+		return NewInt(i), n + m, nil
+	case KindBool:
+		if len(b) < n+1 {
+			return Nil, 0, ErrCorrupt
+		}
+		return NewBool(b[n] != 0), n + 1, nil
+	case KindFloat:
+		u, m := binary.Uvarint(b[n:])
+		if m <= 0 {
+			return Nil, 0, ErrCorrupt
+		}
+		return NewFloat(math.Float64frombits(u)), n + m, nil
+	case KindList:
+		cnt, m := binary.Uvarint(b[n:])
+		if m <= 0 {
+			return Nil, 0, ErrCorrupt
+		}
+		n += m
+		vs := make([]Value, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			v, m, err := DecodeValue(b[n:])
+			if err != nil {
+				return Nil, 0, err
+			}
+			vs = append(vs, v)
+			n += m
+		}
+		return NewList(vs...), n, nil
+	}
+	return Nil, 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, k)
+}
+
+func decodeString(b []byte) (string, int, error) {
+	l, m := binary.Uvarint(b)
+	if m <= 0 || uint64(len(b)-m) < l {
+		return "", 0, ErrCorrupt
+	}
+	return string(b[m : m+int(l)]), m + int(l), nil
+}
+
+// AppendTuple appends the wire encoding of t to dst.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	dst = appendString(dst, t.Pred)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Fields)))
+	for i := range t.Fields {
+		dst = AppendValue(dst, t.Fields[i])
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from b, returning it and the bytes
+// consumed.
+func DecodeTuple(b []byte) (Tuple, int, error) {
+	pred, n, err := decodeString(b)
+	if err != nil {
+		return Tuple{}, 0, err
+	}
+	cnt, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return Tuple{}, 0, ErrCorrupt
+	}
+	n += m
+	fs := make([]Value, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		v, m, err := DecodeValue(b[n:])
+		if err != nil {
+			return Tuple{}, 0, err
+		}
+		fs = append(fs, v)
+		n += m
+	}
+	return Tuple{Pred: pred, Fields: fs}, n, nil
+}
+
+// EncodedSize returns the wire size of t in bytes without allocating the
+// encoding (used on hot accounting paths).
+func EncodedSize(t Tuple) int {
+	n := uvarintLen(uint64(len(t.Pred))) + len(t.Pred)
+	n += uvarintLen(uint64(len(t.Fields)))
+	for i := range t.Fields {
+		n += valueSize(t.Fields[i])
+	}
+	return n
+}
+
+func valueSize(v Value) int {
+	n := 1
+	switch v.kind {
+	case KindAddr, KindString:
+		n += uvarintLen(uint64(len(v.s))) + len(v.s)
+	case KindInt:
+		n += varintLen(v.i)
+	case KindBool:
+		n++
+	case KindFloat:
+		n += uvarintLen(math.Float64bits(v.f))
+	case KindList:
+		n += uvarintLen(uint64(len(v.l)))
+		for i := range v.l {
+			n += valueSize(v.l[i])
+		}
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(x int64) int {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}

@@ -1,0 +1,120 @@
+package val
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Nil,
+		NewAddr("node-17"),
+		NewInt(0), NewInt(-1), NewInt(1 << 40),
+		NewFloat(0), NewFloat(-2.5), NewFloat(1e300),
+		NewString(""), NewString("hello world"),
+		NewBool(true), NewBool(false),
+		NewList(),
+		NewList(NewInt(1), NewAddr("a"), NewList(NewString("deep"))),
+	}
+	for _, v := range vals {
+		b := AppendValue(nil, v)
+		got, n, err := DecodeValue(b)
+		if err != nil {
+			t.Fatalf("DecodeValue(%v): %v", v, err)
+		}
+		if n != len(b) {
+			t.Errorf("DecodeValue(%v) consumed %d of %d bytes", v, n, len(b))
+		}
+		if !got.Equal(v) {
+			t.Errorf("roundtrip %v -> %v", v, got)
+		}
+		if sz := valueSize(v); sz != len(b) {
+			t.Errorf("valueSize(%v) = %d, encoded %d", v, sz, len(b))
+		}
+	}
+}
+
+func TestTupleEncodeRoundTrip(t *testing.T) {
+	tp := NewTuple("path",
+		NewAddr("a"), NewAddr("d"), NewAddr("b"),
+		NewList(NewAddr("a"), NewAddr("b"), NewAddr("d")), NewInt(6))
+	b := AppendTuple(nil, tp)
+	got, n, err := DecodeTuple(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Errorf("consumed %d of %d", n, len(b))
+	}
+	if !got.Equal(tp) {
+		t.Errorf("roundtrip %v -> %v", tp, got)
+	}
+	if sz := EncodedSize(tp); sz != len(b) {
+		t.Errorf("EncodedSize = %d, encoded %d", sz, len(b))
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{byte(KindInt)},          // missing varint
+		{byte(KindAddr), 5, 'a'}, // truncated string
+		{byte(KindBool)},         // missing payload
+		{byte(KindFloat)},        // missing payload
+		{99},                     // unknown kind
+	}
+	for _, b := range cases {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("DecodeValue(%v) succeeded on corrupt input", b)
+		}
+	}
+	if _, _, err := DecodeTuple([]byte{10}); err == nil {
+		t.Error("DecodeTuple succeeded on truncated predicate")
+	}
+	if _, _, err := DecodeTuple(appendString(nil, "p")); err == nil {
+		t.Error("DecodeTuple succeeded without field count")
+	}
+	// Valid pred + count but truncated field.
+	b := appendString(nil, "p")
+	b = append(b, 1) // one field
+	if _, _, err := DecodeTuple(b); err == nil {
+		t.Error("DecodeTuple succeeded with missing field")
+	}
+}
+
+func TestPropertyEncodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		v := randomValue(r, 3)
+		b := AppendValue(nil, v)
+		got, n, err := DecodeValue(b)
+		if err != nil || n != len(b) || !got.Equal(v) {
+			t.Fatalf("roundtrip failed for %v: got %v, n=%d/%d, err=%v", v, got, n, len(b), err)
+		}
+		if valueSize(v) != len(b) {
+			t.Fatalf("valueSize mismatch for %v", v)
+		}
+	}
+}
+
+func BenchmarkEncodeTuple(b *testing.B) {
+	tp := NewTuple("path",
+		NewAddr("a"), NewAddr("d"), NewAddr("b"),
+		NewList(NewAddr("a"), NewAddr("b"), NewAddr("d")), NewInt(6))
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTuple(buf[:0], tp)
+	}
+}
+
+func BenchmarkTupleHash(b *testing.B) {
+	tp := NewTuple("path",
+		NewAddr("a"), NewAddr("d"), NewAddr("b"),
+		NewList(NewAddr("a"), NewAddr("b"), NewAddr("d")), NewInt(6))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tp.Hash()
+	}
+}

@@ -1,0 +1,109 @@
+package val
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Tuple is a fact: a predicate name plus a row of field values. Tuples are
+// immutable after construction; engine bookkeeping (timestamps, derivation
+// counts) lives in the storage layer, not here.
+type Tuple struct {
+	Pred   string
+	Fields []Value
+}
+
+// NewTuple builds a tuple for predicate pred with the given fields.
+func NewTuple(pred string, fields ...Value) Tuple {
+	return Tuple{Pred: pred, Fields: fields}
+}
+
+// Arity returns the number of fields.
+func (t Tuple) Arity() int { return len(t.Fields) }
+
+// Loc returns the location specifier (first field) as an address. It
+// panics if the tuple is empty or the first field is not an address;
+// planner checks guarantee this never happens for well-formed programs.
+func (t Tuple) Loc() string { return t.Fields[0].Addr() }
+
+// Equal reports whether two tuples have the same predicate and fields.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Pred != o.Pred || len(t.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		if !t.Fields[i].Equal(o.Fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a 64-bit hash of the whole tuple, consistent with Equal.
+func (t Tuple) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.Pred))
+	h.Write([]byte{0})
+	for i := range t.Fields {
+		t.Fields[i].hashInto(h)
+	}
+	return h.Sum64()
+}
+
+// Key returns a canonical string key for the tuple, usable as a map key.
+// Two tuples have the same Key iff they are Equal.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.WriteString(t.Pred)
+	b.WriteByte('(')
+	for i := range t.Fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.Fields[i].String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// KeyOn returns a canonical string key over the given field positions,
+// used for primary-key and join-index lookups.
+func (t Tuple) KeyOn(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if c < 0 || c >= len(t.Fields) {
+			b.WriteString("<oob>")
+			continue
+		}
+		b.WriteString(t.Fields[c].String())
+	}
+	return b.String()
+}
+
+// Project returns a new tuple for predicate pred holding the fields of t
+// at positions cols, in order.
+func (t Tuple) Project(pred string, cols []int) Tuple {
+	fs := make([]Value, len(cols))
+	for i, c := range cols {
+		fs[i] = t.Fields[c]
+	}
+	return Tuple{Pred: pred, Fields: fs}
+}
+
+// String renders the tuple in NDlog fact syntax.
+func (t Tuple) String() string { return t.Key() }
+
+// Clone returns a tuple with a copied field slice (values themselves are
+// immutable and shared).
+func (t Tuple) Clone() Tuple {
+	fs := make([]Value, len(t.Fields))
+	copy(fs, t.Fields)
+	return Tuple{Pred: t.Pred, Fields: fs}
+}
+
+// GoString implements fmt.GoStringer for readable test failures.
+func (t Tuple) GoString() string { return fmt.Sprintf("val.Tuple%s", t.Key()) }

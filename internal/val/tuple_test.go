@@ -1,0 +1,82 @@
+package val
+
+import "testing"
+
+func link(s, d string, c int64) Tuple {
+	return NewTuple("link", NewAddr(s), NewAddr(d), NewInt(c))
+}
+
+func TestTupleBasics(t *testing.T) {
+	tp := link("a", "b", 5)
+	if tp.Arity() != 3 {
+		t.Errorf("Arity = %d", tp.Arity())
+	}
+	if tp.Loc() != "a" {
+		t.Errorf("Loc = %q", tp.Loc())
+	}
+	if got, want := tp.String(), "link(a,b,5)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestTupleEqualHash(t *testing.T) {
+	a := link("a", "b", 5)
+	b := link("a", "b", 5)
+	c := link("a", "b", 6)
+	d := NewTuple("path", NewAddr("a"), NewAddr("b"), NewInt(5))
+	if !a.Equal(b) {
+		t.Error("identical tuples not Equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("distinct tuples Equal")
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("equal tuples hash differently")
+	}
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Error("Key not canonical")
+	}
+	short := NewTuple("link", NewAddr("a"))
+	if a.Equal(short) {
+		t.Error("different arity tuples Equal")
+	}
+}
+
+func TestTupleKeyOn(t *testing.T) {
+	a := link("a", "b", 5)
+	if got := a.KeyOn([]int{0, 1}); got != "a,b" {
+		t.Errorf("KeyOn(0,1) = %q", got)
+	}
+	if got := a.KeyOn([]int{2}); got != "5" {
+		t.Errorf("KeyOn(2) = %q", got)
+	}
+	if got := a.KeyOn([]int{5}); got != "<oob>" {
+		t.Errorf("KeyOn(oob) = %q", got)
+	}
+}
+
+func TestTupleProject(t *testing.T) {
+	a := link("a", "b", 5)
+	p := a.Project("rev", []int{1, 0})
+	if p.Pred != "rev" || p.Fields[0].Addr() != "b" || p.Fields[1].Addr() != "a" {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := link("a", "b", 5)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Fields[2] = NewInt(99)
+	if a.Fields[2].Int() != 5 {
+		t.Error("clone shares field storage")
+	}
+}
+
+func TestTupleGoString(t *testing.T) {
+	if got := link("a", "b", 1).GoString(); got != "val.Tuplelink(a,b,1)" {
+		t.Errorf("GoString = %q", got)
+	}
+}

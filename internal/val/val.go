@@ -1,0 +1,313 @@
+// Package val implements the typed value and tuple substrate used by the
+// NDlog engine. Values are a small tagged union covering the types that
+// appear in declarative networking programs: network addresses, integers,
+// floats, strings, booleans, and lists (used for path vectors).
+//
+// Values are immutable once constructed. Lists share backing storage, so
+// callers must not mutate the slice passed to NewList after construction.
+package val
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind uint8
+
+// The kinds of values NDlog programs manipulate.
+const (
+	KindNil Kind = iota
+	KindAddr
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindList
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindAddr:
+		return "addr"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single NDlog field value. The zero Value is Nil.
+type Value struct {
+	kind Kind
+	i    int64   // int and bool (0/1)
+	f    float64 // float
+	s    string  // string and addr
+	l    []Value // list
+}
+
+// Nil is the absent value.
+var Nil = Value{}
+
+// NewAddr returns an address value. Addresses identify network locations
+// and are the type carried by location-specifier attributes.
+func NewAddr(a string) Value { return Value{kind: KindAddr, s: a} }
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewList returns a list value wrapping vs. The caller must not mutate vs
+// afterwards.
+func NewList(vs ...Value) Value { return Value{kind: KindList, l: vs} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether v is the absent value.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// Addr returns the address payload. It panics if v is not an address.
+func (v Value) Addr() string {
+	if v.kind != KindAddr {
+		panic("val: Addr on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Int returns the integer payload. It panics if v is not an int.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic("val: Int on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the float payload, converting from int if necessary.
+// It panics if v is neither numeric kind.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic("val: Float on " + v.kind.String())
+}
+
+// Str returns the string payload. It panics if v is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("val: Str on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics if v is not a bool.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("val: Bool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// List returns the list payload. It panics if v is not a list. Callers
+// must not mutate the returned slice.
+func (v Value) List() []Value {
+	if v.kind != KindList {
+		panic("val: List on " + v.kind.String())
+	}
+	return v.l
+}
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports deep equality of two values. Ints and floats are equal
+// only if both kind and numeric value match (1 != 1.0), keeping equality
+// consistent with Hash.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNil:
+		return true
+	case KindAddr, KindString:
+		return v.s == o.s
+	case KindInt, KindBool:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindList:
+		if len(v.l) != len(o.l) {
+			return false
+		}
+		for i := range v.l {
+			if !v.l[i].Equal(o.l[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders values. Values of different kinds order by kind; within a
+// kind the natural order applies; lists order lexicographically. The result
+// is -1, 0, or +1. Numeric cross-kind comparison (int vs float) compares by
+// numeric value first and breaks ties by kind so that Compare remains a
+// total order consistent with Equal.
+func (v Value) Compare(o Value) int {
+	vn, on := v.IsNumeric(), o.IsNumeric()
+	if vn && on {
+		vf, of := v.Float(), o.Float()
+		switch {
+		case vf < of:
+			return -1
+		case vf > of:
+			return 1
+		}
+		return cmpInt(int64(v.kind), int64(o.kind))
+	}
+	if v.kind != o.kind {
+		return cmpInt(int64(v.kind), int64(o.kind))
+	}
+	switch v.kind {
+	case KindNil:
+		return 0
+	case KindAddr, KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool:
+		return cmpInt(v.i, o.i)
+	case KindList:
+		n := len(v.l)
+		if len(o.l) < n {
+			n = len(o.l)
+		}
+		for i := 0; i < n; i++ {
+			if c := v.l[i].Compare(o.l[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpInt(int64(len(v.l)), int64(len(o.l)))
+	}
+	return 0
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Hash returns a 64-bit hash of v, consistent with Equal.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	v.hashInto(h)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func (v Value) hashInto(h hasher) {
+	var tag [1]byte
+	tag[0] = byte(v.kind)
+	h.Write(tag[:])
+	switch v.kind {
+	case KindAddr, KindString:
+		h.Write([]byte(v.s))
+	case KindInt, KindBool:
+		var b [8]byte
+		putUint64(b[:], uint64(v.i))
+		h.Write(b[:])
+	case KindFloat:
+		var b [8]byte
+		putUint64(b[:], math.Float64bits(v.f))
+		h.Write(b[:])
+	case KindList:
+		for i := range v.l {
+			v.l[i].hashInto(h)
+		}
+	}
+}
+
+func putUint64(b []byte, x uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (8 * i))
+	}
+}
+
+// String renders v in NDlog literal syntax. Addresses print bare, strings
+// print quoted, lists print in brackets.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindAddr:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindList:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i := range v.l {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(v.l[i].String())
+		}
+		b.WriteByte(']')
+		return b.String()
+	}
+	return "?"
+}
+
+// SortValues sorts vs in place using Compare.
+func SortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+}
