@@ -1,0 +1,3 @@
+module ndlog
+
+go 1.24

@@ -146,7 +146,7 @@ func (c *Cluster) Tuples(pred string) []val.Tuple {
 	for _, id := range c.Nodes() {
 		out = append(out, c.nodes[id].Tuples(pred)...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 

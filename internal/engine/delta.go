@@ -46,7 +46,14 @@ const (
 
 // EncodeDeltas marshals a batch of deltas into a message payload.
 func EncodeDeltas(ds []Delta) []byte {
-	buf := []byte{byte(msgDeltas)}
+	// Presize for the common case (short tuples) so the append chain
+	// doesn't reallocate several times per message.
+	size := 11
+	for _, d := range ds {
+		size += 12 + len(d.Tuple.Pred) + 12*len(d.Tuple.Fields)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(msgDeltas))
 	buf = binary.AppendUvarint(buf, uint64(len(ds)))
 	for _, d := range ds {
 		if d.Sign >= 0 {

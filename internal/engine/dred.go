@@ -6,6 +6,66 @@ import (
 	"ndlog/internal/val"
 )
 
+// tupleSet is a set of tuples keyed by Tuple.Hash with collision chains
+// resolved by Tuple.Equal — the engine-side counterpart of the storage
+// layer's hash-first keying (no string keys).
+type tupleSet map[uint64][]val.Tuple
+
+func (s tupleSet) has(t val.Tuple) bool {
+	for _, u := range s[t.Hash()] {
+		if u.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts t, reporting whether it was newly added.
+func (s tupleSet) add(t val.Tuple) bool {
+	h := t.Hash()
+	for _, u := range s[h] {
+		if u.Equal(t) {
+			return false
+		}
+	}
+	s[h] = append(s[h], t)
+	return true
+}
+
+func (s tupleSet) remove(t val.Tuple) {
+	h := t.Hash()
+	chain := s[h]
+	for i, u := range chain {
+		if u.Equal(t) {
+			chain[i] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(s, h)
+	} else {
+		s[h] = chain
+	}
+}
+
+func (s tupleSet) len() int {
+	n := 0
+	for _, chain := range s {
+		n += len(chain)
+	}
+	return n
+}
+
+// each visits every tuple; the set must not be mutated during the walk.
+func (s tupleSet) each(fn func(val.Tuple)) {
+	for _, chain := range s {
+		for _, t := range chain {
+			fn(t)
+		}
+	}
+}
+
 // DeleteDRed retracts a base tuple using the delete-and-rederive (DRed)
 // strategy of Gupta, Mumick and Subrahmanian. The count algorithm the
 // paper adopts (Section 4) is exact only for acyclic derivations — the
@@ -35,13 +95,13 @@ func (c *Central) DeleteDRed(t val.Tuple) error {
 
 	// Phase 1: over-delete. Every tuple reached through any derivation
 	// chain from t is removed, whatever its count said.
-	overdeleted := map[string]val.Tuple{}
-	removed := map[string]bool{}
+	overdeleted := tupleSet{}
+	removed := tupleSet{}
 	queue := []val.Tuple{t}
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		if removed[u.Key()] {
+		if removed.has(u) {
 			continue
 		}
 		tbl := n.cat.Get(u.Pred)
@@ -50,13 +110,13 @@ func (c *Central) DeleteDRed(t val.Tuple) error {
 			continue
 		}
 		tbl.DeleteByKey(u)
-		removed[u.Key()] = true
+		removed.add(u)
 		if !u.Equal(t) {
-			overdeleted[u.Key()] = u
+			overdeleted.add(u)
 		}
 		ctx := &joinCtx{
 			cat: n.cat, ltBefore: noLimit, leAfter: noLimit,
-			deleted: &u, deletedPred: u.Pred,
+			deleted: &u, deletedPred: u.Pred, res: n.res,
 		}
 		for _, st := range n.prog.strands[u.Pred] {
 			if st.isAgg {
@@ -81,38 +141,40 @@ func (c *Central) DeleteDRed(t val.Tuple) error {
 			return nil
 		}
 		for _, h := range rederived {
-			delete(overdeleted, h.Key())
+			overdeleted.remove(h)
 			n.Push(Insert(h))
 		}
 		c.Fixpoint()
 		// Insertions may have re-derived further over-deleted tuples via
 		// the normal strands; drop any that are now present.
-		for k, h := range overdeleted {
+		var present []val.Tuple
+		overdeleted.each(func(h val.Tuple) {
 			if n.cat.Get(h.Pred).Contains(h) {
-				delete(overdeleted, k)
+				present = append(present, h)
 			}
+		})
+		for _, h := range present {
+			overdeleted.remove(h)
 		}
 	}
 }
 
 // rederiveOnce evaluates every rule once over the current state and
 // returns the over-deleted head tuples it can rebuild.
-func (c *Central) rederiveOnce(overdeleted map[string]val.Tuple) []val.Tuple {
+func (c *Central) rederiveOnce(overdeleted tupleSet) []val.Tuple {
 	n := c.node
 	var out []val.Tuple
-	found := map[string]bool{}
+	found := tupleSet{}
 	for _, sts := range n.prog.strands {
 		for _, st := range sts {
 			if st.isAgg || st.trigger != 0 {
 				continue // one full evaluation per rule: trigger atom 0
 			}
 			trigger := n.cat.Get(st.atoms[0].Pred)
-			ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit}
+			ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res}
 			for _, tu := range trigger.Tuples() {
 				err := st.run(ctx, tu, func(d derived) {
-					k := d.tuple.Key()
-					if _, ok := overdeleted[k]; ok && !found[k] {
-						found[k] = true
+					if overdeleted.has(d.tuple) && found.add(d.tuple) {
 						out = append(out, d.tuple)
 					}
 				})

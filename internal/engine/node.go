@@ -95,6 +95,17 @@ type Node struct {
 	// sels maps a source predicate to the aggregate-selection controls
 	// that prune it.
 	sels map[string][]*selControl
+
+	// res holds the per-strand table and secondary-index handles for
+	// this node, resolved once at construction so the join path never
+	// re-derives a table from a name or an index from a signature.
+	res map[*strand]*strandRes
+	// jc is the reusable join context (environment, binding trail); the
+	// engine is single-threaded per node, so one context serves every
+	// strand run.
+	jc joinCtx
+	// aggKeyScratch backs aggKeyVals between aggregate emits.
+	aggKeyScratch []val.Value
 }
 
 // OutDelta is a derived delta bound for another node, returned by
@@ -109,19 +120,45 @@ type OutDelta struct {
 type aggState struct {
 	st  *strand
 	agg *table.GroupAgg
-	// groupFields remembers the non-aggregate head fields per group key
-	// so retractions can reconstruct the old head tuple.
-	groupFields map[string][]val.Value
 }
 
 // selControl binds a prunable aggregate selection to its aggregate state
 // and the index used to find group members for re-advertisement.
 type selControl struct {
-	sel     planner.AggSelection
-	state   *aggState
-	idxSig  string
-	pending map[string]bool // groups awaiting a periodic flush
+	sel   planner.AggSelection
+	state *aggState
+	idx   *table.Index
+	// pending holds the groups awaiting a periodic flush, keyed by the
+	// hash of their group-column values with collision chains of the
+	// values themselves.
+	pending map[uint64][][]val.Value
 }
+
+// addPending marks a group (the projection of t onto the selection's
+// group columns) for the next periodic flush.
+func (c *selControl) addPending(t val.Tuple) {
+	key := projectVals(t, c.sel.GroupCols)
+	h := val.HashValues(key)
+	for _, k := range c.pending[h] {
+		if val.ValuesEqual(k, key) {
+			return
+		}
+	}
+	c.pending[h] = append(c.pending[h], key)
+}
+
+// projectVals copies the fields of t at cols (out-of-range columns are
+// skipped; planner checks keep them from occurring).
+func projectVals(t val.Tuple, cols []int) []val.Value {
+	out := make([]val.Value, 0, len(cols))
+	for _, c := range cols {
+		if c >= 0 && c < len(t.Fields) {
+			out = append(out, t.Fields[c])
+		}
+	}
+	return out
+}
+
 
 // newNode builds a node for a compiled program.
 func newNode(id string, prog *program, opts Options) *Node {
@@ -136,8 +173,25 @@ func newNode(id string, prog *program, opts Options) *Node {
 	for name, d := range prog.decls {
 		n.cat.Declare(name, d.Keys, d.Lifetime, d.MaxSize)
 	}
+	// Resolve every strand's per-atom table and index handles against
+	// this node's tables up front: the join path then probes by hash
+	// directly, with no per-probe name resolution or signature lookup.
+	n.res = map[*strand]*strandRes{}
 	for _, sts := range prog.strands {
 		for _, st := range sts {
+			if _, ok := n.res[st]; !ok {
+				r := &strandRes{
+					tbl: make([]*table.Table, len(st.atoms)),
+					idx: make([]*table.Index, len(st.atoms)),
+				}
+				for i, a := range st.atoms {
+					r.tbl[i] = n.cat.Get(a.Pred)
+					if i != st.trigger && len(st.probeCols[i]) > 0 {
+						r.idx[i] = r.tbl[i].EnsureIndex(st.probeCols[i])
+					}
+				}
+				n.res[st] = r
+			}
 			if !st.isAgg {
 				continue
 			}
@@ -146,12 +200,13 @@ func newNode(id string, prog *program, opts Options) *Node {
 			}
 			agg := st.rule.Head.Args[st.aggIdx].(*ast.Agg)
 			n.aggs[st.rule] = &aggState{
-				st:          st,
-				agg:         table.NewGroupAgg(agg.Func),
-				groupFields: map[string][]val.Value{},
+				st:  st,
+				agg: table.NewGroupAgg(agg.Func),
 			}
 		}
 	}
+	n.jc.cat = n.cat
+	n.jc.res = n.res
 	if opts.AggSel {
 		allowed := map[string]bool{}
 		for _, p := range opts.AggSelPreds {
@@ -171,8 +226,8 @@ func newNode(id string, prog *program, opts Options) *Node {
 			ctrl := &selControl{
 				sel:     sel,
 				state:   state,
-				idxSig:  n.cat.Get(sel.SrcPred).EnsureIndex(sel.GroupCols),
-				pending: map[string]bool{},
+				idx:     n.cat.Get(sel.SrcPred).EnsureIndex(sel.GroupCols),
+				pending: map[uint64][][]val.Value{},
 			}
 			n.sels[sel.SrcPred] = append(n.sels[sel.SrcPred], ctrl)
 		}
@@ -270,22 +325,13 @@ func (n *Node) process(d Delta) {
 // eviction. It returns false when the tuple is a duplicate.
 func (n *Node) storeInsert(t val.Tuple, stamp uint64) (val.Tuple, bool) {
 	tbl := n.cat.Get(t.Pred)
-	// Capture the displaced row before the insert so its advertisement
-	// state survives.
-	if e, ok := tbl.Get(t); ok && !e.Tuple.Equal(t) {
-		old := e.Tuple
-		wasAdv := e.Adv
-		oldStamp := e.Stamp
-		res := tbl.Insert(t, stamp, n.now)
-		if res.Status != table.StatusReplaced {
-			// Concurrent structure change cannot happen single-threaded.
-			panic("engine: expected replacement")
-		}
-		n.afterDelete(old, wasAdv, oldStamp)
-		return t, true
-	}
 	res := tbl.Insert(t, stamp, n.now)
 	switch res.Status {
+	case table.StatusReplaced:
+		// The displaced row's advertisement state rides along in the
+		// result, so no pre-insert lookup is needed.
+		n.afterDelete(res.Replaced, res.ReplacedAdv, res.ReplacedStamp)
+		return t, true
 	case table.StatusDuplicate:
 		// Soft-state refresh semantics (Section 4.2): re-inserting a
 		// soft-state tuple re-advertises it so downstream soft state is
@@ -332,7 +378,7 @@ func (n *Node) afterInsert(t val.Tuple, stamp uint64, ltBefore, leAfter int64) {
 		if n.opts.AggSelPeriod > 0 {
 			// Periodic mode: defer everything to the flush timer.
 			for _, c := range ctrls {
-				c.pending[t.KeyOn(c.sel.GroupCols)] = true
+				c.addPending(t)
 			}
 			advertise = false
 		} else {
@@ -363,18 +409,14 @@ func (n *Node) markAdv(t val.Tuple) {
 }
 
 func (n *Node) processDelete(t val.Tuple) {
-	tbl := n.cat.Get(t.Pred)
-	e, ok := tbl.Get(t)
-	if !ok || !e.Tuple.Equal(t) {
+	snap, gone, existed := n.cat.Get(t.Pred).DeleteE(t)
+	if !existed {
 		return // deletion of an unknown tuple: no-op
 	}
-	wasAdv := e.Adv
-	stamp := e.Stamp
-	gone, _ := tbl.Delete(t)
 	if !gone {
 		return // derivation count still positive
 	}
-	n.afterDelete(t, wasAdv, stamp)
+	n.afterDelete(t, snap.Adv, snap.Stamp)
 }
 
 // afterDelete propagates the retraction of a tuple that has left its
@@ -402,12 +444,11 @@ func (n *Node) afterDelete(t val.Tuple, wasAdv bool, stamp uint64) {
 	// Aggregate-selection fallback: the group's best may now be a stored
 	// tuple that was never advertised.
 	for _, c := range n.sels[t.Pred] {
-		key := t.KeyOn(c.sel.GroupCols)
 		if n.opts.AggSelPeriod > 0 {
-			c.pending[key] = true
+			c.addPending(t)
 			continue
 		}
-		n.readvertiseBest(c, key)
+		n.readvertiseBest(c, projectVals(t, c.sel.GroupCols))
 	}
 }
 
@@ -415,13 +456,12 @@ func (n *Node) afterDelete(t val.Tuple, wasAdv bool, stamp uint64) {
 // advertised yet. Only one representative per group runs its trigger
 // strands — matching immediate mode, where ties beyond the first
 // improvement are suppressed.
-func (n *Node) readvertiseBest(c *selControl, groupKey string) {
+func (n *Node) readvertiseBest(c *selControl, groupKey []val.Value) {
 	best, ok := c.state.agg.Current(groupKey)
 	if !ok {
 		return
 	}
-	tbl := n.cat.Get(c.sel.SrcPred)
-	entries := tbl.Match(c.idxSig, groupKey)
+	entries := c.idx.Match(groupKey)
 	// Sort for determinism (Match order is map-derived).
 	sorted := append([]*table.Entry(nil), entries...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Stamp < sorted[j].Stamp })
@@ -445,17 +485,22 @@ func (n *Node) readvertiseBest(c *selControl, groupKey string) {
 
 // FlushPending advertises the current best of every pending group
 // (periodic aggregate selections). The driver calls it on a timer.
+// Groups flush in sorted hash order (hashing is deterministic, so runs
+// are reproducible).
 func (n *Node) FlushPending() {
 	for _, ctrls := range n.sels {
 		for _, c := range ctrls {
-			keys := make([]string, 0, len(c.pending))
-			for k := range c.pending {
-				keys = append(keys, k)
+			hashes := make([]uint64, 0, len(c.pending))
+			for h := range c.pending {
+				hashes = append(hashes, h)
 			}
-			sort.Strings(keys)
-			c.pending = map[string]bool{}
-			for _, k := range keys {
-				n.readvertiseBest(c, k)
+			sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+			pending := c.pending
+			c.pending = map[uint64][][]val.Value{}
+			for _, h := range hashes {
+				for _, key := range pending[h] {
+					n.readvertiseBest(c, key)
+				}
 			}
 		}
 	}
@@ -466,7 +511,9 @@ func (n *Node) PendingGroups() int {
 	total := 0
 	for _, ctrls := range n.sels {
 		for _, c := range ctrls {
-			total += len(c.pending)
+			for _, chain := range c.pending {
+				total += len(chain)
+			}
 		}
 	}
 	return total
@@ -481,43 +528,51 @@ func (n *Node) PendingGroups() int {
 // contributed to any aggregate at all — a tuple feeding no group gives
 // aggregate selections nothing to prune on and must stay advertised.
 func (n *Node) runAggStrands(sign int8, t val.Tuple, ltBefore, leAfter int64) (improving, contributed bool) {
-	for _, st := range n.prog.strands[t.Pred] {
+	strands := n.prog.strands[t.Pred]
+	hasAgg := false
+	for _, st := range strands {
+		if st.isAgg {
+			hasAgg = true
+			break
+		}
+	}
+	if !hasAgg {
+		return false, false
+	}
+	ctx := n.resetCtx(ltBefore, leAfter, nil)
+	if sign < 0 {
+		ctx = n.resetCtx(noLimit, noLimit, &t)
+	}
+	for _, st := range strands {
 		if !st.isAgg {
 			continue
 		}
 		state := n.aggs[st.rule]
-		ctx := &joinCtx{cat: n.cat, ltBefore: ltBefore, leAfter: leAfter}
-		if sign < 0 {
-			ctx.ltBefore, ctx.leAfter = noLimit, noLimit
-			ctx.deleted = &t
-			ctx.deletedPred = t.Pred
-		}
 		err := st.run(ctx, t, func(d derived) {
 			contributed = true
 			fields := d.tuple.Fields
-			groupKey, groupVals := aggGroup(fields, st.aggIdx)
+			n.aggKeyScratch = aggKeyVals(fields, st.aggIdx, n.aggKeyScratch[:0])
+			groupKey := n.aggKeyScratch
 			value := fields[st.aggIdx]
 			var ch table.Change
 			if sign > 0 {
 				ch = state.agg.Add(groupKey, value)
-				state.groupFields[groupKey] = groupVals
 			} else {
 				ch = state.agg.Remove(groupKey, value)
 			}
-			if cur, ok := state.agg.Current(groupKey); ok && cur.Equal(value) && sign > 0 {
+			// The group's post-change aggregate is ch.New; the delta
+			// "improves" its group when it became that value.
+			if sign > 0 && ch.HasNew && ch.New.Equal(value) {
 				improving = improving || ch.Changed()
 			}
 			if !ch.Changed() {
 				return
 			}
 			if ch.HadOld {
-				n.route(derived{tuple: aggHead(d.tuple.Pred, groupVals, st.aggIdx, ch.Old), loc: d.loc}, -1, st.rule.Label)
+				n.route(derived{tuple: aggHead(d.tuple.Pred, fields, st.aggIdx, ch.Old), loc: d.loc}, -1, st.rule.Label)
 			}
 			if ch.HasNew {
-				n.route(derived{tuple: aggHead(d.tuple.Pred, groupVals, st.aggIdx, ch.New), loc: d.loc}, +1, st.rule.Label)
-			}
-			if !ch.HasNew {
-				delete(state.groupFields, groupKey)
+				n.route(derived{tuple: aggHead(d.tuple.Pred, fields, st.aggIdx, ch.New), loc: d.loc}, +1, st.rule.Label)
 			}
 		})
 		if err != nil {
@@ -527,38 +582,49 @@ func (n *Node) runAggStrands(sign int8, t val.Tuple, ltBefore, leAfter int64) (i
 	return improving, contributed
 }
 
-// aggGroup splits head fields into a group key (all but the aggregate
-// position) and the field slice.
-func aggGroup(fields []val.Value, aggIdx int) (string, []val.Value) {
-	parts := make([]string, 0, len(fields)-1)
+// aggKeyVals extracts the group key of an aggregate head into dst:
+// every field except the aggregate position, in order. The sequence
+// hashes exactly like the source tuple's projection onto the
+// selection's group columns (val.HashValues), which readvertiseBest
+// relies on. GroupAgg copies the key when it retains it, so callers may
+// pass reusable scratch.
+func aggKeyVals(fields []val.Value, aggIdx int, dst []val.Value) []val.Value {
 	for i, f := range fields {
 		if i == aggIdx {
 			continue
 		}
-		parts = append(parts, f.String())
+		dst = append(dst, f)
 	}
-	return joinKey(parts), append([]val.Value(nil), fields...)
+	return dst
 }
 
 // aggHead rebuilds an aggregate head tuple with the aggregate value
 // substituted at aggIdx.
-func aggHead(pred string, groupVals []val.Value, aggIdx int, aggVal val.Value) val.Tuple {
-	fields := make([]val.Value, len(groupVals))
-	copy(fields, groupVals)
-	fields[aggIdx] = aggVal
-	return val.NewTuple(pred, fields...)
+func aggHead(pred string, fields []val.Value, aggIdx int, aggVal val.Value) val.Tuple {
+	out := make([]val.Value, len(fields))
+	copy(out, fields)
+	out[aggIdx] = aggVal
+	return val.NewTuple(pred, out...)
+}
+
+// resetCtx prepares the node's reusable join context for one delta.
+func (n *Node) resetCtx(ltBefore, leAfter int64, deleted *val.Tuple) *joinCtx {
+	n.jc.ltBefore = ltBefore
+	n.jc.leAfter = leAfter
+	n.jc.deleted = deleted
+	n.jc.deletedPred = ""
+	if deleted != nil {
+		n.jc.deletedPred = deleted.Pred
+	}
+	return &n.jc
 }
 
 // runNormalStrands executes the non-aggregate trigger strands for a
 // delta. deleted is non-nil for retractions (self-join correction).
 func (n *Node) runNormalStrands(sign int8, t val.Tuple, ltBefore, leAfter int64, deleted *val.Tuple) {
-	ctx := &joinCtx{cat: n.cat, ltBefore: ltBefore, leAfter: leAfter}
+	ctx := n.resetCtx(ltBefore, leAfter, nil)
 	if sign < 0 {
-		ctx.ltBefore, ctx.leAfter = noLimit, noLimit
-		ctx.deleted = deleted
-		if deleted != nil {
-			ctx.deletedPred = deleted.Pred
-		}
+		ctx = n.resetCtx(noLimit, noLimit, deleted)
 	}
 	d := Delta{Sign: sign, Tuple: t}
 	for _, st := range n.prog.strands[t.Pred] {

@@ -26,25 +26,63 @@ type ShareConfig struct {
 	VaryCols map[string][]int
 }
 
-// shareKey computes the grouping key for a delta: share group plus the
-// non-varying columns. Deltas with equal keys combine.
-func (sc *ShareConfig) shareKey(d Delta) (string, bool) {
+// shareKey identifies one share partition: either a shareable group
+// (share-group name plus the non-varying column values, which deltas
+// must agree on to combine) or a solo partition holding one distinct
+// unshareable tuple. Partitions live in a hash-keyed map with collision
+// chains resolved by equal, mirroring the storage layer's hash-first
+// keying.
+type shareKey struct {
+	solo bool
+	base val.Tuple // solo only: the tuple itself
+	name string    // share group name
+	vals []val.Value // non-varying column values, in column order
+}
+
+func (k shareKey) hash() uint64 {
+	if k.solo {
+		return k.base.Hash() ^ 0x736f6c6f // flip bits so solo keys cannot shadow group keys
+	}
+	h := val.NewHash().AddString(k.name)
+	for _, v := range k.vals {
+		h = h.AddValue(v)
+	}
+	return h.Sum()
+}
+
+func (k shareKey) equal(o shareKey) bool {
+	if k.solo != o.solo {
+		return false
+	}
+	if k.solo {
+		return k.base.Equal(o.base)
+	}
+	return k.name == o.name && val.ValuesEqual(k.vals, o.vals)
+}
+
+// keyFor computes the share partition key for a delta.
+func (sc *ShareConfig) keyFor(d Delta) shareKey {
 	group, ok := sc.Group[d.Tuple.Pred]
 	if !ok {
-		return "", false
+		return shareKey{solo: true, base: d.Tuple}
 	}
-	vary := map[int]bool{}
-	for _, c := range sc.VaryCols[d.Tuple.Pred] {
-		vary[c] = true
+	vary := sc.VaryCols[d.Tuple.Pred]
+	isVary := func(i int) bool {
+		for _, c := range vary {
+			if c == i {
+				return true
+			}
+		}
+		return false
 	}
-	key := group
+	k := shareKey{name: group}
 	for i, f := range d.Tuple.Fields {
-		if vary[i] {
+		if isVary(i) {
 			continue
 		}
-		key += "\x00" + f.String()
+		k.vals = append(k.vals, f)
 	}
-	return key, true
+	return k
 }
 
 // EncodeShared marshals a batch of deltas with cross-tuple field
@@ -53,26 +91,35 @@ func (sc *ShareConfig) shareKey(d Delta) (string, bool) {
 // column values).
 func EncodeShared(sc *ShareConfig, ds []Delta) []byte {
 	type group struct {
-		key    string
+		key    shareKey
 		deltas []Delta
 	}
-	byKey := map[string]*group{}
+	byKey := map[uint64][]*group{}
 	var order []*group
 	for _, d := range ds {
-		key, ok := sc.shareKey(d)
-		if !ok {
-			key = "\x01solo\x00" + d.Tuple.Key() // unshareable: own group
+		key := sc.keyFor(d)
+		h := key.hash()
+		var g *group
+		for _, cand := range byKey[h] {
+			if cand.key.equal(key) {
+				g = cand
+				break
+			}
 		}
-		g, seen := byKey[key]
-		if !seen {
+		if g == nil {
 			g = &group{key: key}
-			byKey[key] = g
+			byKey[h] = append(byKey[h], g)
 			order = append(order, g)
 		}
 		g.deltas = append(g.deltas, d)
 	}
 
-	buf := []byte{byte(msgShared)}
+	size := 11
+	for _, d := range ds {
+		size += 24 + len(d.Tuple.Pred) + 12*len(d.Tuple.Fields)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(msgShared))
 	buf = binary.AppendUvarint(buf, uint64(len(order)))
 	for _, g := range order {
 		base := g.deltas[0]

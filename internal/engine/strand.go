@@ -25,6 +25,65 @@ type strand struct {
 	// incremental GroupAgg machinery instead of join output.
 	isAgg  bool
 	aggIdx int // head aggregate argument position (isAgg only)
+	// probes[i] is the precomputed index-probe plan for atom i: which
+	// columns are bound when the join reaches that atom, and where each
+	// bound value comes from (a constant or an environment variable).
+	// Bound-ness is structural — it depends only on the trigger position
+	// and earlier atoms — so it is computed once at compile time instead
+	// of per delta. Empty for the trigger and for atoms with no bound
+	// columns (those fall back to a scan).
+	probes [][]probeArg
+	// probeCols[i] is the column list of probes[i], in probe order; it is
+	// the column set the per-node secondary index for atom i is built on.
+	probeCols [][]int
+}
+
+// probeArg is one bound column of an index probe: the value is either a
+// literal constant or looked up in the environment by name.
+type probeArg struct {
+	col      int
+	varName  string    // non-empty: read env[varName]
+	constVal val.Value // used when varName is ""
+}
+
+// computeProbes fills in the strand's probe plans. A column of atom i is
+// bound iff its argument is a constant or a variable that already
+// appears in the trigger atom or an earlier non-trigger atom.
+func (s *strand) computeProbes() {
+	bound := map[string]bool{}
+	for _, arg := range s.atoms[s.trigger].Args {
+		if v, ok := arg.(*ast.Var); ok {
+			bound[v.Name] = true
+		}
+	}
+	s.probes = make([][]probeArg, len(s.atoms))
+	s.probeCols = make([][]int, len(s.atoms))
+	for i, a := range s.atoms {
+		if i == s.trigger {
+			continue
+		}
+		var probe []probeArg
+		var cols []int
+		for col, arg := range a.Args {
+			switch x := arg.(type) {
+			case *ast.Var:
+				if bound[x.Name] {
+					probe = append(probe, probeArg{col: col, varName: x.Name})
+					cols = append(cols, col)
+				}
+			case *ast.Const:
+				probe = append(probe, probeArg{col: col, constVal: x.Value})
+				cols = append(cols, col)
+			}
+		}
+		s.probes[i] = probe
+		s.probeCols[i] = cols
+		for _, arg := range a.Args {
+			if v, ok := arg.(*ast.Var); ok {
+				bound[v.Name] = true
+			}
+		}
+	}
 }
 
 // program is a compiled NDlog program, shared (immutable) by all nodes.
@@ -83,6 +142,7 @@ func compile(prog *ast.Program) (*program, error) {
 				isAgg:   aggIdx >= 0,
 				aggIdx:  aggIdx,
 			}
+			st.computeProbes()
 			p.strands[atoms[i].Pred] = append(p.strands[atoms[i].Pred], st)
 		}
 	}
@@ -119,14 +179,72 @@ func unify(a *ast.Atom, t val.Tuple, env funcs.Env) bool {
 	return true
 }
 
+// binding records one environment mutation so the depth-first join can
+// undo it instead of cloning the whole environment per candidate.
+type binding struct {
+	name string
+	old  val.Value
+	had  bool
+}
+
+// bind sets env[name] = v, recording the previous state on the trail.
+func (ctx *joinCtx) bind(name string, v val.Value) {
+	old, had := ctx.env[name]
+	ctx.tr = append(ctx.tr, binding{name: name, old: old, had: had})
+	ctx.env[name] = v
+}
+
+// unwind rolls the environment back to trail position mark.
+func (ctx *joinCtx) unwind(mark int) {
+	for i := len(ctx.tr) - 1; i >= mark; i-- {
+		b := ctx.tr[i]
+		if b.had {
+			ctx.env[b.name] = b.old
+		} else {
+			delete(ctx.env, b.name)
+		}
+	}
+	ctx.tr = ctx.tr[:mark]
+}
+
+// unifyTr is unify with trail recording: new variable bindings go
+// through ctx.bind so the caller can unwind them. On failure the caller
+// must unwind to its own mark (partial bindings may have been made).
+func (ctx *joinCtx) unifyTr(a *ast.Atom, t val.Tuple) bool {
+	if len(a.Args) != len(t.Fields) {
+		return false
+	}
+	for i, arg := range a.Args {
+		switch x := arg.(type) {
+		case *ast.Var:
+			if bound, ok := ctx.env[x.Name]; ok {
+				if !bound.Equal(t.Fields[i]) {
+					return false
+				}
+				continue
+			}
+			ctx.bind(x.Name, t.Fields[i])
+		case *ast.Const:
+			if !x.Value.Equal(t.Fields[i]) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // derived is one strand output: a head tuple destined for a location.
 type derived struct {
 	tuple val.Tuple
 	loc   string
 }
 
-// joinCtx carries the per-delta join parameters. The two stamp bounds
-// implement the book-keeping that prevents repeated inferences:
+// joinCtx carries the per-delta join parameters plus reusable evaluation
+// state (environment, binding trail, index handles), so steady-state
+// joins allocate nothing per candidate. The two stamp bounds implement
+// the book-keeping that prevents repeated inferences:
 //
 //   - PSN (Algorithm 3): every stored tuple carries a distinct logical
 //     timestamp; a +delta with stamp s joins entries with stamp < s at
@@ -152,6 +270,24 @@ type joinCtx struct {
 	// the same predicate also match the deleted tuple itself.
 	deleted     *val.Tuple
 	deletedPred string
+	// res resolves a strand's per-atom table and index handles at this
+	// node (strands are shared across nodes; tables are not). nil falls
+	// back to Catalog.Get / EnsureIndex per probe.
+	res map[*strand]*strandRes
+	// cur is the resolution for the strand currently running.
+	cur *strandRes
+	// env and tr are the reusable unification environment and its undo
+	// trail; run resets them per delta.
+	env funcs.Env
+	tr  []binding
+}
+
+// strandRes is one node's resolved handles for one strand: the table
+// and (where the probe plan has bound columns) the secondary index of
+// each body atom.
+type strandRes struct {
+	tbl []*table.Table
+	idx []*table.Index
 }
 
 // noLimit disables a stamp bound.
@@ -161,39 +297,36 @@ const noLimit = int64(1)<<62 - 1
 // derived head tuple. The delta's sign is handled by the caller: the
 // same join produces insertions for +deltas and deletions for -deltas.
 func (s *strand) run(ctx *joinCtx, delta val.Tuple, emit func(derived)) error {
-	env := funcs.Env{}
-	if !unify(s.atoms[s.trigger], delta, env) {
+	if ctx.env == nil {
+		ctx.env = funcs.Env{}
+	}
+	clear(ctx.env)
+	ctx.tr = ctx.tr[:0]
+	ctx.cur = nil
+	if ctx.res != nil {
+		ctx.cur = ctx.res[s]
+	}
+	if !unify(s.atoms[s.trigger], delta, ctx.env) {
 		return nil
 	}
-	return s.joinFrom(ctx, 0, env, emit)
+	return s.joinFrom(ctx, 0, emit)
 }
 
 // joinFrom joins the remaining atoms (skipping the trigger) depth-first
 // in body order, then evaluates assignments/selections and the head.
-func (s *strand) joinFrom(ctx *joinCtx, idx int, env funcs.Env, emit func(derived)) error {
+func (s *strand) joinFrom(ctx *joinCtx, idx int, emit func(derived)) error {
 	if idx == len(s.atoms) {
-		return s.finish(ctx, env, emit)
+		return s.finish(ctx, emit)
 	}
 	if idx == s.trigger {
-		return s.joinFrom(ctx, idx+1, env, emit)
+		return s.joinFrom(ctx, idx+1, emit)
 	}
 	a := s.atoms[idx]
-	tbl := ctx.cat.Get(a.Pred)
-
-	// Choose bound columns for an index probe.
-	var cols []int
-	var keyParts []string
-	for i, arg := range a.Args {
-		switch x := arg.(type) {
-		case *ast.Var:
-			if v, ok := env[x.Name]; ok {
-				cols = append(cols, i)
-				keyParts = append(keyParts, v.String())
-			}
-		case *ast.Const:
-			cols = append(cols, i)
-			keyParts = append(keyParts, x.Value.String())
-		}
+	var tbl *table.Table
+	if ctx.cur != nil {
+		tbl = ctx.cur.tbl[idx]
+	} else {
+		tbl = ctx.cat.Get(a.Pred)
 	}
 
 	tryEntry := func(t val.Tuple, stamp int64) error {
@@ -204,17 +337,35 @@ func (s *strand) joinFrom(ctx *joinCtx, idx int, env funcs.Env, emit func(derive
 		} else if stamp > ctx.leAfter {
 			return nil
 		}
-		child := env.Clone()
-		if !unify(a, t, child) {
+		mark := len(ctx.tr)
+		if !ctx.unifyTr(a, t) {
+			ctx.unwind(mark)
 			return nil
 		}
-		return s.joinFrom(ctx, idx+1, child, emit)
+		err := s.joinFrom(ctx, idx+1, emit)
+		ctx.unwind(mark)
+		return err
 	}
 
-	if len(cols) > 0 {
-		sig := tbl.EnsureIndex(cols)
-		key := joinKey(keyParts)
-		for _, e := range tbl.Match(sig, key) {
+	if probe := s.probes[idx]; len(probe) > 0 {
+		// Hash the bound columns and walk the matching index bucket. A
+		// hash collision admits a non-matching entry, but unifyTr checks
+		// every bound column again, so collisions are filtered here.
+		h := val.NewHash()
+		for _, p := range probe {
+			if p.varName != "" {
+				h = h.AddValue(ctx.env[p.varName])
+			} else {
+				h = h.AddValue(p.constVal)
+			}
+		}
+		var ix *table.Index
+		if ctx.cur != nil && ctx.cur.idx[idx] != nil {
+			ix = ctx.cur.idx[idx]
+		} else {
+			ix = tbl.EnsureIndex(s.probeCols[idx])
+		}
+		for _, e := range ix.Bucket(h.Sum()) {
 			if err := tryEntry(e.Tuple, int64(e.Stamp)); err != nil {
 				return err
 			}
@@ -243,31 +394,23 @@ func (s *strand) joinFrom(ctx *joinCtx, idx int, env funcs.Env, emit func(derive
 	return nil
 }
 
-func joinKey(parts []string) string {
-	out := ""
-	for i, p := range parts {
-		if i > 0 {
-			out += ","
-		}
-		out += p
-	}
-	return out
-}
-
 // finish evaluates the tail (assignments, selections) and instantiates
 // the head. Aggregate rules stop before head instantiation; the caller
-// routes them through GroupAgg.
-func (s *strand) finish(ctx *joinCtx, env funcs.Env, emit func(derived)) error {
+// routes them through GroupAgg. Assignment bindings go on the trail so
+// sibling join candidates see a clean environment.
+func (s *strand) finish(ctx *joinCtx, emit func(derived)) error {
+	mark := len(ctx.tr)
+	defer ctx.unwind(mark)
 	for _, t := range s.tail {
 		switch x := t.(type) {
 		case *ast.Assign:
-			v, err := funcs.Eval(x.Expr, env)
+			v, err := funcs.Eval(x.Expr, ctx.env)
 			if err != nil {
 				return fmt.Errorf("rule %s: %w", s.rule.Label, err)
 			}
-			env[x.Var] = v
+			ctx.bind(x.Var, v)
 		case *ast.Select:
-			ok, err := funcs.EvalBool(x.Cond, env)
+			ok, err := funcs.EvalBool(x.Cond, ctx.env)
 			if err != nil {
 				return fmt.Errorf("rule %s: %w", s.rule.Label, err)
 			}
@@ -276,7 +419,7 @@ func (s *strand) finish(ctx *joinCtx, env funcs.Env, emit func(derived)) error {
 			}
 		}
 	}
-	head, err := s.instantiateHead(env)
+	head, err := s.instantiateHead(ctx.env)
 	if err != nil {
 		return err
 	}

@@ -10,17 +10,30 @@ import (
 // materialized-view maintenance under the bursty update model (paper
 // Section 4, citing Ramakrishnan et al. [27]).
 //
-// For min/max, each group keeps a multiset of contributing values; a
-// deletion of the current extreme triggers a rescan of the group (the
-// O(n)-space / cheap-recompute strategy the paper cites).
+// Groups are keyed by the hash of their key values (val.HashValues),
+// with collision chains resolved by structural equality — no value is
+// formatted into a string on this path. For min/max, each group keeps a
+// multiset of contributing values; a deletion of the current extreme
+// triggers a rescan of the group (the O(n)-space / cheap-recompute
+// strategy the paper cites).
 type GroupAgg struct {
 	fn     ast.AggFunc
-	groups map[string]*aggGroup
+	groups map[uint64][]*aggGroup
+	n      int // live (non-empty) group count
+	// empties counts retained empty groups: a group whose last value is
+	// removed keeps its shell so churny workloads (delete + re-derive
+	// cycles) don't reallocate the key copy and multiset map every round.
+	// A sweep reclaims them if they ever dominate.
+	empties int
 }
 
 type aggGroup struct {
-	// values maps a value's canonical key to its value and multiplicity.
-	values map[string]*aggVal
+	// key holds the group's canonical key values, for collision
+	// resolution within a hash bucket.
+	key []val.Value
+	// values is the multiset of contributing values, keyed by value hash
+	// with chains resolved by Value.Equal.
+	values map[uint64][]*aggVal
 	n      int     // total multiplicity (for count)
 	sum    float64 // running sum (for sum)
 	sumInt int64
@@ -36,7 +49,7 @@ type aggVal struct {
 
 // NewGroupAgg creates an incremental aggregate for fn.
 func NewGroupAgg(fn ast.AggFunc) *GroupAgg {
-	return &GroupAgg{fn: fn, groups: map[string]*aggGroup{}}
+	return &GroupAgg{fn: fn, groups: map[uint64][]*aggGroup{}}
 }
 
 // Change describes how a group's aggregate moved after an Add or Remove.
@@ -60,24 +73,83 @@ func (c Change) Changed() bool {
 	return !c.Old.Equal(c.New)
 }
 
-func (g *GroupAgg) group(key string) *aggGroup {
-	gr, ok := g.groups[key]
-	if !ok {
-		gr = &aggGroup{values: map[string]*aggVal{}, allInt: true}
-		g.groups[key] = gr
+func (g *GroupAgg) lookup(h uint64, key []val.Value) *aggGroup {
+	for _, gr := range g.groups[h] {
+		if val.ValuesEqual(gr.key, key) {
+			return gr
+		}
 	}
+	return nil
+}
+
+func (g *GroupAgg) group(h uint64, key []val.Value) *aggGroup {
+	if gr := g.lookup(h, key); gr != nil {
+		if gr.n == 0 {
+			g.empties--
+			g.n++
+		}
+		return gr
+	}
+	gr := &aggGroup{
+		key:    append([]val.Value(nil), key...),
+		values: map[uint64][]*aggVal{},
+		allInt: true,
+	}
+	g.groups[h] = append(g.groups[h], gr)
+	g.n++
 	return gr
 }
 
-// Add inserts one occurrence of v into the group.
-func (g *GroupAgg) Add(key string, v val.Value) Change {
-	gr := g.group(key)
+// drop empties a group but keeps its shell for reuse; a sweep reclaims
+// shells when they outnumber the live groups.
+func (g *GroupAgg) drop(h uint64, gr *aggGroup) {
+	gr.valid = false
+	gr.sum, gr.sumInt, gr.allInt = 0, 0, true
+	gr.cur = val.Nil
+	g.n--
+	g.empties++
+	if g.empties > 64 && g.empties > g.n {
+		g.sweep()
+	}
+}
+
+// sweep discards all retained empty group shells.
+func (g *GroupAgg) sweep() {
+	for h, chain := range g.groups {
+		live := chain[:0]
+		for _, gr := range chain {
+			if gr.n > 0 {
+				live = append(live, gr)
+			}
+		}
+		if len(live) == 0 {
+			delete(g.groups, h)
+		} else {
+			g.groups[h] = live
+		}
+	}
+	g.empties = 0
+}
+
+func (gr *aggGroup) valFor(v val.Value) *aggVal {
+	for _, av := range gr.values[v.Hash()] {
+		if av.v.Equal(v) {
+			return av
+		}
+	}
+	return nil
+}
+
+// Add inserts one occurrence of v into the group keyed by key. The key
+// slice is copied on first use, so callers may reuse scratch storage.
+func (g *GroupAgg) Add(key []val.Value, v val.Value) Change {
+	gr := g.group(val.HashValues(key), key)
 	ch := Change{HadOld: gr.valid, Old: gr.cur}
-	k := v.String()
-	if av, ok := gr.values[k]; ok {
+	if av := gr.valFor(v); av != nil {
 		av.count++
 	} else {
-		gr.values[k] = &aggVal{v: v, count: 1}
+		h := v.Hash()
+		gr.values[h] = append(gr.values[h], &aggVal{v: v, count: 1})
 	}
 	gr.n++
 	if v.Kind() == val.KindInt {
@@ -88,27 +160,40 @@ func (g *GroupAgg) Add(key string, v val.Value) Change {
 	if v.IsNumeric() {
 		gr.sum += v.Float()
 	}
-	g.recomputeCheap(gr, v, true)
+	g.recomputeCheap(gr, v)
 	ch.HasNew, ch.New = gr.valid, gr.cur
 	return ch
 }
 
 // Remove deletes one occurrence of v from the group. Removing a value
 // that is not present is a no-op reporting no change.
-func (g *GroupAgg) Remove(key string, v val.Value) Change {
-	gr, ok := g.groups[key]
-	if !ok {
+func (g *GroupAgg) Remove(key []val.Value, v val.Value) Change {
+	h := val.HashValues(key)
+	gr := g.lookup(h, key)
+	if gr == nil {
 		return Change{}
 	}
-	k := v.String()
-	av, ok := gr.values[k]
-	if !ok {
+	av := gr.valFor(v)
+	if av == nil {
 		return Change{HadOld: gr.valid, Old: gr.cur, HasNew: gr.valid, New: gr.cur}
 	}
 	ch := Change{HadOld: gr.valid, Old: gr.cur}
 	av.count--
 	if av.count == 0 {
-		delete(gr.values, k)
+		vh := v.Hash()
+		chain := gr.values[vh]
+		for i := range chain {
+			if chain[i] == av {
+				chain[i] = chain[len(chain)-1]
+				chain = chain[:len(chain)-1]
+				break
+			}
+		}
+		if len(chain) == 0 {
+			delete(gr.values, vh)
+		} else {
+			gr.values[vh] = chain
+		}
 	}
 	gr.n--
 	if v.Kind() == val.KindInt {
@@ -118,7 +203,7 @@ func (g *GroupAgg) Remove(key string, v val.Value) Change {
 		gr.sum -= v.Float()
 	}
 	if gr.n == 0 {
-		delete(g.groups, key)
+		g.drop(h, gr)
 		return Change{HadOld: ch.HadOld, Old: ch.Old}
 	}
 	g.recompute(gr)
@@ -127,20 +212,20 @@ func (g *GroupAgg) Remove(key string, v val.Value) Change {
 }
 
 // Current returns the group's aggregate value, if it has one.
-func (g *GroupAgg) Current(key string) (val.Value, bool) {
-	gr, ok := g.groups[key]
-	if !ok || !gr.valid {
+func (g *GroupAgg) Current(key []val.Value) (val.Value, bool) {
+	gr := g.lookup(val.HashValues(key), key)
+	if gr == nil || !gr.valid {
 		return val.Nil, false
 	}
 	return gr.cur, true
 }
 
 // Groups returns the number of live groups.
-func (g *GroupAgg) Groups() int { return len(g.groups) }
+func (g *GroupAgg) Groups() int { return g.n }
 
 // recomputeCheap updates the aggregate after inserting v without a full
 // scan: min/max only move toward v, count/sum are running totals.
-func (g *GroupAgg) recomputeCheap(gr *aggGroup, v val.Value, _ bool) {
+func (g *GroupAgg) recomputeCheap(gr *aggGroup, v val.Value) {
 	switch g.fn {
 	case ast.AggMin:
 		if !gr.valid || v.Compare(gr.cur) < 0 {
@@ -175,20 +260,22 @@ func (g *GroupAgg) recompute(gr *aggGroup) {
 	// changed; Remove callers cannot tell us that cheaply, so check
 	// whether the current extreme is still present before rescanning.
 	if gr.valid {
-		if av, ok := gr.values[gr.cur.String()]; ok && av.count > 0 {
+		if av := gr.valFor(gr.cur); av != nil && av.count > 0 {
 			return
 		}
 	}
 	first := true
-	for _, av := range gr.values {
-		if first {
-			gr.cur = av.v
-			first = false
-			continue
-		}
-		c := av.v.Compare(gr.cur)
-		if (g.fn == ast.AggMin && c < 0) || (g.fn == ast.AggMax && c > 0) {
-			gr.cur = av.v
+	for _, chain := range gr.values {
+		for _, av := range chain {
+			if first {
+				gr.cur = av.v
+				first = false
+				continue
+			}
+			c := av.v.Compare(gr.cur)
+			if (g.fn == ast.AggMin && c < 0) || (g.fn == ast.AggMax && c > 0) {
+				gr.cur = av.v
+			}
 		}
 	}
 	gr.valid = !first

@@ -8,53 +8,57 @@ import (
 	"ndlog/internal/val"
 )
 
+// gkey builds a single-value group key from a string, standing in for
+// the projected group columns the engine passes.
+func gkey(s string) []val.Value { return []val.Value{val.NewString(s)} }
+
 func TestGroupAggMinBasic(t *testing.T) {
 	g := NewGroupAgg(ast.AggMin)
-	ch := g.Add("k", val.NewInt(5))
+	ch := g.Add(gkey("k"), val.NewInt(5))
 	if ch.HadOld || !ch.HasNew || ch.New.Int() != 5 || !ch.Changed() {
 		t.Fatalf("first add change = %+v", ch)
 	}
-	ch = g.Add("k", val.NewInt(7))
+	ch = g.Add(gkey("k"), val.NewInt(7))
 	if ch.Changed() {
 		t.Errorf("min unchanged by larger value: %+v", ch)
 	}
-	ch = g.Add("k", val.NewInt(2))
+	ch = g.Add(gkey("k"), val.NewInt(2))
 	if !ch.Changed() || ch.New.Int() != 2 || ch.Old.Int() != 5 {
 		t.Errorf("min should drop to 2: %+v", ch)
 	}
 	// Removing a non-extreme value leaves the min alone.
-	ch = g.Remove("k", val.NewInt(7))
+	ch = g.Remove(gkey("k"), val.NewInt(7))
 	if ch.Changed() {
 		t.Errorf("removing non-min changed: %+v", ch)
 	}
 	// Removing the min rescans.
-	ch = g.Remove("k", val.NewInt(2))
+	ch = g.Remove(gkey("k"), val.NewInt(2))
 	if !ch.Changed() || ch.New.Int() != 5 {
 		t.Errorf("removing min: %+v", ch)
 	}
 	// Removing the last value empties the group.
-	ch = g.Remove("k", val.NewInt(5))
+	ch = g.Remove(gkey("k"), val.NewInt(5))
 	if ch.HasNew || !ch.HadOld || !ch.Changed() {
 		t.Errorf("removing last: %+v", ch)
 	}
 	if g.Groups() != 0 {
 		t.Errorf("groups = %d", g.Groups())
 	}
-	if _, ok := g.Current("k"); ok {
+	if _, ok := g.Current(gkey("k")); ok {
 		t.Error("Current on empty group should fail")
 	}
 }
 
 func TestGroupAggMinDuplicates(t *testing.T) {
 	g := NewGroupAgg(ast.AggMin)
-	g.Add("k", val.NewInt(3))
-	g.Add("k", val.NewInt(3))
+	g.Add(gkey("k"), val.NewInt(3))
+	g.Add(gkey("k"), val.NewInt(3))
 	// One of two copies removed: min survives.
-	ch := g.Remove("k", val.NewInt(3))
+	ch := g.Remove(gkey("k"), val.NewInt(3))
 	if ch.Changed() {
 		t.Errorf("multiset remove changed min: %+v", ch)
 	}
-	v, ok := g.Current("k")
+	v, ok := g.Current(gkey("k"))
 	if !ok || v.Int() != 3 {
 		t.Errorf("Current = %v, %v", v, ok)
 	}
@@ -62,59 +66,59 @@ func TestGroupAggMinDuplicates(t *testing.T) {
 
 func TestGroupAggMax(t *testing.T) {
 	g := NewGroupAgg(ast.AggMax)
-	g.Add("k", val.NewInt(1))
-	g.Add("k", val.NewInt(9))
-	g.Add("k", val.NewInt(4))
-	if v, _ := g.Current("k"); v.Int() != 9 {
+	g.Add(gkey("k"), val.NewInt(1))
+	g.Add(gkey("k"), val.NewInt(9))
+	g.Add(gkey("k"), val.NewInt(4))
+	if v, _ := g.Current(gkey("k")); v.Int() != 9 {
 		t.Errorf("max = %v", v)
 	}
-	g.Remove("k", val.NewInt(9))
-	if v, _ := g.Current("k"); v.Int() != 4 {
+	g.Remove(gkey("k"), val.NewInt(9))
+	if v, _ := g.Current(gkey("k")); v.Int() != 4 {
 		t.Errorf("max after remove = %v", v)
 	}
 }
 
 func TestGroupAggCount(t *testing.T) {
 	g := NewGroupAgg(ast.AggCount)
-	g.Add("k", val.NewAddr("a"))
-	g.Add("k", val.NewAddr("b"))
-	g.Add("k", val.NewAddr("a"))
-	if v, _ := g.Current("k"); v.Int() != 3 {
+	g.Add(gkey("k"), val.NewAddr("a"))
+	g.Add(gkey("k"), val.NewAddr("b"))
+	g.Add(gkey("k"), val.NewAddr("a"))
+	if v, _ := g.Current(gkey("k")); v.Int() != 3 {
 		t.Errorf("count = %v", v)
 	}
-	g.Remove("k", val.NewAddr("a"))
-	if v, _ := g.Current("k"); v.Int() != 2 {
+	g.Remove(gkey("k"), val.NewAddr("a"))
+	if v, _ := g.Current(gkey("k")); v.Int() != 2 {
 		t.Errorf("count after remove = %v", v)
 	}
 }
 
 func TestGroupAggSum(t *testing.T) {
 	g := NewGroupAgg(ast.AggSum)
-	g.Add("k", val.NewInt(3))
-	g.Add("k", val.NewInt(4))
-	if v, _ := g.Current("k"); v.Int() != 7 {
+	g.Add(gkey("k"), val.NewInt(3))
+	g.Add(gkey("k"), val.NewInt(4))
+	if v, _ := g.Current(gkey("k")); v.Int() != 7 {
 		t.Errorf("int sum = %v", v)
 	}
-	g.Remove("k", val.NewInt(3))
-	if v, _ := g.Current("k"); v.Int() != 4 {
+	g.Remove(gkey("k"), val.NewInt(3))
+	if v, _ := g.Current(gkey("k")); v.Int() != 4 {
 		t.Errorf("int sum after remove = %v", v)
 	}
 	// Mixing in a float switches the sum to float.
-	g.Add("k", val.NewFloat(0.5))
-	if v, _ := g.Current("k"); v.Float() != 4.5 {
+	g.Add(gkey("k"), val.NewFloat(0.5))
+	if v, _ := g.Current(gkey("k")); v.Float() != 4.5 {
 		t.Errorf("float sum = %v", v)
 	}
 }
 
 func TestGroupAggSeparateGroups(t *testing.T) {
 	g := NewGroupAgg(ast.AggMin)
-	g.Add("x", val.NewInt(1))
-	g.Add("y", val.NewInt(2))
+	g.Add(gkey("x"), val.NewInt(1))
+	g.Add(gkey("y"), val.NewInt(2))
 	if g.Groups() != 2 {
 		t.Errorf("groups = %d", g.Groups())
 	}
-	vx, _ := g.Current("x")
-	vy, _ := g.Current("y")
+	vx, _ := g.Current(gkey("x"))
+	vy, _ := g.Current(gkey("y"))
 	if vx.Int() != 1 || vy.Int() != 2 {
 		t.Errorf("groups cross-talk: x=%v y=%v", vx, vy)
 	}
@@ -122,12 +126,12 @@ func TestGroupAggSeparateGroups(t *testing.T) {
 
 func TestGroupAggRemoveAbsent(t *testing.T) {
 	g := NewGroupAgg(ast.AggMin)
-	ch := g.Remove("nope", val.NewInt(1))
+	ch := g.Remove(gkey("nope"), val.NewInt(1))
 	if ch.Changed() || ch.HadOld || ch.HasNew {
 		t.Errorf("remove from missing group: %+v", ch)
 	}
-	g.Add("k", val.NewInt(5))
-	ch = g.Remove("k", val.NewInt(99)) // value not in group
+	g.Add(gkey("k"), val.NewInt(5))
+	ch = g.Remove(gkey("k"), val.NewInt(99)) // value not in group
 	if ch.Changed() {
 		t.Errorf("remove of absent value changed: %+v", ch)
 	}
@@ -144,15 +148,15 @@ func TestGroupAggMatchesRecompute(t *testing.T) {
 		for step := 0; step < 5000; step++ {
 			v := int64(r.Intn(40))
 			if r.Intn(3) > 0 || len(live) == 0 {
-				g.Add("k", val.NewInt(v))
+				g.Add(gkey("k"), val.NewInt(v))
 				live[v]++
 			} else {
 				// Remove a random live value (or occasionally an absent one).
 				if r.Intn(10) == 0 {
-					g.Remove("k", val.NewInt(1000)) // absent
+					g.Remove(gkey("k"), val.NewInt(1000)) // absent
 				} else {
 					for lv := range live {
-						g.Remove("k", val.NewInt(lv))
+						g.Remove(gkey("k"), val.NewInt(lv))
 						live[lv]--
 						if live[lv] == 0 {
 							delete(live, lv)
@@ -168,7 +172,7 @@ func TestGroupAggMatchesRecompute(t *testing.T) {
 
 func checkAgainstRecompute(t *testing.T, fn ast.AggFunc, g *GroupAgg, live map[int64]int) {
 	t.Helper()
-	got, ok := g.Current("k")
+	got, ok := g.Current(gkey("k"))
 	if len(live) == 0 {
 		if ok {
 			t.Fatalf("%v: aggregate %v on empty multiset", fn, got)

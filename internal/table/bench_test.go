@@ -1,0 +1,84 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/val"
+)
+
+// Microbenchmarks for the hash-keyed storage substrate (DESIGN.md
+// "Hash-based tuple storage"). Run with -benchmem; the headline numbers
+// are allocs/op on the insert and probe paths.
+
+func benchTuples(n int) []val.Tuple {
+	out := make([]val.Tuple, n)
+	for i := range out {
+		out[i] = val.NewTuple("link",
+			val.NewAddr(fmt.Sprintf("n%d", i)),
+			val.NewAddr(fmt.Sprintf("m%d", i%97)),
+			val.NewFloat(float64(i%13)+0.5))
+	}
+	return out
+}
+
+func BenchmarkTableInsert(b *testing.B) {
+	tuples := benchTuples(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := New("link", []int{0, 1}, -1, 0)
+		for _, tp := range tuples {
+			tb.Insert(tp, 1, 0)
+		}
+	}
+	b.ReportMetric(float64(len(tuples)), "rows/op")
+}
+
+func BenchmarkIndexMatch(b *testing.B) {
+	tuples := benchTuples(1024)
+	tb := New("link", []int{0, 1}, -1, 0)
+	idx := tb.EnsureIndex([]int{1})
+	for _, tp := range tuples {
+		tb.Insert(tp, 1, 0)
+	}
+	probe := []val.Value{val.Nil}
+	hits := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe[0] = tuples[i%len(tuples)].Fields[1]
+		hits += len(idx.Match(probe))
+	}
+	if hits == 0 {
+		b.Fatal("no matches")
+	}
+}
+
+func BenchmarkTableDeleteInsert(b *testing.B) {
+	tuples := benchTuples(1024)
+	tb := New("link", []int{0, 1}, -1, 0)
+	for _, tp := range tuples {
+		tb.Insert(tp, 1, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := tuples[i%len(tuples)]
+		tb.Delete(tp)
+		tb.Insert(tp, uint64(i), 0)
+	}
+}
+
+func BenchmarkGroupAggAdd(b *testing.B) {
+	key := []val.Value{val.NewAddr("s"), val.NewAddr("d")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGroupAgg(ast.AggMin)
+		for j := 0; j < 64; j++ {
+			g.Add(key, val.NewInt(int64(j%7)))
+		}
+	}
+}

@@ -3,6 +3,12 @@
 // per-tuple derivation counts (the count algorithm of Gupta et al. used
 // in Section 4 of the paper), logical timestamps for pipelined
 // semi-naïve evaluation, and soft-state TTL expiry.
+//
+// Rows and indexes are keyed by 64-bit hashes of the key columns
+// (val.Tuple.HashOn), with short collision buckets resolved by
+// structural equality. Nothing on the insert/lookup/delete path formats
+// a value into a string; val.Tuple.Key and KeyOn exist only for display
+// and deterministic test output.
 package table
 
 import (
@@ -31,6 +37,13 @@ type Entry struct {
 	// or suppresses trigger strands for tuples that do not improve their
 	// group aggregate; Adv prevents double advertisement.
 	Adv bool
+
+	// pkHash is the primary-key hash the entry is stored under; cached so
+	// deletes and index maintenance never rehash the tuple.
+	pkHash uint64
+	// dead marks an entry removed from rows that may still sit in the
+	// FIFO eviction list awaiting compaction.
+	dead bool
 }
 
 // Status describes the effect of an Insert.
@@ -66,14 +79,94 @@ type Table struct {
 	ttl     float64
 	maxSize int
 
-	rows    map[string]*Entry
-	order   []string // insertion order of primary keys, for FIFO eviction
-	indexes map[string]*index
+	rows map[uint64][]*Entry // pk hash -> collision bucket
+	n    int                 // live row count
+
+	// FIFO eviction list, maintained only for bounded tables
+	// (maxSize > 0). head indexes the oldest candidate; dead counts
+	// entries removed from rows but not yet compacted out of order.
+	// compactOrder keeps both the consumed prefix and the dead remainder
+	// bounded so deleted keys can no longer pin the backing array.
+	order []*Entry
+	head  int
+	dead  int
+
+	indexes map[string]*Index
+	idxList []*Index
 }
 
-type index struct {
+// Index is a secondary index over a fixed column set, keyed by the hash
+// of the projected fields. Buckets may contain hash collisions; Match
+// filters them with structural equality, Bucket leaves verification to
+// the caller (the join path re-checks every field via unification).
+type Index struct {
 	cols []int
-	m    map[string][]*Entry
+	m    map[uint64][]*Entry
+}
+
+// Cols returns the indexed columns. Callers must not mutate the slice.
+func (ix *Index) Cols() []int { return ix.cols }
+
+// Bucket returns the raw collision bucket for hash h. Entries whose
+// projection merely collides with the probe are included; callers must
+// verify matches (e.g. by unifying every bound column).
+func (ix *Index) Bucket(h uint64) []*Entry { return ix.m[h] }
+
+// Match returns the entries whose projection onto the index columns
+// equals vals. In the common collision-free case it returns the bucket
+// without copying.
+func (ix *Index) Match(vals []val.Value) []*Entry {
+	bucket := ix.m[val.HashValues(vals)]
+	for i, e := range bucket {
+		if !ix.matches(e, vals) {
+			// Rare collision: build a filtered copy.
+			out := append([]*Entry(nil), bucket[:i]...)
+			for _, e2 := range bucket[i+1:] {
+				if ix.matches(e2, vals) {
+					out = append(out, e2)
+				}
+			}
+			return out
+		}
+	}
+	return bucket
+}
+
+func (ix *Index) matches(e *Entry, vals []val.Value) bool {
+	if len(vals) != len(ix.cols) {
+		return false
+	}
+	fs := e.Tuple.Fields
+	for i, c := range ix.cols {
+		if c < 0 || c >= len(fs) || !fs[c].Equal(vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *Index) key(e *Entry) uint64 { return e.Tuple.HashOn(ix.cols) }
+
+func (ix *Index) add(e *Entry) {
+	k := ix.key(e)
+	ix.m[k] = append(ix.m[k], e)
+}
+
+func (ix *Index) remove(e *Entry) {
+	k := ix.key(e)
+	list := ix.m[k]
+	for i := range list {
+		if list[i] == e {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(ix.m, k)
+	} else {
+		ix.m[k] = list
+	}
 }
 
 // New creates a table. keys lists primary-key columns (0-based); empty
@@ -85,8 +178,8 @@ func New(name string, keys []int, ttl float64, maxSize int) *Table {
 		keys:    append([]int(nil), keys...),
 		ttl:     ttl,
 		maxSize: maxSize,
-		rows:    map[string]*Entry{},
-		indexes: map[string]*index{},
+		rows:    map[uint64][]*Entry{},
+		indexes: map[string]*Index{},
 	}
 }
 
@@ -100,13 +193,91 @@ func (t *Table) Keys() []int { return t.keys }
 func (t *Table) TTL() float64 { return t.ttl }
 
 // Len returns the number of live rows.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return t.n }
 
-func (t *Table) pk(tp val.Tuple) string {
+func (t *Table) pkHash(tp val.Tuple) uint64 {
 	if len(t.keys) == 0 {
-		return tp.Key()
+		return tp.Hash()
 	}
-	return tp.KeyOn(t.keys)
+	return tp.HashOn(t.keys)
+}
+
+// pkEqual reports whether two tuples share a primary key.
+func (t *Table) pkEqual(a, b val.Tuple) bool {
+	if len(t.keys) == 0 {
+		return a.Equal(b)
+	}
+	for _, c := range t.keys {
+		aOOB := c < 0 || c >= len(a.Fields)
+		bOOB := c < 0 || c >= len(b.Fields)
+		if aOOB || bOOB {
+			if aOOB != bOOB {
+				return false
+			}
+			continue
+		}
+		if !a.Fields[c].Equal(b.Fields[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// find returns the entry whose primary key matches tp under hash h.
+func (t *Table) find(h uint64, tp val.Tuple) *Entry {
+	for _, e := range t.rows[h] {
+		if t.pkEqual(e.Tuple, tp) {
+			return e
+		}
+	}
+	return nil
+}
+
+// removeRow unlinks e from the row map and indexes. popped reports that
+// the caller already consumed e from the FIFO order window; otherwise e
+// keeps a dead marker there until compaction.
+func (t *Table) removeRow(e *Entry, popped bool) {
+	bucket := t.rows[e.pkHash]
+	for i := range bucket {
+		if bucket[i] == e {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(t.rows, e.pkHash)
+	} else {
+		t.rows[e.pkHash] = bucket
+	}
+	t.n--
+	t.removeFromIndexes(e)
+	if t.maxSize > 0 {
+		e.dead = true
+		if !popped {
+			t.dead++
+			t.compactOrder()
+		}
+	}
+}
+
+// compactOrder bounds the eviction list: once the consumed prefix plus
+// dead entries dominate, rewrite the live suffix into a fresh slice so
+// the old backing array (and the tuples it pins) can be collected.
+func (t *Table) compactOrder() {
+	waste := t.head + t.dead
+	if waste <= 32 || waste*2 <= len(t.order) {
+		return
+	}
+	live := make([]*Entry, 0, len(t.order)-t.head-t.dead)
+	for _, e := range t.order[t.head:] {
+		if !e.dead {
+			live = append(live, e)
+		}
+	}
+	t.order = live
+	t.head = 0
+	t.dead = 0
 }
 
 // InsertResult reports what an Insert did, including any displaced tuples
@@ -114,7 +285,12 @@ func (t *Table) pk(tp val.Tuple) string {
 type InsertResult struct {
 	Status   Status
 	Replaced val.Tuple // valid when Status == StatusReplaced
-	Evicted  []val.Tuple
+	// ReplacedAdv and ReplacedStamp snapshot the displaced entry's
+	// advertisement flag and timestamp, so the engine can propagate the
+	// deletion without a second lookup.
+	ReplacedAdv   bool
+	ReplacedStamp uint64
+	Evicted       []val.Tuple
 }
 
 // Insert adds tp with the given logical stamp at virtual time now.
@@ -122,12 +298,12 @@ type InsertResult struct {
 // primary key but different fields replaces the old row; the displaced
 // tuple is returned so the engine can propagate its deletion.
 func (t *Table) Insert(tp val.Tuple, stamp uint64, now float64) InsertResult {
-	key := t.pk(tp)
+	h := t.pkHash(tp)
 	expires := -1.0
 	if t.ttl >= 0 {
 		expires = now + t.ttl
 	}
-	if e, ok := t.rows[key]; ok {
+	if e := t.find(h, tp); e != nil {
 		if e.Tuple.Equal(tp) {
 			// Hard state counts derivations; soft state instead treats a
 			// duplicate insert as a refresh (the paper's soft-state
@@ -139,20 +315,23 @@ func (t *Table) Insert(tp val.Tuple, stamp uint64, now float64) InsertResult {
 			return InsertResult{Status: StatusDuplicate}
 		}
 		old := e.Tuple
+		oldAdv, oldStamp := e.Adv, e.Stamp
 		t.removeFromIndexes(e)
 		e.Tuple = tp
 		e.Count = 1
 		e.Stamp = stamp
 		e.Expires = expires
 		t.addToIndexes(e)
-		return InsertResult{Status: StatusReplaced, Replaced: old}
+		return InsertResult{Status: StatusReplaced, Replaced: old,
+			ReplacedAdv: oldAdv, ReplacedStamp: oldStamp}
 	}
-	e := &Entry{Tuple: tp, Count: 1, Stamp: stamp, Expires: expires}
-	t.rows[key] = e
-	t.order = append(t.order, key)
+	e := &Entry{Tuple: tp, Count: 1, Stamp: stamp, Expires: expires, pkHash: h}
+	t.rows[h] = append(t.rows[h], e)
+	t.n++
 	t.addToIndexes(e)
 	res := InsertResult{Status: StatusNew}
 	if t.maxSize > 0 {
+		t.order = append(t.order, e)
 		res.Evicted = t.evictOverflow()
 	}
 	return res
@@ -161,17 +340,17 @@ func (t *Table) Insert(tp val.Tuple, stamp uint64, now float64) InsertResult {
 // evictOverflow drops the oldest rows until the table fits maxSize.
 func (t *Table) evictOverflow() []val.Tuple {
 	var evicted []val.Tuple
-	for len(t.rows) > t.maxSize && len(t.order) > 0 {
-		key := t.order[0]
-		t.order = t.order[1:]
-		e, ok := t.rows[key]
-		if !ok {
-			continue // stale order entry from an earlier delete
+	for t.n > t.maxSize && t.head < len(t.order) {
+		e := t.order[t.head]
+		t.head++
+		if e.dead {
+			t.dead--
+			continue
 		}
-		delete(t.rows, key)
-		t.removeFromIndexes(e)
+		t.removeRow(e, true)
 		evicted = append(evicted, e.Tuple)
 	}
+	t.compactOrder()
 	return evicted
 }
 
@@ -179,50 +358,55 @@ func (t *Table) evictOverflow() []val.Tuple {
 // existed): existed is false if the exact tuple is not present; gone is
 // true when the count reached zero and the row was removed.
 func (t *Table) Delete(tp val.Tuple) (gone, existed bool) {
-	key := t.pk(tp)
-	e, ok := t.rows[key]
-	if !ok || !e.Tuple.Equal(tp) {
-		return false, false
+	_, gone, existed = t.DeleteE(tp)
+	return gone, existed
+}
+
+// DeleteE is Delete returning a snapshot of the entry as it was before
+// the deletion, so callers needing its bookkeeping (Adv, Stamp) skip a
+// separate lookup.
+func (t *Table) DeleteE(tp val.Tuple) (snap Entry, gone, existed bool) {
+	e := t.find(t.pkHash(tp), tp)
+	if e == nil || !e.Tuple.Equal(tp) {
+		return Entry{}, false, false
 	}
+	snap = *e
 	e.Count--
 	if e.Count > 0 {
-		return false, true
+		return snap, false, true
 	}
-	delete(t.rows, key)
-	t.removeFromIndexes(e)
-	return true, true
+	t.removeRow(e, false)
+	return snap, true, true
 }
 
 // DeleteByKey removes the row whose primary key matches tp regardless of
 // its non-key fields and derivation count, returning the removed tuple.
 // Used for base-table updates where the new value displaces the old.
 func (t *Table) DeleteByKey(tp val.Tuple) (val.Tuple, bool) {
-	key := t.pk(tp)
-	e, ok := t.rows[key]
-	if !ok {
+	e := t.find(t.pkHash(tp), tp)
+	if e == nil {
 		return val.Tuple{}, false
 	}
-	delete(t.rows, key)
-	t.removeFromIndexes(e)
+	t.removeRow(e, false)
 	return e.Tuple, true
 }
 
 // Contains reports whether the exact tuple is stored.
 func (t *Table) Contains(tp val.Tuple) bool {
-	e, ok := t.rows[t.pk(tp)]
-	return ok && e.Tuple.Equal(tp)
+	e := t.find(t.pkHash(tp), tp)
+	return e != nil && e.Tuple.Equal(tp)
 }
 
 // Get returns the entry with tp's primary key, if any.
 func (t *Table) Get(tp val.Tuple) (*Entry, bool) {
-	e, ok := t.rows[t.pk(tp)]
-	return e, ok
+	e := t.find(t.pkHash(tp), tp)
+	return e, e != nil
 }
 
 // Count returns the derivation count of the exact tuple (0 if absent).
 func (t *Table) Count(tp val.Tuple) int {
-	e, ok := t.rows[t.pk(tp)]
-	if !ok || !e.Tuple.Equal(tp) {
+	e := t.find(t.pkHash(tp), tp)
+	if e == nil || !e.Tuple.Equal(tp) {
 		return 0
 	}
 	return e.Count
@@ -230,24 +414,24 @@ func (t *Table) Count(tp val.Tuple) int {
 
 // Scan visits every live entry; return false from fn to stop early.
 func (t *Table) Scan(fn func(*Entry) bool) {
-	for _, e := range t.rows {
-		if !fn(e) {
-			return
+	for _, bucket := range t.rows {
+		for _, e := range bucket {
+			if !fn(e) {
+				return
+			}
 		}
 	}
 }
 
-// Tuples returns all live tuples in deterministic (sorted-key) order.
+// Tuples returns all live tuples in deterministic (Tuple.Compare) order.
 func (t *Table) Tuples() []val.Tuple {
-	keys := make([]string, 0, len(t.rows))
-	for k := range t.rows {
-		keys = append(keys, k)
+	out := make([]val.Tuple, 0, t.n)
+	for _, bucket := range t.rows {
+		for _, e := range bucket {
+			out = append(out, e.Tuple)
+		}
 	}
-	sort.Strings(keys)
-	out := make([]val.Tuple, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, t.rows[k].Tuple)
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
@@ -263,54 +447,33 @@ func indexSig(cols []int) string {
 }
 
 // EnsureIndex builds (or reuses) a secondary index over cols and returns
-// its signature for Match lookups.
-func (t *Table) EnsureIndex(cols []int) string {
+// its handle for Bucket/Match lookups. Handles stay valid for the life
+// of the table, so callers resolve an index once instead of per probe.
+func (t *Table) EnsureIndex(cols []int) *Index {
 	sig := indexSig(cols)
-	if _, ok := t.indexes[sig]; ok {
-		return sig
+	if ix, ok := t.indexes[sig]; ok {
+		return ix
 	}
-	idx := &index{cols: append([]int(nil), cols...), m: map[string][]*Entry{}}
-	for _, e := range t.rows {
-		k := e.Tuple.KeyOn(idx.cols)
-		idx.m[k] = append(idx.m[k], e)
+	ix := &Index{cols: append([]int(nil), cols...), m: map[uint64][]*Entry{}}
+	for _, bucket := range t.rows {
+		for _, e := range bucket {
+			ix.add(e)
+		}
 	}
-	t.indexes[sig] = idx
-	return sig
-}
-
-// Match returns the entries whose cols project to key. The index must
-// have been created with EnsureIndex.
-func (t *Table) Match(sig string, key string) []*Entry {
-	idx, ok := t.indexes[sig]
-	if !ok {
-		panic(fmt.Sprintf("table %s: Match on missing index %q", t.name, sig))
-	}
-	return idx.m[key]
+	t.indexes[sig] = ix
+	t.idxList = append(t.idxList, ix)
+	return ix
 }
 
 func (t *Table) addToIndexes(e *Entry) {
-	for _, idx := range t.indexes {
-		k := e.Tuple.KeyOn(idx.cols)
-		idx.m[k] = append(idx.m[k], e)
+	for _, ix := range t.idxList {
+		ix.add(e)
 	}
 }
 
 func (t *Table) removeFromIndexes(e *Entry) {
-	for _, idx := range t.indexes {
-		k := e.Tuple.KeyOn(idx.cols)
-		list := idx.m[k]
-		for i := range list {
-			if list[i] == e {
-				list[i] = list[len(list)-1]
-				list = list[:len(list)-1]
-				break
-			}
-		}
-		if len(list) == 0 {
-			delete(idx.m, k)
-		} else {
-			idx.m[k] = list
-		}
+	for _, ix := range t.idxList {
+		ix.remove(e)
 	}
 }
 
@@ -320,13 +483,18 @@ func (t *Table) ExpireBefore(now float64) []val.Tuple {
 	if t.ttl < 0 {
 		return nil
 	}
-	var expired []val.Tuple
-	for k, e := range t.rows {
-		if e.Expires >= 0 && e.Expires <= now {
-			expired = append(expired, e.Tuple)
-			delete(t.rows, k)
-			t.removeFromIndexes(e)
+	var dead []*Entry
+	for _, bucket := range t.rows {
+		for _, e := range bucket {
+			if e.Expires >= 0 && e.Expires <= now {
+				dead = append(dead, e)
+			}
 		}
+	}
+	var expired []val.Tuple
+	for _, e := range dead {
+		expired = append(expired, e.Tuple)
+		t.removeRow(e, false)
 	}
 	return expired
 }

@@ -102,44 +102,59 @@ func TestDeleteByKey(t *testing.T) {
 
 func TestSecondaryIndex(t *testing.T) {
 	tb := New("link", []int{0, 1}, -1, 0)
-	sig := tb.EnsureIndex([]int{1}) // index on destination
+	idx := tb.EnsureIndex([]int{1}) // index on destination
 	tb.Insert(link("a", "b", 1), 1, 0)
 	tb.Insert(link("c", "b", 2), 2, 0)
 	tb.Insert(link("a", "d", 3), 3, 0)
 
-	hits := tb.Match(sig, "b")
+	b := []val.Value{val.NewAddr("b")}
+	hits := idx.Match(b)
 	if len(hits) != 2 {
 		t.Fatalf("Match(b) = %d entries", len(hits))
 	}
 	// Index must follow deletes.
 	tb.Delete(link("a", "b", 1))
-	if len(tb.Match(sig, "b")) != 1 {
-		t.Errorf("Match(b) after delete = %d", len(tb.Match(sig, "b")))
+	if len(idx.Match(b)) != 1 {
+		t.Errorf("Match(b) after delete = %d", len(idx.Match(b)))
 	}
 	// Index must follow replacement.
 	tb.Insert(link("c", "b", 9), 4, 0)
-	hits = tb.Match(sig, "b")
+	hits = idx.Match(b)
 	if len(hits) != 1 || hits[0].Tuple.Fields[2].Int() != 9 {
 		t.Errorf("Match(b) after replace = %v", hits)
 	}
 	// Building the index after rows exist must backfill.
-	sig2 := tb.EnsureIndex([]int{0})
-	if len(tb.Match(sig2, "a")) != 1 {
-		t.Errorf("backfilled index wrong: %v", tb.Match(sig2, "a"))
+	idx2 := tb.EnsureIndex([]int{0})
+	if len(idx2.Match([]val.Value{val.NewAddr("a")})) != 1 {
+		t.Errorf("backfilled index wrong: %v", idx2.Match([]val.Value{val.NewAddr("a")}))
 	}
-	// EnsureIndex twice returns same signature.
-	if tb.EnsureIndex([]int{0}) != sig2 {
+	// EnsureIndex twice returns the same handle.
+	if tb.EnsureIndex([]int{0}) != idx2 {
 		t.Error("EnsureIndex not idempotent")
 	}
 }
 
-func TestMatchMissingIndexPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	New("p", nil, -1, 0).Match("9", "x")
+// TestIndexMatchVerifies checks that Match filters structurally, not
+// just by hash: probing for values that are absent returns nothing, and
+// the raw Bucket of an absent hash is empty.
+func TestIndexMatchVerifies(t *testing.T) {
+	tb := New("link", []int{0, 1}, -1, 0)
+	idx := tb.EnsureIndex([]int{1})
+	tb.Insert(link("a", "b", 1), 1, 0)
+	if got := idx.Match([]val.Value{val.NewAddr("zzz")}); len(got) != 0 {
+		t.Errorf("Match(zzz) = %v", got)
+	}
+	// An addr and a string with the same text are different values.
+	if got := idx.Match([]val.Value{val.NewString("b")}); len(got) != 0 {
+		t.Errorf("Match(string b) = %v", got)
+	}
+	if got := idx.Bucket(val.HashValues([]val.Value{val.NewAddr("zzz")})); len(got) != 0 {
+		t.Errorf("Bucket(zzz) = %v", got)
+	}
+	// A probe of the wrong width matches nothing.
+	if got := idx.Match([]val.Value{val.NewAddr("b"), val.NewInt(1)}); len(got) != 0 {
+		t.Errorf("Match(wrong arity) = %v", got)
+	}
 }
 
 func TestTTLExpiry(t *testing.T) {

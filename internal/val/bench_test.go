@@ -1,0 +1,35 @@
+package val
+
+import "testing"
+
+// Benchmarks comparing the allocation-free hash substrate against the
+// legacy string-key path it replaced (kept for display). The whole-
+// tuple BenchmarkTupleHash lives in encode_test.go.
+
+func benchTuple() Tuple {
+	return NewTuple("path",
+		NewAddr("node-a"), NewAddr("node-z"), NewAddr("node-b"),
+		NewList(NewAddr("node-a"), NewAddr("node-b"), NewAddr("node-z")),
+		NewFloat(12.75))
+}
+
+func BenchmarkTupleHashOn(b *testing.B) {
+	t := benchTuple()
+	cols := []int{0, 1}
+	var sink uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += t.HashOn(cols)
+	}
+	_ = sink
+}
+
+func BenchmarkTupleKeyLegacy(b *testing.B) {
+	t := benchTuple()
+	var sink int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += len(t.Key())
+	}
+	_ = sink
+}

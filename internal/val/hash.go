@@ -1,0 +1,103 @@
+package val
+
+import "math"
+
+// Streaming 64-bit FNV-1a folding, shared by every hash in the engine.
+// The storage layer keys its row and index maps by these hashes (with
+// structural equality resolving collisions), so the same byte sequence
+// must be produced wherever the same logical key is hashed: a probe
+// hashing bound values must land in the bucket of the entries whose
+// projected fields were hashed at insert time. Strings and lists fold
+// their length before their payload so that adjacent variable-length
+// values cannot alias ("ab","c" vs "a","bc").
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 is an in-progress 64-bit hash. Start with NewHash, fold values
+// in key order, and read the result with Sum.
+type Hash64 uint64
+
+// NewHash returns the initial hash state.
+func NewHash() Hash64 { return fnvOffset64 }
+
+// Sum returns the accumulated hash.
+func (h Hash64) Sum() uint64 { return uint64(h) }
+
+func (h Hash64) addByte(b byte) Hash64 {
+	return (h ^ Hash64(b)) * fnvPrime64
+}
+
+func (h Hash64) addUint64(x uint64) Hash64 {
+	// One word-wide fold instead of eight byte folds: the engine only
+	// needs determinism and diffusion (collisions are resolved by Equal),
+	// so a multiply with a xor-shift between is plenty.
+	h = (h ^ Hash64(x)) * fnvPrime64
+	h ^= h >> 32
+	return h * fnvPrime64
+}
+
+// AddString folds a length-prefixed string.
+func (h Hash64) AddString(s string) Hash64 {
+	h = h.addUint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = h.addByte(s[i])
+	}
+	return h
+}
+
+// AddValue folds one value: kind tag, then the payload in its native
+// binary form (no decimal formatting).
+func (h Hash64) AddValue(v Value) Hash64 {
+	h = h.addByte(byte(v.kind))
+	switch v.kind {
+	case KindAddr, KindString:
+		h = h.AddString(v.s)
+	case KindInt, KindBool:
+		h = h.addUint64(uint64(v.i))
+	case KindFloat:
+		h = h.addUint64(math.Float64bits(v.f))
+	case KindList:
+		h = h.addUint64(uint64(len(v.l)))
+		for i := range v.l {
+			h = h.AddValue(v.l[i])
+		}
+	}
+	return h
+}
+
+// oobTag marks an out-of-range column in a projection hash; it cannot
+// collide with a kind tag.
+const oobTag = 0xFF
+
+// AddOOB folds the marker for a projected column that is out of range.
+func (h Hash64) AddOOB() Hash64 { return h.addByte(oobTag) }
+
+// Hash returns a 64-bit hash of v, consistent with Equal.
+func (v Value) Hash() uint64 { return NewHash().AddValue(v).Sum() }
+
+// HashValues hashes a sequence of values in order. It equals
+// Tuple.HashOn for the tuple's projection onto the same columns.
+func HashValues(vs []Value) uint64 {
+	h := NewHash()
+	for i := range vs {
+		h = h.AddValue(vs[i])
+	}
+	return h.Sum()
+}
+
+// ValuesEqual reports elementwise equality of two value sequences — the
+// collision-resolution counterpart of HashValues.
+func ValuesEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -2,7 +2,6 @@ package val
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 )
 
@@ -41,18 +40,58 @@ func (t Tuple) Equal(o Tuple) bool {
 }
 
 // Hash returns a 64-bit hash of the whole tuple, consistent with Equal.
+// It allocates nothing; the storage layer uses it (plus Equal on
+// collision) in place of string keys.
 func (t Tuple) Hash() uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(t.Pred))
-	h.Write([]byte{0})
+	h := NewHash().AddString(t.Pred)
 	for i := range t.Fields {
-		t.Fields[i].hashInto(h)
+		h = h.AddValue(t.Fields[i])
 	}
-	return h.Sum64()
+	return h.Sum()
+}
+
+// HashOn hashes the projection of t onto cols, consistent with
+// HashValues over the same field sequence: a lookup hashing its bound
+// values lands in the bucket of the tuples whose projection matches.
+// Out-of-range columns fold a distinct marker.
+func (t Tuple) HashOn(cols []int) uint64 {
+	h := NewHash()
+	for _, c := range cols {
+		if c < 0 || c >= len(t.Fields) {
+			h = h.AddOOB()
+			continue
+		}
+		h = h.AddValue(t.Fields[c])
+	}
+	return h.Sum()
+}
+
+// Compare orders tuples: by predicate, then arity, then fieldwise
+// Value.Compare. It is a total order consistent with Equal and is the
+// deterministic ordering used by Table.Tuples (replacing sorted string
+// keys).
+func (t Tuple) Compare(o Tuple) int {
+	if c := strings.Compare(t.Pred, o.Pred); c != 0 {
+		return c
+	}
+	if c := len(t.Fields) - len(o.Fields); c != 0 {
+		if c < 0 {
+			return -1
+		}
+		return 1
+	}
+	for i := range t.Fields {
+		if c := t.Fields[i].Compare(o.Fields[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
 }
 
 // Key returns a canonical string key for the tuple, usable as a map key.
-// Two tuples have the same Key iff they are Equal.
+// Two tuples have the same Key iff they are Equal. It formats every
+// field, so it is for display, tracing, and deterministic test output
+// only — the storage layer keys by Hash instead.
 func (t Tuple) Key() string {
 	var b strings.Builder
 	b.WriteString(t.Pred)

@@ -9,8 +9,6 @@ package val
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -188,6 +186,12 @@ func (v Value) Equal(o Value) bool {
 // numeric value first and breaks ties by kind so that Compare remains a
 // total order consistent with Equal.
 func (v Value) Compare(o Value) int {
+	if v.kind == KindInt && o.kind == KindInt {
+		// Compare ints exactly: the float path below would collapse
+		// distinct values beyond 2^53, breaking the total order Tuples()
+		// ordering depends on.
+		return cmpInt(v.i, o.i)
+	}
 	vn, on := v.IsNumeric(), o.IsNumeric()
 	if vn && on {
 		vf, of := v.Float(), o.Float()
@@ -232,45 +236,6 @@ func cmpInt(a, b int64) int {
 		return 1
 	}
 	return 0
-}
-
-// Hash returns a 64-bit hash of v, consistent with Equal.
-func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	v.hashInto(h)
-	return h.Sum64()
-}
-
-type hasher interface {
-	Write(p []byte) (int, error)
-}
-
-func (v Value) hashInto(h hasher) {
-	var tag [1]byte
-	tag[0] = byte(v.kind)
-	h.Write(tag[:])
-	switch v.kind {
-	case KindAddr, KindString:
-		h.Write([]byte(v.s))
-	case KindInt, KindBool:
-		var b [8]byte
-		putUint64(b[:], uint64(v.i))
-		h.Write(b[:])
-	case KindFloat:
-		var b [8]byte
-		putUint64(b[:], math.Float64bits(v.f))
-		h.Write(b[:])
-	case KindList:
-		for i := range v.l {
-			v.l[i].hashInto(h)
-		}
-	}
-}
-
-func putUint64(b []byte, x uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(x >> (8 * i))
-	}
 }
 
 // String renders v in NDlog literal syntax. Addresses print bare, strings
