@@ -204,11 +204,21 @@ func (h *clusterHandler) HandleTimer(now float64, key string) {
 }
 
 // pump drains a node and routes its outbound deltas, then re-arms any
-// timers the node still needs.
+// timers the node still needs. In the unbuffered configuration the
+// deltas of one pump round are batched per destination — one message
+// carries every tuple bound for the same neighbor — so the per-message
+// header and simulator event cost amortize (ROADMAP "batched wire
+// encoding"); delivery order per destination is unchanged.
 func (c *Cluster) pump(n *Node) {
 	outs := n.Drain()
-	for _, o := range outs {
-		c.routeOut(n, o)
+	if len(outs) > 0 {
+		if c.cfg.Share != nil || c.cfg.Batch > 0 {
+			for _, o := range outs {
+				c.bufferOut(n, o)
+			}
+		} else {
+			c.sendBatched(n, outs)
+		}
 	}
 	if n.PendingGroups() > 0 && !c.aggselArmed[n.id] && c.opts.AggSelPeriod > 0 {
 		c.aggselArmed[n.id] = true
@@ -216,26 +226,40 @@ func (c *Cluster) pump(n *Node) {
 	}
 }
 
-func (c *Cluster) routeOut(n *Node, o OutDelta) {
-	buffered := c.cfg.Share != nil || c.cfg.Batch > 0
-	if buffered {
-		buf := c.shareBuf[n.id]
-		if buf == nil {
-			buf = map[string][]Delta{}
-			c.shareBuf[n.id] = buf
+// sendBatched groups one pump round's outbound deltas by destination
+// (first-appearance order, for determinism) and sends one plain message
+// per destination.
+func (c *Cluster) sendBatched(n *Node, outs []OutDelta) {
+	byDst := map[string][]Delta{}
+	var order []string
+	for _, o := range outs {
+		if _, ok := byDst[o.Dst]; !ok {
+			order = append(order, o.Dst)
 		}
-		buf[o.Dst] = append(buf[o.Dst], o.Delta)
-		if !c.shareArmed[n.id] {
-			c.shareArmed[n.id] = true
-			delay := c.cfg.Batch
-			if c.cfg.Share != nil {
-				delay = c.cfg.Share.Delay
-			}
-			c.sim.ScheduleTimer(simnet.NodeID(n.id), delay, "share")
-		}
-		return
+		byDst[o.Dst] = append(byDst[o.Dst], o.Delta)
 	}
-	c.sendNow(n, o.Dst, EncodeDeltas([]Delta{o.Delta}))
+	for _, dst := range order {
+		c.sendNow(n, dst, EncodeDeltas(byDst[dst]))
+	}
+}
+
+// bufferOut holds a delta in the share/batch buffer until the flush
+// timer fires.
+func (c *Cluster) bufferOut(n *Node, o OutDelta) {
+	buf := c.shareBuf[n.id]
+	if buf == nil {
+		buf = map[string][]Delta{}
+		c.shareBuf[n.id] = buf
+	}
+	buf[o.Dst] = append(buf[o.Dst], o.Delta)
+	if !c.shareArmed[n.id] {
+		c.shareArmed[n.id] = true
+		delay := c.cfg.Batch
+		if c.cfg.Share != nil {
+			delay = c.cfg.Share.Delay
+		}
+		c.sim.ScheduleTimer(simnet.NodeID(n.id), delay, "share")
+	}
 }
 
 func (c *Cluster) flushShare(n *Node) {

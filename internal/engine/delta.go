@@ -77,7 +77,10 @@ func DecodeDeltas(b []byte) ([]Delta, error) {
 		return nil, fmt.Errorf("engine: corrupt delta count")
 	}
 	b = b[sz:]
-	out := make([]Delta, 0, n)
+	// Cap preallocation by the remaining payload: every encoded delta is
+	// at least one sign byte plus a tuple, so a corrupt header demanding
+	// a huge count fails on truncation below instead of allocating first.
+	out := make([]Delta, 0, min(n, uint64(len(b))))
 	for i := uint64(0); i < n; i++ {
 		if len(b) == 0 {
 			return nil, fmt.Errorf("engine: truncated delta batch")

@@ -98,6 +98,9 @@ func (c *Central) DeleteDRed(t val.Tuple) error {
 	overdeleted := tupleSet{}
 	removed := tupleSet{}
 	queue := []val.Tuple{t}
+	// One context (and its slot environment) serves the whole walk; only
+	// the deleted-tuple fields change per queue item.
+	ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res}
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
@@ -114,10 +117,7 @@ func (c *Central) DeleteDRed(t val.Tuple) error {
 		if !u.Equal(t) {
 			overdeleted.add(u)
 		}
-		ctx := &joinCtx{
-			cat: n.cat, ltBefore: noLimit, leAfter: noLimit,
-			deleted: &u, deletedPred: u.Pred, res: n.res,
-		}
+		ctx.deleted, ctx.deletedPred = &u, u.Pred
 		for _, st := range n.prog.strands[u.Pred] {
 			if st.isAgg {
 				continue
@@ -165,13 +165,13 @@ func (c *Central) rederiveOnce(overdeleted tupleSet) []val.Tuple {
 	n := c.node
 	var out []val.Tuple
 	found := tupleSet{}
+	ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res}
 	for _, sts := range n.prog.strands {
 		for _, st := range sts {
 			if st.isAgg || st.trigger != 0 {
 				continue // one full evaluation per rule: trigger atom 0
 			}
 			trigger := n.cat.Get(st.atoms[0].Pred)
-			ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res}
 			for _, tu := range trigger.Tuples() {
 				err := st.run(ctx, tu, func(d derived) {
 					if overdeleted.has(d.tuple) && found.add(d.tuple) {

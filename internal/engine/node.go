@@ -207,6 +207,9 @@ func newNode(id string, prog *program, opts Options) *Node {
 	}
 	n.jc.cat = n.cat
 	n.jc.res = n.res
+	// One slot environment sized for the widest rule serves every strand
+	// run at this node (the engine is single-threaded per node).
+	n.jc.env = funcs.NewSlotEnv(prog.maxSlots)
 	if opts.AggSel {
 		allowed := map[string]bool{}
 		for _, p := range opts.AggSelPreds {
@@ -688,11 +691,4 @@ func (n *Node) ExpireSoftState() {
 // Tuples returns the live tuples of a predicate at this node, sorted.
 func (n *Node) Tuples(pred string) []val.Tuple {
 	return n.cat.Get(pred).Tuples()
-}
-
-// unifyEnvForTest exposes unify for white-box tests.
-func unifyEnvForTest(a *ast.Atom, t val.Tuple) (funcs.Env, bool) {
-	env := funcs.Env{}
-	ok := unify(a, t, env)
-	return env, ok
 }

@@ -178,7 +178,10 @@ func DecodeShared(b []byte) ([]Delta, error) {
 		return nil, fmt.Errorf("engine: corrupt shared header")
 	}
 	b = b[n:]
-	var out []Delta
+	// Preallocate for the declared group count, capped by the remaining
+	// payload (each group takes at least one byte) so a corrupt header
+	// cannot demand a huge allocation before truncation checks run.
+	out := make([]Delta, 0, min(ngroups, uint64(len(b))))
 	for gi := uint64(0); gi < ngroups; gi++ {
 		if len(b) == 0 {
 			return nil, fmt.Errorf("engine: truncated shared group")

@@ -19,15 +19,16 @@ type strand struct {
 	rule    *ast.Rule
 	atoms   []*ast.Atom // body atoms in body order
 	trigger int         // index into atoms of the delta input
-	// tail holds assignments and selections in body order.
-	tail []ast.Term
+	// code is the rule-level compiled form (slot numbering, lowered
+	// body-atom arguments, tail and head), shared by the rule's strands.
+	code *ruleCode
 	// isAgg marks aggregate-head rules, which are evaluated through the
 	// incremental GroupAgg machinery instead of join output.
 	isAgg  bool
 	aggIdx int // head aggregate argument position (isAgg only)
 	// probes[i] is the precomputed index-probe plan for atom i: which
 	// columns are bound when the join reaches that atom, and where each
-	// bound value comes from (a constant or an environment variable).
+	// bound value comes from (a constant or an environment slot).
 	// Bound-ness is structural — it depends only on the trigger position
 	// and earlier atoms — so it is computed once at compile time instead
 	// of per delta. Empty for the trigger and for atoms with no bound
@@ -38,49 +39,174 @@ type strand struct {
 	probeCols [][]int
 }
 
+// ruleCode is the compiled, slot-addressed form of one localized rule.
+// Every variable is numbered at compile time (planner.AssignSlots); the
+// evaluation path then works entirely in slot indices — no string-keyed
+// environment maps survive on the join or head-instantiation path.
+type ruleCode struct {
+	nslots int
+	// args[i] are the lowered arguments of body atom i: each a constant
+	// or an environment slot. Shared by every strand of the rule (arg
+	// lowering does not depend on the trigger position).
+	args [][]slotArg
+	// tail holds assignments and selections in body order, with
+	// expressions compiled against the slot numbering.
+	tail []tailOp
+	// head describes each head argument: a direct slot copy (variables
+	// and the aggregate position) or a compiled expression.
+	head []headArg
+}
+
+// argKind discriminates lowered body-atom arguments.
+type argKind uint8
+
+const (
+	argSlot  argKind = iota // variable: env slot index
+	argConst                // literal constant
+	argBad                  // computed argument (planner rejects; never unifies)
+)
+
+// slotArg is one lowered body-atom argument.
+type slotArg struct {
+	kind     argKind
+	slot     int32
+	constVal val.Value
+}
+
+// tailOp is one compiled tail term: an assignment binding a slot, or a
+// selection (assignSlot < 0) filtering the join.
+type tailOp struct {
+	assignSlot int32
+	expr       *funcs.Compiled
+}
+
+// headArg is one compiled head argument. slot >= 0 copies the slot's
+// binding directly (plain variables and the aggregate variable); expr
+// evaluates otherwise. aggVar names the aggregate position for error
+// reporting.
+type headArg struct {
+	slot   int32
+	aggVar string
+	expr   *funcs.Compiled
+}
+
 // probeArg is one bound column of an index probe: the value is either a
-// literal constant or looked up in the environment by name.
+// literal constant or read from an environment slot.
 type probeArg struct {
 	col      int
-	varName  string    // non-empty: read env[varName]
-	constVal val.Value // used when varName is ""
+	slot     int32     // >= 0: read env slot; < 0: constVal
+	constVal val.Value
+}
+
+// compileRule lowers a localized rule to its slot-addressed form.
+func compileRule(r *ast.Rule, atoms []*ast.Atom) (*ruleCode, error) {
+	sm := planner.AssignSlots(r)
+	code := &ruleCode{nslots: sm.Len()}
+
+	code.args = make([][]slotArg, len(atoms))
+	for i, a := range atoms {
+		args := make([]slotArg, len(a.Args))
+		for j, arg := range a.Args {
+			switch x := arg.(type) {
+			case *ast.Var:
+				slot, ok := sm.Slot(x.Name)
+				if !ok {
+					return nil, fmt.Errorf("engine: rule %s: variable %s has no slot", r.Label, x.Name)
+				}
+				args[j] = slotArg{kind: argSlot, slot: int32(slot)}
+			case *ast.Const:
+				args[j] = slotArg{kind: argConst, constVal: x.Value}
+			default:
+				// Computed arguments are not allowed in body atoms (the
+				// planner's checks exclude them); be safe anyway.
+				args[j] = slotArg{kind: argBad}
+			}
+		}
+		code.args[i] = args
+	}
+
+	for _, t := range r.Body {
+		switch x := t.(type) {
+		case *ast.Assign:
+			slot, ok := sm.Slot(x.Var)
+			if !ok {
+				return nil, fmt.Errorf("engine: rule %s: assignment target %s has no slot", r.Label, x.Var)
+			}
+			ce, err := funcs.CompileExpr(x.Expr, sm.Slot)
+			if err != nil {
+				return nil, fmt.Errorf("engine: rule %s: %w", r.Label, err)
+			}
+			code.tail = append(code.tail, tailOp{assignSlot: int32(slot), expr: ce})
+		case *ast.Select:
+			ce, err := funcs.CompileExpr(x.Cond, sm.Slot)
+			if err != nil {
+				return nil, fmt.Errorf("engine: rule %s: %w", r.Label, err)
+			}
+			code.tail = append(code.tail, tailOp{assignSlot: -1, expr: ce})
+		}
+	}
+
+	code.head = make([]headArg, len(r.Head.Args))
+	for i, arg := range r.Head.Args {
+		switch x := arg.(type) {
+		case *ast.Agg:
+			slot, ok := sm.Slot(x.Var)
+			if !ok {
+				return nil, fmt.Errorf("engine: rule %s: aggregate variable %s has no slot", r.Label, x.Var)
+			}
+			code.head[i] = headArg{slot: int32(slot), aggVar: x.Var}
+		case *ast.Var:
+			slot, ok := sm.Slot(x.Name)
+			if !ok {
+				return nil, fmt.Errorf("engine: rule %s: head variable %s has no slot", r.Label, x.Name)
+			}
+			code.head[i] = headArg{slot: int32(slot)}
+		default:
+			ce, err := funcs.CompileExpr(arg, sm.Slot)
+			if err != nil {
+				return nil, fmt.Errorf("engine: rule %s head: %w", r.Label, err)
+			}
+			code.head[i] = headArg{slot: -1, expr: ce}
+		}
+	}
+	return code, nil
 }
 
 // computeProbes fills in the strand's probe plans. A column of atom i is
-// bound iff its argument is a constant or a variable that already
+// bound iff its argument is a constant or a variable (slot) that already
 // appears in the trigger atom or an earlier non-trigger atom.
 func (s *strand) computeProbes() {
-	bound := map[string]bool{}
-	for _, arg := range s.atoms[s.trigger].Args {
-		if v, ok := arg.(*ast.Var); ok {
-			bound[v.Name] = true
+	bound := make([]bool, s.code.nslots)
+	for _, arg := range s.code.args[s.trigger] {
+		if arg.kind == argSlot {
+			bound[arg.slot] = true
 		}
 	}
 	s.probes = make([][]probeArg, len(s.atoms))
 	s.probeCols = make([][]int, len(s.atoms))
-	for i, a := range s.atoms {
+	for i := range s.atoms {
 		if i == s.trigger {
 			continue
 		}
 		var probe []probeArg
 		var cols []int
-		for col, arg := range a.Args {
-			switch x := arg.(type) {
-			case *ast.Var:
-				if bound[x.Name] {
-					probe = append(probe, probeArg{col: col, varName: x.Name})
+		for col, arg := range s.code.args[i] {
+			switch arg.kind {
+			case argSlot:
+				if bound[arg.slot] {
+					probe = append(probe, probeArg{col: col, slot: arg.slot})
 					cols = append(cols, col)
 				}
-			case *ast.Const:
-				probe = append(probe, probeArg{col: col, constVal: x.Value})
+			case argConst:
+				probe = append(probe, probeArg{col: col, slot: -1, constVal: arg.constVal})
 				cols = append(cols, col)
 			}
 		}
 		s.probes[i] = probe
 		s.probeCols[i] = cols
-		for _, arg := range a.Args {
-			if v, ok := arg.(*ast.Var); ok {
-				bound[v.Name] = true
+		for _, arg := range s.code.args[i] {
+			if arg.kind == argSlot {
+				bound[arg.slot] = true
 			}
 		}
 	}
@@ -94,6 +220,9 @@ type program struct {
 	decls   map[string]*ast.TableDecl
 	// aggSelByPred indexes prunable aggregate selections by source pred.
 	aggSelByPred map[string][]planner.AggSelection
+	// maxSlots is the largest slot count of any rule; nodes size their
+	// reusable slot environment to it once.
+	maxSlots int
 }
 
 // compile checks, localizes and compiles prog into strands.
@@ -125,12 +254,12 @@ func compile(prog *ast.Program) (*program, error) {
 			return nil, err
 		}
 		atoms := r.Atoms()
-		var tail []ast.Term
-		for _, t := range r.Body {
-			switch t.(type) {
-			case *ast.Assign, *ast.Select:
-				tail = append(tail, t)
-			}
+		code, err := compileRule(r, atoms)
+		if err != nil {
+			return nil, err
+		}
+		if code.nslots > p.maxSlots {
+			p.maxSlots = code.nslots
 		}
 		aggIdx := r.Head.AggregateIndex()
 		for i := range atoms {
@@ -138,7 +267,7 @@ func compile(prog *ast.Program) (*program, error) {
 				rule:    r,
 				atoms:   atoms,
 				trigger: i,
-				tail:    tail,
+				code:    code,
 				isAgg:   aggIdx >= 0,
 				aggIdx:  aggIdx,
 			}
@@ -149,83 +278,72 @@ func compile(prog *ast.Program) (*program, error) {
 	return p, nil
 }
 
-// unify binds atom arguments against tuple fields, extending env. It
-// returns false on mismatch (constant disagreement, inconsistent repeated
-// variable, or arity mismatch).
-func unify(a *ast.Atom, t val.Tuple, env funcs.Env) bool {
-	if len(a.Args) != len(t.Fields) {
+// unifySlots binds lowered atom arguments against tuple fields. It
+// returns false on mismatch (constant disagreement, inconsistent
+// repeated variable, or arity mismatch). Used for the trigger atom,
+// whose bindings need no trail: run resets the environment per delta.
+func unifySlots(args []slotArg, t val.Tuple, env *funcs.SlotEnv) bool {
+	if len(args) != len(t.Fields) {
 		return false
 	}
-	for i, arg := range a.Args {
-		switch x := arg.(type) {
-		case *ast.Var:
-			if bound, ok := env[x.Name]; ok {
+	for i, a := range args {
+		switch a.kind {
+		case argSlot:
+			if bound, ok := env.Get(int(a.slot)); ok {
 				if !bound.Equal(t.Fields[i]) {
 					return false
 				}
 				continue
 			}
-			env[x.Name] = t.Fields[i]
-		case *ast.Const:
-			if !x.Value.Equal(t.Fields[i]) {
+			env.Bind(int(a.slot), t.Fields[i])
+		case argConst:
+			if !a.constVal.Equal(t.Fields[i]) {
 				return false
 			}
 		default:
-			// Computed arguments are not allowed in body atoms (the
-			// planner's checks exclude them); be safe anyway.
 			return false
 		}
 	}
 	return true
 }
 
-// binding records one environment mutation so the depth-first join can
-// undo it instead of cloning the whole environment per candidate.
-type binding struct {
-	name string
-	old  val.Value
-	had  bool
-}
-
-// bind sets env[name] = v, recording the previous state on the trail.
-func (ctx *joinCtx) bind(name string, v val.Value) {
-	old, had := ctx.env[name]
-	ctx.tr = append(ctx.tr, binding{name: name, old: old, had: had})
-	ctx.env[name] = v
+// bind sets a slot, recording it on the trail so the depth-first join
+// can undo the binding instead of cloning the environment per candidate.
+// Unification never rebinds a bound slot (it checks equality instead)
+// and the planner rejects assignments that rebind, so the trail is a
+// plain list of slots to unbind.
+func (ctx *joinCtx) bind(slot int32, v val.Value) {
+	ctx.env.Bind(int(slot), v)
+	ctx.tr = append(ctx.tr, slot)
 }
 
 // unwind rolls the environment back to trail position mark.
 func (ctx *joinCtx) unwind(mark int) {
 	for i := len(ctx.tr) - 1; i >= mark; i-- {
-		b := ctx.tr[i]
-		if b.had {
-			ctx.env[b.name] = b.old
-		} else {
-			delete(ctx.env, b.name)
-		}
+		ctx.env.Unbind(int(ctx.tr[i]))
 	}
 	ctx.tr = ctx.tr[:mark]
 }
 
-// unifyTr is unify with trail recording: new variable bindings go
+// unifyTr is unifySlots with trail recording: new slot bindings go
 // through ctx.bind so the caller can unwind them. On failure the caller
 // must unwind to its own mark (partial bindings may have been made).
-func (ctx *joinCtx) unifyTr(a *ast.Atom, t val.Tuple) bool {
-	if len(a.Args) != len(t.Fields) {
+func (ctx *joinCtx) unifyTr(args []slotArg, t val.Tuple) bool {
+	if len(args) != len(t.Fields) {
 		return false
 	}
-	for i, arg := range a.Args {
-		switch x := arg.(type) {
-		case *ast.Var:
-			if bound, ok := ctx.env[x.Name]; ok {
+	for i, a := range args {
+		switch a.kind {
+		case argSlot:
+			if bound, ok := ctx.env.Get(int(a.slot)); ok {
 				if !bound.Equal(t.Fields[i]) {
 					return false
 				}
 				continue
 			}
-			ctx.bind(x.Name, t.Fields[i])
-		case *ast.Const:
-			if !x.Value.Equal(t.Fields[i]) {
+			ctx.bind(a.slot, t.Fields[i])
+		case argConst:
+			if !a.constVal.Equal(t.Fields[i]) {
 				return false
 			}
 		default:
@@ -242,7 +360,7 @@ type derived struct {
 }
 
 // joinCtx carries the per-delta join parameters plus reusable evaluation
-// state (environment, binding trail, index handles), so steady-state
+// state (slot environment, binding trail, index handles), so steady-state
 // joins allocate nothing per candidate. The two stamp bounds implement
 // the book-keeping that prevents repeated inferences:
 //
@@ -276,10 +394,10 @@ type joinCtx struct {
 	res map[*strand]*strandRes
 	// cur is the resolution for the strand currently running.
 	cur *strandRes
-	// env and tr are the reusable unification environment and its undo
-	// trail; run resets them per delta.
-	env funcs.Env
-	tr  []binding
+	// env and tr are the reusable slot environment and its undo trail
+	// (slot indices to unbind); run resets them per delta.
+	env *funcs.SlotEnv
+	tr  []int32
 }
 
 // strandRes is one node's resolved handles for one strand: the table
@@ -297,16 +415,16 @@ const noLimit = int64(1)<<62 - 1
 // derived head tuple. The delta's sign is handled by the caller: the
 // same join produces insertions for +deltas and deletions for -deltas.
 func (s *strand) run(ctx *joinCtx, delta val.Tuple, emit func(derived)) error {
-	if ctx.env == nil {
-		ctx.env = funcs.Env{}
+	if ctx.env == nil || ctx.env.Len() < s.code.nslots {
+		ctx.env = funcs.NewSlotEnv(s.code.nslots)
 	}
-	clear(ctx.env)
+	ctx.env.Reset()
 	ctx.tr = ctx.tr[:0]
 	ctx.cur = nil
 	if ctx.res != nil {
 		ctx.cur = ctx.res[s]
 	}
-	if !unify(s.atoms[s.trigger], delta, ctx.env) {
+	if !unifySlots(s.code.args[s.trigger], delta, ctx.env) {
 		return nil
 	}
 	return s.joinFrom(ctx, 0, emit)
@@ -321,12 +439,12 @@ func (s *strand) joinFrom(ctx *joinCtx, idx int, emit func(derived)) error {
 	if idx == s.trigger {
 		return s.joinFrom(ctx, idx+1, emit)
 	}
-	a := s.atoms[idx]
+	args := s.code.args[idx]
 	var tbl *table.Table
 	if ctx.cur != nil {
 		tbl = ctx.cur.tbl[idx]
 	} else {
-		tbl = ctx.cat.Get(a.Pred)
+		tbl = ctx.cat.Get(s.atoms[idx].Pred)
 	}
 
 	tryEntry := func(t val.Tuple, stamp int64) error {
@@ -338,7 +456,7 @@ func (s *strand) joinFrom(ctx *joinCtx, idx int, emit func(derived)) error {
 			return nil
 		}
 		mark := len(ctx.tr)
-		if !ctx.unifyTr(a, t) {
+		if !ctx.unifyTr(args, t) {
 			ctx.unwind(mark)
 			return nil
 		}
@@ -353,8 +471,8 @@ func (s *strand) joinFrom(ctx *joinCtx, idx int, emit func(derived)) error {
 		// every bound column again, so collisions are filtered here.
 		h := val.NewHash()
 		for _, p := range probe {
-			if p.varName != "" {
-				h = h.AddValue(ctx.env[p.varName])
+			if p.slot >= 0 {
+				h = h.AddValue(ctx.env.Value(int(p.slot)))
 			} else {
 				h = h.AddValue(p.constVal)
 			}
@@ -386,7 +504,7 @@ func (s *strand) joinFrom(ctx *joinCtx, idx int, emit func(derived)) error {
 
 	// Deletion self-join correction: the retracted tuple still counts as
 	// a join partner for later occurrences of its own predicate.
-	if ctx.deleted != nil && a.Pred == ctx.deletedPred && idx > s.trigger {
+	if ctx.deleted != nil && s.atoms[idx].Pred == ctx.deletedPred && idx > s.trigger {
 		if err := tryEntry(*ctx.deleted, -1); err != nil {
 			return err
 		}
@@ -401,16 +519,15 @@ func (s *strand) joinFrom(ctx *joinCtx, idx int, emit func(derived)) error {
 func (s *strand) finish(ctx *joinCtx, emit func(derived)) error {
 	mark := len(ctx.tr)
 	defer ctx.unwind(mark)
-	for _, t := range s.tail {
-		switch x := t.(type) {
-		case *ast.Assign:
-			v, err := funcs.Eval(x.Expr, ctx.env)
+	for _, op := range s.code.tail {
+		if op.assignSlot >= 0 {
+			v, err := op.expr.Eval(ctx.env)
 			if err != nil {
 				return fmt.Errorf("rule %s: %w", s.rule.Label, err)
 			}
-			ctx.bind(x.Var, v)
-		case *ast.Select:
-			ok, err := funcs.EvalBool(x.Cond, ctx.env)
+			ctx.bind(op.assignSlot, v)
+		} else {
+			ok, err := op.expr.EvalBool(ctx.env)
 			if err != nil {
 				return fmt.Errorf("rule %s: %w", s.rule.Label, err)
 			}
@@ -427,21 +544,26 @@ func (s *strand) finish(ctx *joinCtx, emit func(derived)) error {
 	return nil
 }
 
-// instantiateHead builds the head tuple from the environment. For
+// instantiateHead builds the head tuple from the slot environment. For
 // aggregate rules, the aggregate position receives the raw aggregated
 // variable's value; the caller replaces it with the group aggregate.
-func (s *strand) instantiateHead(env funcs.Env) (val.Tuple, error) {
-	fields := make([]val.Value, len(s.rule.Head.Args))
-	for i, arg := range s.rule.Head.Args {
-		if agg, ok := arg.(*ast.Agg); ok {
-			v, found := env[agg.Var]
-			if !found {
-				return val.Tuple{}, fmt.Errorf("rule %s: aggregate variable %s unbound", s.rule.Label, agg.Var)
+func (s *strand) instantiateHead(env *funcs.SlotEnv) (val.Tuple, error) {
+	fields := make([]val.Value, len(s.code.head))
+	for i, ha := range s.code.head {
+		if ha.slot >= 0 {
+			v, ok := env.Get(int(ha.slot))
+			if !ok {
+				if ha.aggVar != "" {
+					return val.Tuple{}, fmt.Errorf("rule %s: aggregate variable %s unbound", s.rule.Label, ha.aggVar)
+				}
+				// Unreachable after planner.Check (head variables are
+				// bound by the body); keep the guard for safety.
+				return val.Tuple{}, fmt.Errorf("rule %s head: %w", s.rule.Label, funcs.ErrUnboundVar)
 			}
 			fields[i] = v
 			continue
 		}
-		v, err := funcs.Eval(arg, env)
+		v, err := ha.expr.Eval(env)
 		if err != nil {
 			return val.Tuple{}, fmt.Errorf("rule %s head: %w", s.rule.Label, err)
 		}

@@ -129,12 +129,9 @@ func evalComparison(op ast.Op, l, r val.Value) (val.Value, error) {
 	case ast.OpNe:
 		return val.NewBool(!eq), nil
 	}
-	if l.Kind() != r.Kind() && !(l.IsNumeric() && r.IsNumeric()) {
-		return val.Nil, fmt.Errorf("%w: ordering %s against %s", ErrType, l.Kind(), r.Kind())
-	}
-	c := l.Compare(r)
-	if l.IsNumeric() && r.IsNumeric() && l.Float() == r.Float() {
-		c = 0 // ignore kind tie-break for ordering comparisons
+	c, err := orderValues(l, r)
+	if err != nil {
+		return val.Nil, err
 	}
 	switch op {
 	case ast.OpLt:
@@ -147,6 +144,25 @@ func evalComparison(op ast.Op, l, r val.Value) (val.Value, error) {
 		return val.NewBool(c >= 0), nil
 	}
 	return val.Nil, fmt.Errorf("%w: bad comparison op %v", ErrType, op)
+}
+
+// orderValues orders two values the way comparison operators do: mixed
+// int/float compares numerically (the internal kind tie-break of
+// Value.Compare is ignored on numeric ties), any other kind mix is a
+// type error, and same-kind values use their natural Compare order —
+// exact for int pairs, so values beyond 2^53 are not collapsed through
+// float64.
+func orderValues(l, r val.Value) (int, error) {
+	if l.Kind() == r.Kind() {
+		return l.Compare(r), nil
+	}
+	if l.IsNumeric() && r.IsNumeric() {
+		if l.Float() == r.Float() {
+			return 0, nil
+		}
+		return l.Compare(r), nil
+	}
+	return 0, fmt.Errorf("%w: ordering %s against %s", ErrType, l.Kind(), r.Kind())
 }
 
 func evalArith(op ast.Op, l, r val.Value) (val.Value, error) {
@@ -370,11 +386,19 @@ func fList(args []val.Value) (val.Value, error) {
 	return val.NewList(out...), nil
 }
 
+// fMin2 and fMax2 order their arguments the way comparison operators
+// do (orderValues): mixed int/float compares numerically, mixed
+// non-numeric kinds raise ErrType instead of silently ordering by the
+// internal kind tag. Ties return the first argument.
 func fMin2(args []val.Value) (val.Value, error) {
 	if err := need(args, 2); err != nil {
 		return val.Nil, err
 	}
-	if args[0].Compare(args[1]) <= 0 {
+	c, err := orderValues(args[0], args[1])
+	if err != nil {
+		return val.Nil, err
+	}
+	if c <= 0 {
 		return args[0], nil
 	}
 	return args[1], nil
@@ -384,7 +408,11 @@ func fMax2(args []val.Value) (val.Value, error) {
 	if err := need(args, 2); err != nil {
 		return val.Nil, err
 	}
-	if args[0].Compare(args[1]) >= 0 {
+	c, err := orderValues(args[0], args[1])
+	if err != nil {
+		return val.Nil, err
+	}
+	if c >= 0 {
 		return args[0], nil
 	}
 	return args[1], nil

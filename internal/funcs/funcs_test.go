@@ -226,6 +226,59 @@ func TestMinMaxAbs(t *testing.T) {
 	}
 }
 
+// TestMinMaxMixedKinds pins f_min/f_max's typing: mixed int/float
+// compares numerically (like the comparison operators), same-kind
+// non-numeric values order naturally, and mixed non-numeric kinds raise
+// ErrType instead of silently ordering by the internal kind tag.
+func TestMinMaxMixedKinds(t *testing.T) {
+	env := Env{
+		"I": val.NewInt(5), "F": val.NewFloat(2.5),
+		"S": val.NewString("a"), "T": val.NewString("b"),
+		"A": val.NewAddr("n1"),
+	}
+	// Numeric normalization across kinds.
+	if got, err := Eval(exprOf(t, "X := f_min(I, F)"), env); err != nil || got.Float() != 2.5 {
+		t.Errorf("f_min(5, 2.5) = %v, %v", got, err)
+	}
+	if got, err := Eval(exprOf(t, "X := f_max(I, F)"), env); err != nil || got.Int() != 5 {
+		t.Errorf("f_max(5, 2.5) = %v, %v", got, err)
+	}
+	// Numeric ties return the first argument with its kind intact.
+	envTie := Env{"I": val.NewInt(3), "F": val.NewFloat(3)}
+	if got, err := Eval(exprOf(t, "X := f_min(I, F)"), envTie); err != nil || got.Kind() != val.KindInt {
+		t.Errorf("f_min(3, 3.0) = %v (%v), %v", got, got.Kind(), err)
+	}
+	if got, err := Eval(exprOf(t, "X := f_min(F, I)"), envTie); err != nil || got.Kind() != val.KindFloat {
+		t.Errorf("f_min(3.0, 3) = %v (%v), %v", got, got.Kind(), err)
+	}
+	// Same-kind int pairs compare exactly: values beyond 2^53 must not
+	// collapse through float64.
+	big := int64(1) << 53
+	envBig := Env{"P": val.NewInt(big + 1), "Q": val.NewInt(big)}
+	if got, err := Eval(exprOf(t, "X := f_min(P, Q)"), envBig); err != nil || got.Int() != big {
+		t.Errorf("f_min(2^53+1, 2^53) = %v, %v; want 2^53", got, err)
+	}
+	if got, err := Eval(exprOf(t, "X := f_max(Q, P)"), envBig); err != nil || got.Int() != big+1 {
+		t.Errorf("f_max(2^53, 2^53+1) = %v, %v; want 2^53+1", got, err)
+	}
+	// Same-kind non-numeric values still order.
+	if got, err := Eval(exprOf(t, "X := f_min(S, T)"), env); err != nil || got.Str() != "a" {
+		t.Errorf("f_min(\"a\", \"b\") = %v, %v", got, err)
+	}
+	if got, err := Eval(exprOf(t, "X := f_max(S, T)"), env); err != nil || got.Str() != "b" {
+		t.Errorf("f_max(\"a\", \"b\") = %v, %v", got, err)
+	}
+	// Mixed non-numeric kinds are type errors, matching "<".
+	for _, src := range []string{
+		"X := f_min(S, I)", "X := f_max(S, I)",
+		"X := f_min(A, S)", "X := f_max(I, A)",
+	} {
+		if _, err := Eval(exprOf(t, src), env); !errors.Is(err, ErrType) {
+			t.Errorf("%s: err = %v, want ErrType", src, err)
+		}
+	}
+}
+
 func TestPrevHop(t *testing.T) {
 	env := Env{"P": addrList("s", "z", "d")}
 	cases := []struct {

@@ -21,6 +21,7 @@ import (
 
 	"ndlog/internal/ast"
 	"ndlog/internal/engine"
+	"ndlog/internal/val"
 )
 
 // Runner drives one NDlog program over UDP.
@@ -148,18 +149,44 @@ func (r *Runner) Inject(id string, d engine.Delta) error {
 	return nil
 }
 
-// dispatch sends outbound deltas as one datagram per delta (the
-// simulator's default policy) from the node's own socket.
+// dispatchMaxPayload caps a batched datagram's estimated payload so it
+// stays well under the 64 KiB UDP limit (and the receive buffer).
+const dispatchMaxPayload = 32 << 10
+
+// dispatch batches one drain's outbound deltas per destination — one
+// datagram carries every tuple bound for the same peer, mirroring the
+// simulator's per-pump batching — chunked so no datagram exceeds
+// dispatchMaxPayload.
 func (r *Runner) dispatch(nn *netNode, outs []engine.OutDelta) {
+	byDst := map[string][]engine.Delta{}
+	var order []string
 	for _, o := range outs {
-		dst, ok := r.book[o.Dst]
-		if !ok {
+		if _, ok := r.book[o.Dst]; !ok {
 			continue
 		}
-		payload := engine.EncodeDeltas([]engine.Delta{o.Delta})
-		if _, err := nn.conn.WriteToUDP(payload, dst); err == nil {
-			r.bytes.Add(int64(len(payload)))
-			r.messages.Add(1)
+		if _, ok := byDst[o.Dst]; !ok {
+			order = append(order, o.Dst)
+		}
+		byDst[o.Dst] = append(byDst[o.Dst], o.Delta)
+	}
+	for _, dstID := range order {
+		dst := r.book[dstID]
+		deltas := byDst[dstID]
+		for len(deltas) > 0 {
+			n, size := 0, 0
+			for n < len(deltas) {
+				size += 1 + val.EncodedSize(deltas[n].Tuple)
+				if n > 0 && size > dispatchMaxPayload {
+					break
+				}
+				n++
+			}
+			payload := engine.EncodeDeltas(deltas[:n])
+			deltas = deltas[n:]
+			if _, err := nn.conn.WriteToUDP(payload, dst); err == nil {
+				r.bytes.Add(int64(len(payload)))
+				r.messages.Add(1)
+			}
 		}
 	}
 }

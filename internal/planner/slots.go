@@ -1,0 +1,77 @@
+package planner
+
+import "ndlog/internal/ast"
+
+// SlotMap is the compile-time numbering of one rule's variables: every
+// variable name maps to a dense slot index, assigned in first-occurrence
+// order scanning the body (atoms, assignments, selections) and then the
+// head. The engine evaluates rules over a slot-addressed environment
+// ([]val.Value plus a bound bitset) instead of a string-keyed map, so
+// variable lookup on the join hot path is a slice index, not a hash.
+type SlotMap struct {
+	names []string
+	index map[string]int
+}
+
+// AssignSlots numbers every variable of r. Rules are numbered after
+// localization, so the map covers exactly the variables one strand of
+// the rule can bind or read.
+func AssignSlots(r *ast.Rule) *SlotMap {
+	m := &SlotMap{index: map[string]int{}}
+	for _, t := range r.Body {
+		switch x := t.(type) {
+		case *ast.Atom:
+			for _, a := range x.Args {
+				m.addExpr(a)
+			}
+		case *ast.Assign:
+			// Operands first (Check guarantees they are already bound),
+			// then the freshly bound target.
+			m.addExpr(x.Expr)
+			m.add(x.Var)
+		case *ast.Select:
+			m.addExpr(x.Cond)
+		}
+	}
+	for _, a := range r.Head.Args {
+		m.addExpr(a)
+	}
+	return m
+}
+
+func (m *SlotMap) add(name string) {
+	if _, ok := m.index[name]; !ok {
+		m.index[name] = len(m.names)
+		m.names = append(m.names, name)
+	}
+}
+
+// addExpr walks e in deterministic (left-to-right) order; ast.Vars is
+// unsuitable here because map iteration would scramble slot numbers.
+func (m *SlotMap) addExpr(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Var:
+		m.add(x.Name)
+	case *ast.BinOp:
+		m.addExpr(x.L)
+		m.addExpr(x.R)
+	case *ast.Call:
+		for _, a := range x.Args {
+			m.addExpr(a)
+		}
+	case *ast.Agg:
+		m.add(x.Var)
+	}
+}
+
+// Slot resolves a variable name to its slot index.
+func (m *SlotMap) Slot(name string) (int, bool) {
+	i, ok := m.index[name]
+	return i, ok
+}
+
+// Len returns the number of slots.
+func (m *SlotMap) Len() int { return len(m.names) }
+
+// Name returns the variable name of a slot (for error messages).
+func (m *SlotMap) Name(slot int) string { return m.names[slot] }

@@ -1,0 +1,69 @@
+package planner
+
+import (
+	"testing"
+
+	"ndlog/internal/parser"
+)
+
+func TestAssignSlotsFirstOccurrenceOrder(t *testing.T) {
+	r, err := parser.ParseRule(
+		"sp2 path(@S,D,P,C) :- #link(@S,Z,C1), path(@Z,D,P2,C2), C := C1 + C2, P := f_concatPath(S, P2), C < 10.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := AssignSlots(r)
+	want := []string{"S", "Z", "C1", "D", "P2", "C2", "C", "P"}
+	if m.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d (%v)", m.Len(), len(want), want)
+	}
+	for i, name := range want {
+		slot, ok := m.Slot(name)
+		if !ok || slot != i {
+			t.Errorf("Slot(%s) = %d, %v; want %d", name, slot, ok, i)
+		}
+		if m.Name(i) != name {
+			t.Errorf("Name(%d) = %s, want %s", i, m.Name(i), name)
+		}
+	}
+	if _, ok := m.Slot("Missing"); ok {
+		t.Error("Slot(Missing) should not resolve")
+	}
+}
+
+func TestAssignSlotsCoversHeadAggregate(t *testing.T) {
+	r, err := parser.ParseRule("sp3 spCost(@S,D,min<C>) :- path(@S,D,P,C).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := AssignSlots(r)
+	for _, name := range []string{"S", "D", "P", "C"} {
+		if _, ok := m.Slot(name); !ok {
+			t.Errorf("variable %s has no slot", name)
+		}
+	}
+	if m.Len() != 4 {
+		t.Errorf("Len = %d, want 4", m.Len())
+	}
+}
+
+func TestAssignSlotsDeterministic(t *testing.T) {
+	src := "r1 p(@A,B,X) :- q(@A,B), s(@A,C), X := f_min(B, C), B != C."
+	r1, err := parser.ParseRule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := AssignSlots(r1)
+	for trial := 0; trial < 20; trial++ {
+		r2, _ := parser.ParseRule(src)
+		m2 := AssignSlots(r2)
+		if m2.Len() != m1.Len() {
+			t.Fatalf("trial %d: Len %d != %d", trial, m2.Len(), m1.Len())
+		}
+		for i := 0; i < m1.Len(); i++ {
+			if m1.Name(i) != m2.Name(i) {
+				t.Fatalf("trial %d: slot %d = %s vs %s", trial, i, m1.Name(i), m2.Name(i))
+			}
+		}
+	}
+}

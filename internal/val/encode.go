@@ -95,7 +95,10 @@ func DecodeValue(b []byte) (Value, int, error) {
 			return Nil, 0, ErrCorrupt
 		}
 		n += m
-		vs := make([]Value, 0, cnt)
+		// Cap preallocation by the remaining payload (each element takes
+		// at least one byte): a corrupt length must fail on truncation,
+		// not allocate first.
+		vs := make([]Value, 0, min(cnt, uint64(len(b)-n)))
 		for i := uint64(0); i < cnt; i++ {
 			v, m, err := DecodeValue(b[n:])
 			if err != nil {
@@ -139,7 +142,9 @@ func DecodeTuple(b []byte) (Tuple, int, error) {
 		return Tuple{}, 0, ErrCorrupt
 	}
 	n += m
-	fs := make([]Value, 0, cnt)
+	// Cap preallocation by the remaining payload, as in DecodeValue: a
+	// corrupt field count fails on truncation instead of allocating.
+	fs := make([]Value, 0, min(cnt, uint64(len(b)-n)))
 	for i := uint64(0); i < cnt; i++ {
 		v, m, err := DecodeValue(b[n:])
 		if err != nil {
