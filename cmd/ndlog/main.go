@@ -29,6 +29,7 @@ func main() {
 	dist := flag.Bool("dist", false, "distributed execution over the simulator")
 	latency := flag.Duration("latency", 10*time.Millisecond, "link latency for distributed execution")
 	aggsel := flag.Bool("aggsel", true, "enable aggregate selections")
+	arena := flag.Bool("arena", false, "per-drain arena interning for transient tuples (long-running forwarding workloads)")
 	dump := flag.String("dump", "", "comma-separated extra predicates to print")
 	trace := flag.Bool("trace", false, "trace derivations of watched predicates")
 	flag.Parse()
@@ -47,7 +48,7 @@ func main() {
 		fail(err)
 	}
 
-	opts := engine.Options{AggSel: *aggsel}
+	opts := engine.Options{AggSel: *aggsel, ArenaIntern: *arena}
 	if *trace && len(prog.Watches) > 0 {
 		watched := map[string]bool{}
 		for _, w := range prog.Watches {

@@ -14,7 +14,10 @@ type Central struct {
 	prog *program
 }
 
-// NewCentral compiles prog for single-site evaluation.
+// NewCentral compiles prog for single-site evaluation. The central node
+// keeps one interner shared by every predicate and every evaluation
+// round: all derived, decoded, and stored tuples of the whole run
+// resolve to single canonical copies.
 func NewCentral(prog *ast.Program, opts Options) (*Central, error) {
 	p, err := compile(prog)
 	if err != nil {

@@ -166,7 +166,10 @@ type clusterHandler struct {
 
 func (h *clusterHandler) HandleMessage(now float64, from simnet.NodeID, payload []byte) {
 	h.n.SetNow(now)
-	deltas, err := DecodeMessage(payload)
+	// Decode against the receiving node's interner: a tuple this node has
+	// seen (stored, derived, or previously received) decodes to its
+	// canonical copy without allocating.
+	deltas, err := DecodeMessageIn(payload, h.n.Interner())
 	if err != nil {
 		panic(fmt.Sprintf("engine: node %s: %v", h.n.id, err))
 	}

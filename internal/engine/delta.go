@@ -67,7 +67,12 @@ func EncodeDeltas(ds []Delta) []byte {
 }
 
 // DecodeDeltas unmarshals a plain delta batch (caller checks the kind).
-func DecodeDeltas(b []byte) ([]Delta, error) {
+func DecodeDeltas(b []byte) ([]Delta, error) { return DecodeDeltasIn(b, nil) }
+
+// DecodeDeltasIn is DecodeDeltas resolving every decoded tuple through
+// the receiving node's interner (nil skips interning). Decoded tuples
+// never alias b, so callers may reuse the read buffer.
+func DecodeDeltasIn(b []byte, in *val.Interner) ([]Delta, error) {
 	if len(b) == 0 || msgKind(b[0]) != msgDeltas {
 		return nil, fmt.Errorf("engine: not a delta message")
 	}
@@ -90,7 +95,7 @@ func DecodeDeltas(b []byte) ([]Delta, error) {
 			sign = -1
 		}
 		b = b[1:]
-		t, m, err := val.DecodeTuple(b)
+		t, m, err := val.DecodeTupleIn(b, in)
 		if err != nil {
 			return nil, fmt.Errorf("engine: bad tuple in delta batch: %w", err)
 		}

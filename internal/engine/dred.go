@@ -99,8 +99,10 @@ func (c *Central) DeleteDRed(t val.Tuple) error {
 	removed := tupleSet{}
 	queue := []val.Tuple{t}
 	// One context (and its slot environment) serves the whole walk; only
-	// the deleted-tuple fields change per queue item.
-	ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res}
+	// the deleted-tuple fields change per queue item. Heads resolve
+	// through the node's persistent interner, so the over-delete queue
+	// and the rederivation sets compare canonical tuples by pointer.
+	ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res, in: n.in}
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
@@ -165,7 +167,7 @@ func (c *Central) rederiveOnce(overdeleted tupleSet) []val.Tuple {
 	n := c.node
 	var out []val.Tuple
 	found := tupleSet{}
-	ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res}
+	ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res, in: n.in}
 	for _, sts := range n.prog.strands {
 		for _, st := range sts {
 			if st.isAgg || st.trigger != 0 {

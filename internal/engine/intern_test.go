@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"testing"
+
+	"ndlog/internal/val"
+)
+
+func pathTuple(cost float64) val.Tuple {
+	return val.NewTuple("path", val.NewAddr("a"), val.NewAddr("b"),
+		val.NewList(val.NewAddr("a"), val.NewAddr("b")), val.NewFloat(cost))
+}
+
+// TestNodeDecodeCanonical verifies the tentpole wiring end to end: a
+// tuple a node has stored (and seen repeat) decodes from the wire to
+// the single canonical copy — the same object on every arrival — so
+// tuple equality downstream is a pointer compare.
+func TestNodeDecodeCanonical(t *testing.T) {
+	c := central(t, "materialize(path, infinity, infinity, keys(1,2)).\n", Options{})
+	p := pathTuple(1)
+	c.Insert(p) // first touch: stored
+	c.Insert(p) // second touch: pooled (second-touch interning)
+
+	enc := EncodeDeltas([]Delta{Insert(p)})
+	in := c.Node().Interner()
+	d1, err := DecodeDeltasIn(enc, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeDeltasIn(enc, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := d1[0].Tuple, d2[0].Tuple
+	if !t1.Equal(p) || !t2.Equal(p) {
+		t.Fatalf("decode mismatch: %v %v", t1, t2)
+	}
+	if &t1.Fields[0] != &t2.Fields[0] {
+		t.Error("repeat decode of a pooled tuple must return the canonical copy")
+	}
+	// The canonical copy is the stored row itself.
+	e, ok := c.Node().Catalog().Get("path").Get(p)
+	if !ok {
+		t.Fatal("path row missing")
+	}
+	if &e.Tuple.Fields[0] != &t1.Fields[0] {
+		t.Error("decoded tuple must share storage with the stored row")
+	}
+}
+
+// TestArenaInternMode verifies the per-drain arena: transient tuples
+// resolve through an interner that is dropped after every drain, so the
+// arena never accumulates state while evaluation stays correct.
+func TestArenaInternMode(t *testing.T) {
+	c := central(t, "materialize(path, infinity, infinity, keys(1,2)).\n", Options{ArenaIntern: true})
+	for i := 0; i < 3; i++ {
+		c.Insert(pathTuple(1))
+	}
+	if got := c.Node().Catalog().Get("path").Count(pathTuple(1)); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if n := c.Node().Interner().Len(); n != 0 {
+		t.Errorf("arena must be empty after a drain, holds %d entries", n)
+	}
+}
+
+// TestStoreInsertSecondTouchPools pins the pooling policy: a row enters
+// the pool on its second touch (first duplicate insert), not before.
+func TestStoreInsertSecondTouchPools(t *testing.T) {
+	c := central(t, "materialize(path, infinity, infinity, keys(1,2)).\n", Options{})
+	p := pathTuple(1)
+	c.Insert(p)
+	e, ok := c.Node().Catalog().Get("path").Get(p)
+	if !ok {
+		t.Fatal("path row missing")
+	}
+	if e.Pooled {
+		t.Error("single-touch row must not be pooled")
+	}
+	c.Insert(p) // second touch
+	if !e.Pooled {
+		t.Error("duplicate insert must pool the stored row")
+	}
+	// A primary-key replacement reuses the entry for a different tuple:
+	// the pooled state must not stick, and the new value must pool on
+	// its own second touch.
+	p2 := pathTuple(2) // same keys (1,2), different cost: replaces
+	c.Insert(p2)
+	e2, ok := c.Node().Catalog().Get("path").Get(p2)
+	if !ok {
+		t.Fatal("replaced row missing")
+	}
+	if e2.Pooled {
+		t.Error("replacement must clear the entry's pooled state")
+	}
+	c.Insert(p2)
+	if !e2.Pooled {
+		t.Error("replacement value must pool on its second touch")
+	}
+
+	// Small flat tuples stay off the pool entirely.
+	c2 := central(t, "materialize(link, infinity, infinity, keys(1,2)).\n", Options{})
+	l := val.NewTuple("link", val.NewAddr("a"), val.NewAddr("b"), val.NewInt(1))
+	c2.Insert(l)
+	c2.Insert(l)
+	if e2, ok := c2.Node().Catalog().Get("link").Get(l); !ok || e2.Pooled {
+		t.Errorf("flat tuple must not be pooled (ok=%v)", ok)
+	}
+}

@@ -71,6 +71,15 @@ type Options struct {
 	// OnDerive observes every derived head tuple before routing, with
 	// the label of the deriving rule. Used by watch(...) tracing.
 	OnDerive func(nodeID, ruleLabel string, d Delta)
+	// ArenaIntern switches the node's tuple pool to a per-drain arena:
+	// wire decode, head instantiation, and second-touch store pooling
+	// all go through an interner that is dropped wholesale after every
+	// Drain. Repeats within one pump unify; nothing is retained across
+	// drains, so long-running forwarding workloads hold no pool state at
+	// all between pumps. Off by default: the persistent interner is
+	// bounded anyway, and cross-drain sharing is worth more on most
+	// workloads.
+	ArenaIntern bool
 }
 
 // Node is one NDlog runtime instance: the tables, aggregate state, and
@@ -104,8 +113,19 @@ type Node struct {
 	// engine is single-threaded per node, so one context serves every
 	// strand run.
 	jc joinCtx
-	// aggKeyScratch backs aggKeyVals between aggregate emits.
-	aggKeyScratch []val.Value
+	// aggKeyScratch backs aggKeyVals between aggregate emits;
+	// aggHeadScratch backs aggHead instantiation.
+	aggKeyScratch  []val.Value
+	aggHeadScratch []val.Value
+
+	// in is the node's persistent tuple interner: rows that repeat
+	// resolve to one canonical copy, making equality a pointer compare
+	// downstream. arena, when ArenaIntern is set, replaces it as the
+	// tuple pool for decode, heads, and store pooling; Drain resets it
+	// (aggregate group keys still intern into in — they are long-lived
+	// regardless).
+	in    *val.Interner
+	arena *val.Interner
 }
 
 // OutDelta is a derived delta bound for another node, returned by
@@ -159,7 +179,6 @@ func projectVals(t val.Tuple, cols []int) []val.Value {
 	return out
 }
 
-
 // newNode builds a node for a compiled program.
 func newNode(id string, prog *program, opts Options) *Node {
 	n := &Node{
@@ -169,6 +188,10 @@ func newNode(id string, prog *program, opts Options) *Node {
 		cat:  table.NewCatalog(),
 		aggs: map[*ast.Rule]*aggState{},
 		sels: map[string][]*selControl{},
+		in:   val.NewInterner(),
+	}
+	if opts.ArenaIntern {
+		n.arena = val.NewInterner()
 	}
 	for name, d := range prog.decls {
 		n.cat.Declare(name, d.Keys, d.Lifetime, d.MaxSize)
@@ -201,12 +224,15 @@ func newNode(id string, prog *program, opts Options) *Node {
 			agg := st.rule.Head.Args[st.aggIdx].(*ast.Agg)
 			n.aggs[st.rule] = &aggState{
 				st:  st,
-				agg: table.NewGroupAgg(agg.Func),
+				agg: table.NewGroupAgg(agg.Func).SetInterner(n.in),
 			}
 		}
 	}
 	n.jc.cat = n.cat
 	n.jc.res = n.res
+	// Derived heads are transient until stored: resolve them through the
+	// arena when one is configured, the persistent pool otherwise.
+	n.jc.in = n.transientIn()
 	// One slot environment sized for the widest rule serves every strand
 	// run at this node (the engine is single-threaded per node).
 	n.jc.env = funcs.NewSlotEnv(prog.maxSlots)
@@ -254,6 +280,21 @@ func (n *Node) ID() string { return n.id }
 // reserved for tests and cache hooks).
 func (n *Node) Catalog() *table.Catalog { return n.cat }
 
+// transientIn is the interner transient tuples (wire decode, head
+// instantiation) resolve through: the per-drain arena when configured,
+// else the persistent pool.
+func (n *Node) transientIn() *val.Interner {
+	if n.arena != nil {
+		return n.arena
+	}
+	return n.in
+}
+
+// Interner returns the interner that wire decoders feeding this node
+// should resolve incoming tuples through (see DecodeMessageIn). Drivers
+// must call it under the same single-threading discipline as Push/Drain.
+func (n *Node) Interner() *val.Interner { return n.transientIn() }
+
 // SetNow advances the node's virtual clock (driver responsibility).
 func (n *Node) SetNow(now float64) { n.now = now }
 
@@ -275,6 +316,13 @@ func (n *Node) Drain() []OutDelta {
 	}
 	out := n.out
 	n.out = nil
+	if n.arena != nil {
+		// Per-drain arena mode: the pool from this drain is no longer
+		// needed once the queue is empty — stored rows own their tuples,
+		// outbound deltas are owned by out. Dropping the arena is always
+		// safe (it is a cache, not an owner).
+		n.arena.Reset()
+	}
 	return out
 }
 
@@ -329,6 +377,27 @@ func (n *Node) process(d Delta) {
 func (n *Node) storeInsert(t val.Tuple, stamp uint64) (val.Tuple, bool) {
 	tbl := n.cat.Get(t.Pred)
 	res := tbl.Insert(t, stamp, n.now)
+	// Pool intern-worthy rows on their second touch: a duplicate insert
+	// proves the tuple repeats, and the stored copy (res.Dup) becomes
+	// the canonical one that wire decode and head instantiation resolve
+	// later re-arrivals and re-derivations onto. Rows inserted once and
+	// never touched again — the bulk of a convergence run — never pay
+	// pool bookkeeping, which keeps the pool small and hit-dense; the
+	// Pooled flag makes the probe itself once-per-row. In arena mode the
+	// pool is the per-drain arena (the resolve side reads the same
+	// arena), so Pooled — which would outlive the arena's reset — is not
+	// used to short-circuit.
+	if res.Status == table.StatusDuplicate && val.InternWorthy(res.Dup.Tuple.Fields) {
+		if n.arena != nil {
+			res.Dup.Tuple = n.arena.InternH(tbl.NameHash(), res.Dup.Tuple)
+		} else if ep := n.in.Epoch(); !res.Dup.Pooled || ep-res.Dup.PooledEpoch >= 2 {
+			// Not pooled yet, or pooled long enough ago that two
+			// generation flips may have evicted the canonical: (re)intern
+			// so hot rows stay resolvable on long-running nodes.
+			res.Dup.Tuple = n.in.InternH(tbl.NameHash(), res.Dup.Tuple)
+			res.Dup.Pooled, res.Dup.PooledEpoch = true, ep
+		}
+	}
 	switch res.Status {
 	case table.StatusReplaced:
 		// The displaced row's advertisement state rides along in the
@@ -572,10 +641,10 @@ func (n *Node) runAggStrands(sign int8, t val.Tuple, ltBefore, leAfter int64) (i
 				return
 			}
 			if ch.HadOld {
-				n.route(derived{tuple: aggHead(d.tuple.Pred, fields, st.aggIdx, ch.Old), loc: d.loc}, -1, st.rule.Label)
+				n.route(derived{tuple: n.aggHead(st, d.tuple.Pred, fields, ch.Old), loc: d.loc}, -1, st.rule.Label)
 			}
 			if ch.HasNew {
-				n.route(derived{tuple: aggHead(d.tuple.Pred, fields, st.aggIdx, ch.New), loc: d.loc}, +1, st.rule.Label)
+				n.route(derived{tuple: n.aggHead(st, d.tuple.Pred, fields, ch.New), loc: d.loc}, +1, st.rule.Label)
 			}
 		})
 		if err != nil {
@@ -602,12 +671,20 @@ func aggKeyVals(fields []val.Value, aggIdx int, dst []val.Value) []val.Value {
 }
 
 // aggHead rebuilds an aggregate head tuple with the aggregate value
-// substituted at aggIdx.
-func aggHead(pred string, fields []val.Value, aggIdx int, aggVal val.Value) val.Tuple {
-	out := make([]val.Value, len(fields))
-	copy(out, fields)
-	out[aggIdx] = aggVal
-	return val.NewTuple(pred, out...)
+// substituted at aggIdx, resolved through the interner: the substitution
+// runs in reusable scratch and only never-seen aggregate outputs copy
+// out of it.
+func (n *Node) aggHead(st *strand, pred string, fields []val.Value, aggVal val.Value) val.Tuple {
+	buf := append(n.aggHeadScratch[:0], fields...)
+	buf[st.aggIdx] = aggVal
+	n.aggHeadScratch = buf[:0]
+	if !val.InternWorthy(buf) {
+		return val.NewTuple(pred, append([]val.Value(nil), buf...)...)
+	}
+	// Resolve, not intern: superseded aggregate outputs are one-shot
+	// (each improvement obsoletes the last); stored ones are pooled by
+	// storeInsert and resolve canonically on the next rebuild.
+	return n.transientIn().ResolveH(st.code.headPredHash, pred, buf)
 }
 
 // resetCtx prepares the node's reusable join context for one delta.
@@ -662,7 +739,28 @@ func (n *Node) route(d derived, sign int8, ruleLabel string) {
 
 // ExpireSoftState removes TTL-lapsed tuples and propagates their
 // deletions (soft-state semantics, Section 4.2).
+//
+// A TTL can lapse while a refresh or rederivation of the same tuple is
+// already sitting in the delta queue (BSN buffers arrivals between
+// pumps; drivers fire expiry timers between drains). Expiring such a
+// tuple anyway would emit a retraction wave that the queued insertion
+// immediately re-derives — and because soft-state duplicates refresh
+// instead of counting, the interleaved +insert / -delete can cancel a
+// freshly re-derived downstream row outright (a double-delete) and
+// churn the canonical interned rows. The sweep therefore treats a
+// pending insertion as the refresh it is about to become: the entry
+// survives, and the queued delta renews its TTL when the queue drains.
 func (n *Node) ExpireSoftState() {
+	// Index the queued insertions of soft-state predicates once per sweep.
+	var pending tupleSet
+	for _, d := range n.queue {
+		if d.Sign > 0 && n.cat.Get(d.Tuple.Pred).TTL() >= 0 {
+			if pending == nil {
+				pending = tupleSet{}
+			}
+			pending.add(d.Tuple)
+		}
+	}
 	for _, name := range n.cat.Names() {
 		tbl := n.cat.Get(name)
 		if tbl.TTL() < 0 {
@@ -676,12 +774,17 @@ func (n *Node) ExpireSoftState() {
 		}
 		var deads []dead
 		tbl.Scan(func(e *table.Entry) bool {
-			if e.Expires >= 0 && e.Expires <= n.now {
+			if e.Expires >= 0 && e.Expires <= n.now && !pending.has(e.Tuple) {
 				deads = append(deads, dead{t: e.Tuple, wasAdv: e.Adv, stamp: e.Stamp})
 			}
 			return true
 		})
-		tbl.ExpireBefore(n.now)
+		// Remove exactly the captured entries (not a blanket
+		// ExpireBefore): entries spared by a pending refresh must survive
+		// with their row and index state intact.
+		for _, d := range deads {
+			tbl.DeleteByKey(d.t)
+		}
 		for _, d := range deads {
 			n.afterDelete(d.t, d.wasAdv, d.stamp)
 		}

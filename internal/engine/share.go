@@ -34,8 +34,8 @@ type ShareConfig struct {
 // keying.
 type shareKey struct {
 	solo bool
-	base val.Tuple // solo only: the tuple itself
-	name string    // share group name
+	base val.Tuple   // solo only: the tuple itself
+	name string      // share group name
 	vals []val.Value // non-varying column values, in column order
 }
 
@@ -159,16 +159,25 @@ func appendShareString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-func readShareString(b []byte) (string, int, error) {
+// readShareString decodes a predicate name; the result is copied (or
+// interned), never a view of b.
+func readShareString(b []byte, in *val.Interner) (string, int, error) {
 	l, n := binary.Uvarint(b)
 	if n <= 0 || uint64(len(b)-n) < l {
 		return "", 0, fmt.Errorf("engine: corrupt shared string")
+	}
+	if in != nil {
+		return in.InternString(string(b[n : n+int(l)])), n + int(l), nil
 	}
 	return string(b[n : n+int(l)]), n + int(l), nil
 }
 
 // DecodeShared expands a share-combined message back into its deltas.
-func DecodeShared(b []byte) ([]Delta, error) {
+func DecodeShared(b []byte) ([]Delta, error) { return DecodeSharedIn(b, nil) }
+
+// DecodeSharedIn is DecodeShared resolving every expanded tuple through
+// the receiving node's interner (nil skips interning).
+func DecodeSharedIn(b []byte, in *val.Interner) ([]Delta, error) {
 	if len(b) == 0 || msgKind(b[0]) != msgShared {
 		return nil, fmt.Errorf("engine: not a shared message")
 	}
@@ -191,7 +200,7 @@ func DecodeShared(b []byte) ([]Delta, error) {
 			sign = -1
 		}
 		b = b[1:]
-		base, m, err := val.DecodeTuple(b)
+		base, m, err := val.DecodeTupleIn(b, in)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +220,7 @@ func DecodeShared(b []byte) ([]Delta, error) {
 				esign = -1
 			}
 			b = b[1:]
-			pred, m3, err := readShareString(b)
+			pred, m3, err := readShareString(b, in)
 			if err != nil {
 				return nil, err
 			}
@@ -229,7 +238,7 @@ func DecodeShared(b []byte) ([]Delta, error) {
 					return nil, fmt.Errorf("engine: corrupt vary column")
 				}
 				b = b[m5:]
-				v, m6, err := val.DecodeValue(b)
+				v, m6, err := val.DecodeValueIn(b, in)
 				if err != nil {
 					return nil, err
 				}
@@ -238,22 +247,30 @@ func DecodeShared(b []byte) ([]Delta, error) {
 					fields[col] = v
 				}
 			}
-			out = append(out, Delta{Sign: esign, Tuple: val.NewTuple(pred, fields...)})
+			t := val.NewTuple(pred, fields...)
+			if in != nil && val.InternWorthy(fields) {
+				t = in.ResolveTuple(t)
+			}
+			out = append(out, Delta{Sign: esign, Tuple: t})
 		}
 	}
 	return out, nil
 }
 
 // DecodeMessage dispatches on the message kind byte.
-func DecodeMessage(b []byte) ([]Delta, error) {
+func DecodeMessage(b []byte) ([]Delta, error) { return DecodeMessageIn(b, nil) }
+
+// DecodeMessageIn is DecodeMessage resolving decoded tuples through the
+// receiving node's interner (nil skips interning).
+func DecodeMessageIn(b []byte, in *val.Interner) ([]Delta, error) {
 	if len(b) == 0 {
 		return nil, fmt.Errorf("engine: empty message")
 	}
 	switch msgKind(b[0]) {
 	case msgDeltas:
-		return DecodeDeltas(b)
+		return DecodeDeltasIn(b, in)
 	case msgShared:
-		return DecodeShared(b)
+		return DecodeSharedIn(b, in)
 	}
 	return nil, fmt.Errorf("engine: unknown message kind %d", b[0])
 }

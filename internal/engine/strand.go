@@ -45,6 +45,10 @@ type strand struct {
 // environment maps survive on the join or head-instantiation path.
 type ruleCode struct {
 	nslots int
+	// headPredHash is the head predicate's cached hash state: the fixed
+	// prefix of every instantiated head's intern key, folded once at
+	// compile time instead of per derivation.
+	headPredHash val.Hash64
 	// args[i] are the lowered arguments of body atom i: each a constant
 	// or an environment slot. Shared by every strand of the rule (arg
 	// lowering does not depend on the trigger position).
@@ -94,14 +98,14 @@ type headArg struct {
 // literal constant or read from an environment slot.
 type probeArg struct {
 	col      int
-	slot     int32     // >= 0: read env slot; < 0: constVal
+	slot     int32 // >= 0: read env slot; < 0: constVal
 	constVal val.Value
 }
 
 // compileRule lowers a localized rule to its slot-addressed form.
 func compileRule(r *ast.Rule, atoms []*ast.Atom) (*ruleCode, error) {
 	sm := planner.AssignSlots(r)
-	code := &ruleCode{nslots: sm.Len()}
+	code := &ruleCode{nslots: sm.Len(), headPredHash: val.HashPredicate(r.Head.Pred)}
 
 	code.args = make([][]slotArg, len(atoms))
 	for i, a := range atoms {
@@ -398,6 +402,12 @@ type joinCtx struct {
 	// (slot indices to unbind); run resets them per delta.
 	env *funcs.SlotEnv
 	tr  []int32
+	// in, when non-nil, resolves instantiated head tuples to their
+	// canonical interned copy; headBuf is the reusable instantiation
+	// buffer that makes repeated derivations allocation-free (the
+	// interner copies it only for tuples never seen before).
+	in      *val.Interner
+	headBuf []val.Value
 }
 
 // strandRes is one node's resolved handles for one strand: the table
@@ -536,7 +546,7 @@ func (s *strand) finish(ctx *joinCtx, emit func(derived)) error {
 			}
 		}
 	}
-	head, err := s.instantiateHead(ctx.env)
+	head, err := s.instantiateHead(ctx)
 	if err != nil {
 		return err
 	}
@@ -544,14 +554,22 @@ func (s *strand) finish(ctx *joinCtx, emit func(derived)) error {
 	return nil
 }
 
-// instantiateHead builds the head tuple from the slot environment. For
-// aggregate rules, the aggregate position receives the raw aggregated
-// variable's value; the caller replaces it with the group aggregate.
-func (s *strand) instantiateHead(env *funcs.SlotEnv) (val.Tuple, error) {
-	fields := make([]val.Value, len(s.code.head))
+// instantiateHead builds the head tuple from the slot environment,
+// resolved through the context's interner: the fields are evaluated into
+// the reusable headBuf and only tuples never derived before copy out of
+// it, so re-derivations (semi-naïve rounds, soft-state refreshes, count
+// cancellations) allocate nothing here. For aggregate rules, the
+// aggregate position receives the raw aggregated variable's value; the
+// caller replaces it with the group aggregate.
+func (s *strand) instantiateHead(ctx *joinCtx) (val.Tuple, error) {
+	n := len(s.code.head)
+	if cap(ctx.headBuf) < n {
+		ctx.headBuf = make([]val.Value, n)
+	}
+	fields := ctx.headBuf[:n]
 	for i, ha := range s.code.head {
 		if ha.slot >= 0 {
-			v, ok := env.Get(int(ha.slot))
+			v, ok := ctx.env.Get(int(ha.slot))
 			if !ok {
 				if ha.aggVar != "" {
 					return val.Tuple{}, fmt.Errorf("rule %s: aggregate variable %s unbound", s.rule.Label, ha.aggVar)
@@ -563,11 +581,19 @@ func (s *strand) instantiateHead(env *funcs.SlotEnv) (val.Tuple, error) {
 			fields[i] = v
 			continue
 		}
-		v, err := ha.expr.Eval(env)
+		v, err := ha.expr.Eval(ctx.env)
 		if err != nil {
 			return val.Tuple{}, fmt.Errorf("rule %s head: %w", s.rule.Label, err)
 		}
 		fields[i] = v
 	}
-	return val.NewTuple(s.rule.Head.Pred, fields...), nil
+	if ctx.in != nil && val.InternWorthy(fields) {
+		// Resolve, not intern: most instantiated heads are explored once
+		// (then pruned or replaced); only tuples that enter a table are
+		// added to the pool (storeInsert), and re-derivations of those
+		// resolve to the canonical copy here without allocating. Small
+		// flat heads skip the probe — copying beats hashing for them.
+		return ctx.in.ResolveH(s.code.headPredHash, s.rule.Head.Pred, fields), nil
+	}
+	return val.NewTuple(s.rule.Head.Pred, append([]val.Value(nil), fields...)...), nil
 }

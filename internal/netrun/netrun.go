@@ -117,11 +117,15 @@ func (r *Runner) receiveLoop(nn *netNode) {
 		if err != nil {
 			continue // deadline or transient error; keep serving
 		}
-		deltas, err := engine.DecodeMessage(buf[:n])
+		// Decode under the node lock: the interner is node state, and the
+		// copy-on-decode invariant (decoded tuples never alias buf) is
+		// what lets this loop reuse one read buffer across datagrams.
+		nn.mu.Lock()
+		deltas, err := engine.DecodeMessageIn(buf[:n], nn.node.Interner())
 		if err != nil {
+			nn.mu.Unlock()
 			continue // corrupt datagram: drop, like any UDP protocol
 		}
-		nn.mu.Lock()
 		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
 		for _, d := range deltas {
 			nn.node.Push(d)

@@ -25,6 +25,11 @@ type GroupAgg struct {
 	// cycles) don't reallocate the key copy and multiset map every round.
 	// A sweep reclaims them if they ever dominate.
 	empties int
+	// in, when set, resolves retained group keys to their canonical
+	// interned slice: a group keyed by a projection of an interned tuple
+	// shares that tuple's field storage instead of copying it, and
+	// key-equality checks hit the shared-storage fast path.
+	in *val.Interner
 }
 
 type aggGroup struct {
@@ -50,6 +55,14 @@ type aggVal struct {
 // NewGroupAgg creates an incremental aggregate for fn.
 func NewGroupAgg(fn ast.AggFunc) *GroupAgg {
 	return &GroupAgg{fn: fn, groups: map[uint64][]*aggGroup{}}
+}
+
+// SetInterner makes the aggregate resolve retained group keys through
+// in (callers may still pass scratch keys; interning replaces the
+// private copy). Returns g for construction chaining.
+func (g *GroupAgg) SetInterner(in *val.Interner) *GroupAgg {
+	g.in = in
+	return g
 }
 
 // Change describes how a group's aggregate moved after an Add or Remove.
@@ -90,8 +103,14 @@ func (g *GroupAgg) group(h uint64, key []val.Value) *aggGroup {
 		}
 		return gr
 	}
+	var kcp []val.Value
+	if g.in != nil {
+		kcp = g.in.InternValues(key)
+	} else {
+		kcp = append([]val.Value(nil), key...)
+	}
 	gr := &aggGroup{
-		key:    append([]val.Value(nil), key...),
+		key:    kcp,
 		values: map[uint64][]*aggVal{},
 		allInt: true,
 	}

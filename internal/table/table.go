@@ -37,6 +37,13 @@ type Entry struct {
 	// or suppresses trigger strands for tuples that do not improve their
 	// group aggregate; Adv prevents double advertisement.
 	Adv bool
+	// Pooled records that the engine has interned this row (second-touch
+	// pooling): further duplicate inserts skip the pool probe entirely.
+	// PooledEpoch is the interner epoch at pooling time; once the pool
+	// has flipped twice since, the canonical may have been evicted and
+	// the engine re-interns on the next duplicate.
+	Pooled      bool
+	PooledEpoch int
 
 	// pkHash is the primary-key hash the entry is stored under; cached so
 	// deletes and index maintenance never rehash the tuple.
@@ -74,10 +81,11 @@ func (s Status) String() string {
 
 // Table is one materialized relation at one node.
 type Table struct {
-	name    string
-	keys    []int // primary-key columns; empty means the whole row
-	ttl     float64
-	maxSize int
+	name     string
+	nameHash val.Hash64 // cached HashPredicate(name), for intern keys
+	keys     []int      // primary-key columns; empty means the whole row
+	ttl      float64
+	maxSize  int
 
 	rows map[uint64][]*Entry // pk hash -> collision bucket
 	n    int                 // live row count
@@ -174,17 +182,22 @@ func (ix *Index) remove(e *Entry) {
 // means unbounded.
 func New(name string, keys []int, ttl float64, maxSize int) *Table {
 	return &Table{
-		name:    name,
-		keys:    append([]int(nil), keys...),
-		ttl:     ttl,
-		maxSize: maxSize,
-		rows:    map[uint64][]*Entry{},
-		indexes: map[string]*Index{},
+		name:     name,
+		nameHash: val.HashPredicate(name),
+		keys:     append([]int(nil), keys...),
+		ttl:      ttl,
+		maxSize:  maxSize,
+		rows:     map[uint64][]*Entry{},
+		indexes:  map[string]*Index{},
 	}
 }
 
 // Name returns the relation name.
 func (t *Table) Name() string { return t.name }
+
+// NameHash returns the cached hash state of the relation name — the
+// fixed prefix of this table's tuples' intern keys (val.HashPredicate).
+func (t *Table) NameHash() val.Hash64 { return t.nameHash }
 
 // Keys returns the primary-key columns (nil = whole row).
 func (t *Table) Keys() []int { return t.keys }
@@ -285,6 +298,13 @@ func (t *Table) compactOrder() {
 type InsertResult struct {
 	Status   Status
 	Replaced val.Tuple // valid when Status == StatusReplaced
+	// Dup is the stored row when Status == StatusDuplicate: its tuple is
+	// the canonical copy of the one the caller tried to insert. The
+	// engine pools it on this second touch (tuples that repeat are the
+	// ones worth interning; single-touch rows never pay pool
+	// bookkeeping) and marks it Pooled so later duplicates skip the
+	// probe.
+	Dup *Entry
 	// ReplacedAdv and ReplacedStamp snapshot the displaced entry's
 	// advertisement flag and timestamp, so the engine can propagate the
 	// deletion without a second lookup.
@@ -312,7 +332,7 @@ func (t *Table) Insert(tp val.Tuple, stamp uint64, now float64) InsertResult {
 				e.Count++
 			}
 			e.Expires = expires // re-insertion refreshes the TTL
-			return InsertResult{Status: StatusDuplicate}
+			return InsertResult{Status: StatusDuplicate, Dup: e}
 		}
 		old := e.Tuple
 		oldAdv, oldStamp := e.Adv, e.Stamp
@@ -321,6 +341,10 @@ func (t *Table) Insert(tp val.Tuple, stamp uint64, now float64) InsertResult {
 		e.Count = 1
 		e.Stamp = stamp
 		e.Expires = expires
+		// The entry now holds a different tuple: the displaced value's
+		// pooled state must not stick to it, or the new value would never
+		// be interned on its second touch.
+		e.Pooled, e.PooledEpoch = false, 0
 		t.addToIndexes(e)
 		return InsertResult{Status: StatusReplaced, Replaced: old,
 			ReplacedAdv: oldAdv, ReplacedStamp: oldStamp}

@@ -52,8 +52,16 @@ func appendString(dst []byte, s string) []byte {
 }
 
 // DecodeValue decodes one value from b, returning the value and the
-// number of bytes consumed.
-func DecodeValue(b []byte) (Value, int, error) {
+// number of bytes consumed. Decoded strings never alias b: they are
+// copied (or resolved to an interned copy), so callers may reuse or
+// scribble over the buffer once decoding returns.
+func DecodeValue(b []byte) (Value, int, error) { return decodeValueIn(b, nil) }
+
+// DecodeValueIn is DecodeValue resolving strings and list payloads
+// through in (nil behaves like DecodeValue).
+func DecodeValueIn(b []byte, in *Interner) (Value, int, error) { return decodeValueIn(b, in) }
+
+func decodeValueIn(b []byte, in *Interner) (Value, int, error) {
 	if len(b) == 0 {
 		return Nil, 0, ErrCorrupt
 	}
@@ -63,7 +71,7 @@ func DecodeValue(b []byte) (Value, int, error) {
 	case KindNil:
 		return Nil, n, nil
 	case KindAddr, KindString:
-		s, m, err := decodeString(b[n:])
+		s, m, err := decodeStringIn(b[n:], in)
 		if err != nil {
 			return Nil, 0, err
 		}
@@ -95,12 +103,33 @@ func DecodeValue(b []byte) (Value, int, error) {
 			return Nil, 0, ErrCorrupt
 		}
 		n += m
+		if in != nil {
+			// Decode the elements into the interner's scratch arena and
+			// resolve the completed list against the canonical pool: a
+			// path vector belonging to any stored tuple costs no
+			// allocation, a one-shot list costs the same copy as the
+			// plain path (the pool is populated at table-insert time, not
+			// here — see Interner.Resolve).
+			mark := len(in.scratch)
+			for i := uint64(0); i < cnt; i++ {
+				v, m, err := decodeValueIn(b[n:], in)
+				if err != nil {
+					in.scratch = in.scratch[:mark]
+					return Nil, 0, err
+				}
+				in.scratch = append(in.scratch, v)
+				n += m
+			}
+			lv := in.resolveList(in.scratch[mark:])
+			in.scratch = in.scratch[:mark]
+			return lv, n, nil
+		}
 		// Cap preallocation by the remaining payload (each element takes
 		// at least one byte): a corrupt length must fail on truncation,
 		// not allocate first.
 		vs := make([]Value, 0, min(cnt, uint64(len(b)-n)))
 		for i := uint64(0); i < cnt; i++ {
-			v, m, err := DecodeValue(b[n:])
+			v, m, err := decodeValueIn(b[n:], nil)
 			if err != nil {
 				return Nil, 0, err
 			}
@@ -112,12 +141,19 @@ func DecodeValue(b []byte) (Value, int, error) {
 	return Nil, 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, k)
 }
 
-func decodeString(b []byte) (string, int, error) {
+// decodeStringIn decodes a length-prefixed string. The result never
+// aliases b: string(bytes) copies, and the interner's byte lookup copies
+// on miss — the copy-on-decode invariant wire buffers rely on.
+func decodeStringIn(b []byte, in *Interner) (string, int, error) {
 	l, m := binary.Uvarint(b)
 	if m <= 0 || uint64(len(b)-m) < l {
 		return "", 0, ErrCorrupt
 	}
-	return string(b[m : m+int(l)]), m + int(l), nil
+	bs := b[m : m+int(l)]
+	if in != nil {
+		return in.internBytes(bs), m + int(l), nil
+	}
+	return string(bs), m + int(l), nil
 }
 
 // AppendTuple appends the wire encoding of t to dst.
@@ -131,9 +167,16 @@ func AppendTuple(dst []byte, t Tuple) []byte {
 }
 
 // DecodeTuple decodes one tuple from b, returning it and the bytes
-// consumed.
-func DecodeTuple(b []byte) (Tuple, int, error) {
-	pred, n, err := decodeString(b)
+// consumed. The tuple owns its storage: no field retains a view of b.
+func DecodeTuple(b []byte) (Tuple, int, error) { return DecodeTupleIn(b, nil) }
+
+// DecodeTupleIn is DecodeTuple resolving the decoded tuple — and its
+// predicate name, strings, and list values — through in, so a tuple the
+// receiving node has stored decodes to its canonical copy without
+// allocating. nil behaves like DecodeTuple. Either way the result never
+// aliases b.
+func DecodeTupleIn(b []byte, in *Interner) (Tuple, int, error) {
+	pred, n, err := decodeStringIn(b, in)
 	if err != nil {
 		return Tuple{}, 0, err
 	}
@@ -142,11 +185,39 @@ func DecodeTuple(b []byte) (Tuple, int, error) {
 		return Tuple{}, 0, ErrCorrupt
 	}
 	n += m
+	if in != nil {
+		// Fields go through the scratch arena and the completed tuple
+		// resolves against the pool: decoding a tuple this node has
+		// stored allocates nothing, a never-stored tuple costs the same
+		// copy as the plain path. Small flat tuples skip the probe
+		// (InternWorthy) — copying them is cheaper than hashing them.
+		mark := len(in.scratch)
+		for i := uint64(0); i < cnt; i++ {
+			v, m, err := decodeValueIn(b[n:], in)
+			if err != nil {
+				in.scratch = in.scratch[:mark]
+				return Tuple{}, 0, err
+			}
+			in.scratch = append(in.scratch, v)
+			n += m
+		}
+		fields := in.scratch[mark:]
+		var t Tuple
+		if InternWorthy(fields) {
+			t = in.Resolve(pred, fields)
+		} else {
+			fs := make([]Value, len(fields))
+			copy(fs, fields)
+			t = Tuple{Pred: pred, Fields: fs}
+		}
+		in.scratch = in.scratch[:mark]
+		return t, n, nil
+	}
 	// Cap preallocation by the remaining payload, as in DecodeValue: a
 	// corrupt field count fails on truncation instead of allocating.
 	fs := make([]Value, 0, min(cnt, uint64(len(b)-n)))
 	for i := uint64(0); i < cnt; i++ {
-		v, m, err := DecodeValue(b[n:])
+		v, m, err := decodeValueIn(b[n:], nil)
 		if err != nil {
 			return Tuple{}, 0, err
 		}

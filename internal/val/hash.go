@@ -33,17 +33,32 @@ func (h Hash64) addByte(b byte) Hash64 {
 func (h Hash64) addUint64(x uint64) Hash64 {
 	// One word-wide fold instead of eight byte folds: the engine only
 	// needs determinism and diffusion (collisions are resolved by Equal),
-	// so a multiply with a xor-shift between is plenty.
+	// so a single multiply with a xor-shift is plenty — and the multiply
+	// latency chain is what bounds every hash on the hot path.
 	h = (h ^ Hash64(x)) * fnvPrime64
-	h ^= h >> 32
-	return h * fnvPrime64
+	return h ^ (h >> 29)
 }
 
-// AddString folds a length-prefixed string.
+// AddString folds a length-prefixed string, eight bytes per fold. The
+// byte-or chain below is the load-combining idiom the compiler lowers
+// to a single unaligned load, so short strings (predicate names,
+// addresses) cost one or two word folds instead of a serial multiply
+// per byte. The length prefix keeps adjacent variable-length values
+// from aliasing, including the zero-padded tail word.
 func (h Hash64) AddString(s string) Hash64 {
 	h = h.addUint64(uint64(len(s)))
-	for i := 0; i < len(s); i++ {
-		h = h.addByte(s[i])
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		x := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		h = h.addUint64(x)
+	}
+	if i < len(s) {
+		var x uint64
+		for j := 0; i < len(s); i, j = i+1, j+8 {
+			x |= uint64(s[i]) << j
+		}
+		h = h.addUint64(x)
 	}
 	return h
 }
@@ -60,10 +75,12 @@ func (h Hash64) AddValue(v Value) Hash64 {
 	case KindFloat:
 		h = h.addUint64(math.Float64bits(v.f))
 	case KindList:
+		// Fold the length, then the list's own whole hash: composing the
+		// sub-hash (instead of splicing element folds) lets callers that
+		// already hashed a list reuse that hash when folding an
+		// enclosing key (see Interner.hashList).
 		h = h.addUint64(uint64(len(v.l)))
-		for i := range v.l {
-			h = h.AddValue(v.l[i])
-		}
+		h = h.addUint64(HashValues(v.l))
 	}
 	return h
 }
@@ -93,6 +110,9 @@ func HashValues(vs []Value) uint64 {
 func ValuesEqual(a, b []Value) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	if len(a) > 0 && &a[0] == &b[0] {
+		return true // shared canonical storage (interned slices)
 	}
 	for i := range a {
 		if !a[i].Equal(b[i]) {

@@ -170,6 +170,9 @@ func (v Value) Equal(o Value) bool {
 		if len(v.l) != len(o.l) {
 			return false
 		}
+		if len(v.l) > 0 && &v.l[0] == &o.l[0] {
+			return true // shared canonical storage (interned lists)
+		}
 		for i := range v.l {
 			if !v.l[i].Equal(o.l[i]) {
 				return false
