@@ -2,12 +2,14 @@
 // program at a single site (centralized); with -dist it deploys one
 // runtime per address mentioned in the program's facts over the
 // discrete-event simulator, connecting nodes according to the link
-// facts.
+// facts; with -shards N it deploys the same population as N real OS
+// processes exchanging tuples over loopback UDP (internal/shard).
 //
 // Usage:
 //
 //	ndlog program.ndl                 # centralized evaluation
 //	ndlog -dist -latency 10ms prog.ndl
+//	ndlog -shards 3 prog.ndl          # 3 worker processes over UDP
 //	ndlog -dump path,shortestPath prog.ndl
 package main
 
@@ -15,18 +17,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
 	"ndlog/internal/ast"
 	"ndlog/internal/engine"
 	"ndlog/internal/parser"
+	"ndlog/internal/shard"
 	"ndlog/internal/simnet"
 	"ndlog/internal/val"
 )
 
 func main() {
+	// Re-exec entry: `ndlog -shards N` spawns copies of this binary as
+	// shard workers, selected by environment (see internal/shard).
+	if handled, err := shard.MaybeRunWorker(); handled {
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	dist := flag.Bool("dist", false, "distributed execution over the simulator")
+	shards := flag.Int("shards", 0, "deploy as N OS processes over loopback UDP (0: off)")
+	idle := flag.Duration("idle", 500*time.Millisecond, "quiescence idle window for -shards")
+	timeout := flag.Duration("timeout", 60*time.Second, "convergence timeout for -shards")
 	latency := flag.Duration("latency", 10*time.Millisecond, "link latency for distributed execution")
 	aggsel := flag.Bool("aggsel", true, "enable aggregate selections")
 	arena := flag.Bool("arena", false, "per-drain arena interning for transient tuples (long-running forwarding workloads)")
@@ -67,7 +83,16 @@ func main() {
 		queryPred = prog.Query.Pred
 	}
 
-	if *dist {
+	var cleanup func()
+	if *shards > 0 {
+		if *trace {
+			fmt.Fprintln(os.Stderr, "ndlog: -trace has no effect with -shards (derivations happen in worker processes)")
+		}
+		results, cleanup, err = runSharded(string(src), prog, *shards, *aggsel, *arena, *idle, *timeout)
+		if err != nil {
+			fail(err)
+		}
+	} else if *dist {
 		sim := simnet.New(1)
 		cl, err := engine.NewCluster(sim, prog, opts, engine.ClusterConfig{ProcDelay: 0.001})
 		if err != nil {
@@ -115,6 +140,99 @@ func main() {
 		printPred(pred, results(pred))
 		printed[pred] = true
 	}
+	if cleanup != nil {
+		cleanup()
+	}
+}
+
+// runSharded deploys the program as N worker processes (re-execs of
+// this binary) over loopback UDP, waits for convergence, and returns a
+// live gather function plus the teardown. The manifest carries the
+// program source inline so every worker parses identical text.
+func runSharded(src string, prog *ast.Program, shards int, aggsel, arena bool, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
+	ids := factAddresses(prog)
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("no node addresses in program facts")
+	}
+	m := &shard.Manifest{
+		Source:  src,
+		Options: shard.Options{AggSel: aggsel, ArenaIntern: arena},
+		Shards:  shard.Partition(ids, shards),
+	}
+	dir, err := os.MkdirTemp("", "ndlog-shards-")
+	if err != nil {
+		return nil, nil, err
+	}
+	manifestPath := dir + "/manifest.json"
+	if err := m.Save(manifestPath); err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	coord, err := shard.NewCoordinator(m)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		coord.Close()
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	start := time.Now()
+	err = coord.Spawn(func(shardID int) *exec.Cmd {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(), shard.WorkerEnv(manifestPath, shardID, coord.ControlAddr())...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	})
+	if err != nil {
+		// Spawn killed any partially started workers.
+		coord.Close()
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	cleanup := func() {
+		if err := coord.Shutdown(10 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "ndlog:", err)
+		}
+		os.RemoveAll(dir)
+	}
+	if err := coord.WaitReady(15 * time.Second); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	// Converge, recovering from datagram loss: an unbalanced ledger
+	// after quiescence means a delta went missing — re-seed the home
+	// facts (soft-state refresh) and wait again.
+	for attempt := 0; ; attempt++ {
+		if !coord.WaitQuiescent(idle, timeout) {
+			cleanup()
+			return nil, nil, fmt.Errorf("sharded execution did not quiesce within %v", timeout)
+		}
+		if coord.LedgerBalanced() {
+			break
+		}
+		if attempt >= 3 {
+			fmt.Fprintln(os.Stderr, "ndlog: warning: datagram loss persisted through reseeds; results may be incomplete")
+			break
+		}
+		coord.Reseed()
+	}
+	stats := coord.TotalStats()
+	fmt.Printf("// sharded: %d processes, %d nodes, %d messages, %d bytes, converged in %.3fs\n",
+		len(m.Shards), m.NodeCount(), stats.SentMessages, stats.SentBytes,
+		time.Since(start).Seconds())
+	results := func(pred string) []val.Tuple {
+		ts, err := coord.Tuples(pred, 10*time.Second)
+		if err != nil {
+			// Tear the fleet down before exiting: fail() skips cleanup.
+			cleanup()
+			fail(err)
+		}
+		return ts
+	}
+	return results, cleanup, nil
 }
 
 func printPred(pred string, tuples []val.Tuple) {

@@ -6,6 +6,14 @@
 // specifier ("@" attribute) as their first field and whose non-local rules
 // are link-restricted: they contain exactly one link literal ("#link")
 // and every other predicate is located at one of the link's endpoints.
+//
+// Ownership: a Program belongs to its builder (parser or test) until it
+// is handed to planner rewrites or engine compilation; appending Facts
+// before that point is the supported way to add workloads. Planner
+// rewrites never mutate in place — they Clone and return new Programs
+// (sharing unmodified Rule pointers) — and the engine holds Rule
+// pointers for the lifetime of its nodes, so no Rule may be mutated
+// after compilation.
 package ast
 
 import (

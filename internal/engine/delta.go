@@ -6,6 +6,15 @@
 // and the optimizations of Section 5 (aggregate selections, periodic
 // aggregate selections, query-result caching hooks, opportunistic
 // message sharing).
+//
+// Ownership: a Node is single-threaded — drivers (Cluster, netrun, the
+// shard worker) must serialize SetNow/Push/Drain/Tuples per node, and
+// the node's interner is part of that state (decode through it only
+// under the same discipline). Tuples are immutable; a decoded tuple
+// never aliases the wire buffer it came from (copy-on-decode), and
+// OutDeltas returned by Drain are owned by the caller. Encoded message
+// payloads are freshly allocated per message and may be retained by
+// transports.
 package engine
 
 import (

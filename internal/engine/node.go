@@ -42,6 +42,22 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", uint8(m))
 }
 
+// ParseMode parses a mode name as spelled by Mode.String ("psn", "sn",
+// "bsn"; "" means PSN, the distributed default). It is the plumbing for
+// command-line flags and deployment manifests (internal/shard), which
+// carry the mode as text.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "psn":
+		return PSN, nil
+	case "sn":
+		return SN, nil
+	case "bsn":
+		return BSN, nil
+	}
+	return PSN, fmt.Errorf("engine: unknown evaluation mode %q", s)
+}
+
 // Options configures a node (and, via Cluster, the whole deployment).
 type Options struct {
 	// Mode selects SN/BSN/PSN evaluation. Distributed clusters use PSN

@@ -3,6 +3,11 @@
 // substrate is the deterministic discrete-event simulator instead of the
 // authors' Emulab testbed (see DESIGN.md for the substitution argument),
 // so absolute numbers differ but the comparative shapes hold.
+//
+// Each Run* function builds its own simulator, cluster, and collectors
+// and returns plain result structs — no state is shared between runs,
+// so sweeps may run back to back (or in parallel from separate
+// goroutines, one deployment each).
 package experiments
 
 import (

@@ -1,6 +1,13 @@
 // Package funcs evaluates NDlog expressions and implements the built-in
 // function library (the "f_*" functions of the paper, e.g. f_concatPath
 // for path-vector construction).
+//
+// Ownership: a SlotEnv is single-owner scratch state — the engine keeps
+// one per node (nodes are single-threaded) and rewinds bindings through
+// the slot-index trail rather than copying; values bound into it are
+// immutable (val's invariant), so binding never copies and unbinding
+// never frees. Compiled expressions (CompileExpr) are immutable after
+// compilation and safe to share across nodes running the same program.
 package funcs
 
 import (

@@ -2,6 +2,11 @@
 // plots: per-node bandwidth over time (kBps), aggregate communication
 // (MB), convergence time, and the fraction of eventual best results
 // completed over time.
+//
+// Collectors are plain single-owner accumulators with no internal
+// locking: the simulator harness records from its (single) event loop.
+// Drivers with concurrent sources (e.g. real-socket runners) must
+// serialize Record calls or aggregate per-source and merge.
 package metrics
 
 import (

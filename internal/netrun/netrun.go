@@ -6,15 +6,30 @@
 // quiescence is detected by a cluster-wide idle timeout (a real network
 // has no global event queue to observe).
 //
-// The runner binds loopback addresses, so tests exercise genuine socket
-// I/O without leaving the machine. Message loss and reordering are
-// possible exactly as with real UDP; the engine's PSN evaluation and
-// soft-state options behave as they would in deployment.
+// A Runner hosts a set of *local* nodes, but its address book may map
+// further node IDs to sockets owned by other runners — in another
+// goroutine or another OS process entirely (see internal/shard for the
+// multi-process deployment built on this). Tuples bound for a node the
+// book does not know are counted as dropped, exactly like a datagram
+// with no route.
+//
+// Ownership: a Runner owns its engine nodes and their sockets. Engine
+// nodes are single-threaded, so every Push/Drain/Tuples access happens
+// under the per-node mutex; the receive loops rely on the engine's
+// copy-on-decode invariant (decoded tuples never alias the read buffer)
+// to reuse one buffer per loop. The address book is guarded separately
+// so remote entries can be installed while the loops are live.
+//
+// The default runner binds loopback addresses, so tests exercise
+// genuine socket I/O without leaving the machine. Message loss and
+// reordering are possible exactly as with real UDP; the engine's PSN
+// evaluation and soft-state options behave as they would in deployment.
 package netrun
 
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,20 +39,37 @@ import (
 	"ndlog/internal/val"
 )
 
-// Runner drives one NDlog program over UDP.
+// Runner drives the local slice of an NDlog deployment over UDP.
 type Runner struct {
 	prog  *ast.Program
 	opts  engine.Options
 	nodes map[string]*netNode
-	// book maps NDlog addresses to UDP addresses.
-	book map[string]*net.UDPAddr
 
-	activity atomic.Int64 // bumps on every processed datagram
-	bytes    atomic.Int64
-	messages atomic.Int64
+	// book maps NDlog addresses — local and remote — to UDP addresses.
+	// bookMu guards it: remote entries arrive from a control plane while
+	// receive loops are dispatching.
+	bookMu sync.RWMutex
+	book   map[string]*net.UDPAddr
+
+	activity atomic.Int64 // bumps on every processed datagram, injection, or seed
+	sentB    atomic.Int64
+	sentM    atomic.Int64
+	recvB    atomic.Int64
+	recvM    atomic.Int64
+	dropped  atomic.Int64 // deltas bound for nodes absent from the book
 
 	wg   sync.WaitGroup
 	stop chan struct{}
+}
+
+// Stats is a snapshot of a runner's traffic counters, exported to the
+// shard control plane and the metrics harness.
+type Stats struct {
+	SentBytes    int64 // UDP payload bytes sent
+	SentMessages int64 // datagrams sent
+	RecvBytes    int64 // UDP payload bytes received
+	RecvMessages int64 // datagrams received
+	Dropped      int64 // outbound deltas with no address-book entry
 }
 
 type netNode struct {
@@ -47,9 +79,22 @@ type netNode struct {
 	mu   sync.Mutex // guards node (engine nodes are single-threaded)
 }
 
-// New creates a runner for prog with one engine node per id. Each node
-// binds an ephemeral UDP port on localhost.
+// New creates a runner hosting every id locally. Each node binds an
+// ephemeral UDP port on localhost.
 func New(prog *ast.Program, ids []string, opts engine.Options) (*Runner, error) {
+	local := make(map[string]string, len(ids))
+	for _, id := range ids {
+		local[id] = ""
+	}
+	return NewSharded(prog, local, opts)
+}
+
+// NewSharded creates a runner hosting only the nodes in local, mapping
+// each to its bind address ("" binds an ephemeral localhost port; a
+// "host:port" string pins the socket, for static multi-machine
+// manifests). Nodes of the program that live elsewhere are reached
+// through remote book entries installed with SetRemote.
+func NewSharded(prog *ast.Program, local map[string]string, opts engine.Options) (*Runner, error) {
 	r := &Runner{
 		prog:  prog,
 		opts:  opts,
@@ -57,13 +102,21 @@ func New(prog *ast.Program, ids []string, opts engine.Options) (*Runner, error) 
 		book:  map[string]*net.UDPAddr{},
 		stop:  make(chan struct{}),
 	}
-	for _, id := range ids {
+	for id, bind := range local {
 		n, err := engine.NewNode(id, prog, opts)
 		if err != nil {
 			r.Close()
 			return nil, err
 		}
-		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		laddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}
+		if bind != "" {
+			laddr, err = net.ResolveUDPAddr("udp", bind)
+			if err != nil {
+				r.Close()
+				return nil, fmt.Errorf("netrun: bind address for %s: %w", id, err)
+			}
+		}
+		conn, err := net.ListenUDP("udp", laddr)
 		if err != nil {
 			r.Close()
 			return nil, fmt.Errorf("netrun: bind %s: %w", id, err)
@@ -74,22 +127,76 @@ func New(prog *ast.Program, ids []string, opts engine.Options) (*Runner, error) 
 	return r, nil
 }
 
-// Addr returns the UDP address serving an NDlog node.
-func (r *Runner) Addr(id string) *net.UDPAddr { return r.book[id] }
+// SetRemote installs (or replaces) an address-book entry for a node
+// hosted outside this runner. Safe to call while the receive loops are
+// live; in-flight dispatches see either the old or the new address.
+func (r *Runner) SetRemote(id, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("netrun: remote address for %s: %w", id, err)
+	}
+	r.bookMu.Lock()
+	r.book[id] = ua
+	r.bookMu.Unlock()
+	return nil
+}
+
+// Addr returns the UDP address serving an NDlog node (local or remote),
+// or nil if the book has no entry.
+func (r *Runner) Addr(id string) *net.UDPAddr {
+	r.bookMu.RLock()
+	defer r.bookMu.RUnlock()
+	return r.book[id]
+}
+
+// LocalIDs returns the IDs of the nodes hosted by this runner, sorted.
+func (r *Runner) LocalIDs() []string {
+	out := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Bytes returns the total UDP payload bytes sent.
-func (r *Runner) Bytes() int64 { return r.bytes.Load() }
+func (r *Runner) Bytes() int64 { return r.sentB.Load() }
 
 // Messages returns the number of datagrams sent.
-func (r *Runner) Messages() int64 { return r.messages.Load() }
+func (r *Runner) Messages() int64 { return r.sentM.Load() }
 
-// Start launches the receive loops and seeds every node with its home
-// base facts.
+// Activity returns a counter that bumps every time a node processes a
+// datagram or an injection. Control planes compare successive readings
+// to detect idleness across processes.
+func (r *Runner) Activity() int64 { return r.activity.Load() }
+
+// Stats snapshots the runner's traffic counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		SentBytes:    r.sentB.Load(),
+		SentMessages: r.sentM.Load(),
+		RecvBytes:    r.recvB.Load(),
+		RecvMessages: r.recvM.Load(),
+		Dropped:      r.dropped.Load(),
+	}
+}
+
+// Start launches the receive loops and seeds every local node with its
+// home base facts.
 func (r *Runner) Start() {
 	for _, nn := range r.nodes {
 		r.wg.Add(1)
 		go r.receiveLoop(nn)
 	}
+	r.Seed()
+}
+
+// Seed pushes each local node's home base facts and drains. Calling it
+// again re-advertises the facts — the soft-state refresh story, and the
+// recovery path a control plane uses when datagrams were lost. Seeding
+// counts as activity, so an in-progress recovery holds off quiescence
+// detection.
+func (r *Runner) Seed() {
 	for _, nn := range r.nodes {
 		nn.mu.Lock()
 		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
@@ -98,6 +205,7 @@ func (r *Runner) Start() {
 		}
 		outs := nn.node.Drain()
 		nn.mu.Unlock()
+		r.activity.Add(1)
 		r.dispatch(nn, outs)
 	}
 }
@@ -126,6 +234,12 @@ func (r *Runner) receiveLoop(nn *netNode) {
 			nn.mu.Unlock()
 			continue // corrupt datagram: drop, like any UDP protocol
 		}
+		// Count only decodable datagrams: the receive ledger must mirror
+		// the send ledger (which counts engine messages), so a stray or
+		// corrupt datagram cannot unbalance cross-process quiescence
+		// accounting forever.
+		r.recvB.Add(int64(n))
+		r.recvM.Add(1)
 		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
 		for _, d := range deltas {
 			nn.node.Push(d)
@@ -137,7 +251,8 @@ func (r *Runner) receiveLoop(nn *netNode) {
 	}
 }
 
-// Inject delivers a delta to a node from outside (e.g. a link update).
+// Inject delivers a delta to a local node from outside (e.g. a link
+// update).
 func (r *Runner) Inject(id string, d engine.Delta) error {
 	nn, ok := r.nodes[id]
 	if !ok {
@@ -160,12 +275,15 @@ const dispatchMaxPayload = 32 << 10
 // dispatch batches one drain's outbound deltas per destination — one
 // datagram carries every tuple bound for the same peer, mirroring the
 // simulator's per-pump batching — chunked so no datagram exceeds
-// dispatchMaxPayload.
+// dispatchMaxPayload. Destinations absent from the book count as
+// dropped.
 func (r *Runner) dispatch(nn *netNode, outs []engine.OutDelta) {
 	byDst := map[string][]engine.Delta{}
 	var order []string
+	r.bookMu.RLock()
 	for _, o := range outs {
 		if _, ok := r.book[o.Dst]; !ok {
+			r.dropped.Add(1)
 			continue
 		}
 		if _, ok := byDst[o.Dst]; !ok {
@@ -173,8 +291,13 @@ func (r *Runner) dispatch(nn *netNode, outs []engine.OutDelta) {
 		}
 		byDst[o.Dst] = append(byDst[o.Dst], o.Delta)
 	}
-	for _, dstID := range order {
-		dst := r.book[dstID]
+	addrs := make([]*net.UDPAddr, len(order))
+	for i, dstID := range order {
+		addrs[i] = r.book[dstID]
+	}
+	r.bookMu.RUnlock()
+	for i, dstID := range order {
+		dst := addrs[i]
 		deltas := byDst[dstID]
 		for len(deltas) > 0 {
 			n, size := 0, 0
@@ -188,15 +311,17 @@ func (r *Runner) dispatch(nn *netNode, outs []engine.OutDelta) {
 			payload := engine.EncodeDeltas(deltas[:n])
 			deltas = deltas[n:]
 			if _, err := nn.conn.WriteToUDP(payload, dst); err == nil {
-				r.bytes.Add(int64(len(payload)))
-				r.messages.Add(1)
+				r.sentB.Add(int64(len(payload)))
+				r.sentM.Add(1)
 			}
 		}
 	}
 }
 
-// WaitQuiescent blocks until no node has processed a datagram for idle,
-// or until timeout. It reports whether the cluster went idle.
+// WaitQuiescent blocks until no local node has processed a datagram for
+// idle, or until timeout. It reports whether the runner went idle. In a
+// sharded deployment this only observes the local slice; cross-process
+// quiescence is the coordinator's job (internal/shard).
 func (r *Runner) WaitQuiescent(idle, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	last := r.activity.Load()
@@ -216,8 +341,8 @@ func (r *Runner) WaitQuiescent(idle, timeout time.Duration) bool {
 	return false
 }
 
-// Tuples gathers a predicate across all nodes (snapshot under each
-// node's lock).
+// Tuples gathers a predicate across the local nodes (snapshot under
+// each node's lock).
 func (r *Runner) Tuples(pred string) []string {
 	var out []string
 	for _, nn := range r.nodes {
@@ -230,7 +355,20 @@ func (r *Runner) Tuples(pred string) []string {
 	return out
 }
 
-// NodeTuples returns one node's tuples for a predicate, as keys.
+// TupleValues gathers a predicate's tuples across the local nodes as
+// values (copies are not taken: callers must treat them as immutable,
+// per the engine's aliasing rules).
+func (r *Runner) TupleValues(pred string) []val.Tuple {
+	var out []val.Tuple
+	for _, nn := range r.nodes {
+		nn.mu.Lock()
+		out = append(out, nn.node.Tuples(pred)...)
+		nn.mu.Unlock()
+	}
+	return out
+}
+
+// NodeTuples returns one local node's tuples for a predicate, as keys.
 func (r *Runner) NodeTuples(id, pred string) []string {
 	nn, ok := r.nodes[id]
 	if !ok {

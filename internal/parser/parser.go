@@ -12,6 +12,11 @@
 // Both "=" and ":=" denote assignment; equality comparison is "==".
 // Constants beginning with a lower-case letter denote addresses; "nil"
 // denotes the empty list.
+//
+// Parse returns a freshly allocated Program owning all of its nodes;
+// nothing in the result aliases the source string, so callers may parse
+// many programs from reused buffers. See internal/ast for the mutation
+// rules downstream of parsing.
 package parser
 
 import (

@@ -2,6 +2,12 @@
 // the paper: NDlog validity checking (Definition 6), rule localization
 // (Algorithm 2), magic-sets rewriting and predicate reordering
 // (Section 5.1.2), and aggregate-selection detection (Section 5.1.1).
+//
+// Rewrites are pure with respect to their input: Localize and MagicSets
+// clone the program and return a new one (unmodified rules are shared
+// by pointer, never edited), so a caller can plan the same parsed
+// program several ways. SlotMaps and analysis results are immutable
+// once returned and safe to share across engine nodes.
 package planner
 
 import (

@@ -4,6 +4,10 @@
 // variants for multi-query experiments, and the magic-sets/top-down
 // source-routing program of Section 5.1.2 (SP1-SD..SP4-SD) extended with
 // the answer return path used for query-result caching.
+//
+// Everything here is a pure text or fact generator: functions return
+// fresh source strings and freshly built tuples with no shared state,
+// so callers may combine, reparse, and append to the results freely.
 package programs
 
 import (

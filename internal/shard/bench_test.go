@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/experiments"
+	"ndlog/internal/netrun"
+	"ndlog/internal/parser"
+	"ndlog/internal/programs"
+	"ndlog/internal/topology"
+)
+
+// fig7Workload builds the Figure 7 workload as deployable source text:
+// the shortest-path program under the latency metric on the scaled-down
+// transit-stub overlay (14 nodes) used by the root Fig 7 benchmarks.
+// Returns the program source (facts inline, so a manifest carries the
+// whole workload) and the node population.
+func fig7Workload() (string, []string) {
+	o := experiments.BuildOverlay(experiments.Small())
+	src := programs.ShortestPath("")
+	for _, l := range o.Links {
+		c := strconv.FormatFloat(l.Cost[topology.Latency], 'f', -1, 64)
+		src += fmt.Sprintf("link(%s, %s, %s).\n", l.A, l.B, c)
+		src += fmt.Sprintf("link(%s, %s, %s).\n", l.B, l.A, c)
+	}
+	ids := make([]string, len(o.Nodes))
+	for i, n := range o.Nodes {
+		ids[i] = string(n)
+	}
+	return src, ids
+}
+
+// BenchmarkNetrunFig7 converges the Fig 7 workload in a single process:
+// every node its own UDP socket, one OS process — the PR 3 baseline
+// netrun deployment. Compare with BenchmarkSharded3Fig7 (BENCH_PR4).
+func BenchmarkNetrunFig7(b *testing.B) {
+	src, ids := fig7Workload()
+	wantResults := len(ids) * (len(ids) - 1)
+	for i := 0; i < b.N; i++ {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := netrun.New(prog, ids, engine.Options{AggSel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		r.Start()
+		if !r.WaitQuiescent(300*time.Millisecond, 60*time.Second) {
+			b.Fatal("netrun did not quiesce")
+		}
+		got := len(r.Tuples("shortestPath"))
+		for attempt := 0; attempt < 5 && got < wantResults; attempt++ {
+			r.Seed() // datagram loss: refresh
+			r.WaitQuiescent(300*time.Millisecond, 30*time.Second)
+			got = len(r.Tuples("shortestPath"))
+		}
+		wall := time.Since(start).Seconds()
+		if got < wantResults {
+			b.Fatalf("converged to %d of %d results", got, wantResults)
+		}
+		s := r.Stats()
+		r.Close()
+		if i == b.N-1 {
+			b.ReportMetric(wall, "s/converge")
+			b.ReportMetric(float64(s.SentBytes)/1e6, "MB/run")
+			b.ReportMetric(float64(s.SentMessages), "msgs/run")
+		}
+	}
+}
+
+// BenchmarkSharded3Fig7 converges the same workload as three real OS
+// processes (re-execs of the test binary) coordinated over the control
+// plane — the BENCH_PR4 sharded configuration.
+func BenchmarkSharded3Fig7(b *testing.B) {
+	src, ids := fig7Workload()
+	wantResults := len(ids) * (len(ids) - 1)
+	for i := 0; i < b.N; i++ {
+		m := &Manifest{
+			Source:  src,
+			Options: Options{AggSel: true},
+			Shards:  Partition(ids, 3),
+		}
+		manifestPath := filepath.Join(b.TempDir(), "manifest.json")
+		if err := m.Save(manifestPath); err != nil {
+			b.Fatal(err)
+		}
+		coord, err := NewCoordinator(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = coord.Spawn(func(shardID int) *exec.Cmd {
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(), WorkerEnv(manifestPath, shardID, coord.ControlAddr())...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := coord.WaitReady(20 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if !coord.WaitQuiescent(300*time.Millisecond, 60*time.Second) {
+			b.Fatal("sharded deployment did not quiesce")
+		}
+		got, err := coord.Tuples("shortestPath", 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for attempt := 0; attempt < 5 && len(got) < wantResults; attempt++ {
+			coord.Reseed()
+			coord.WaitQuiescent(300*time.Millisecond, 30*time.Second)
+			got, err = coord.Tuples("shortestPath", 10*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		wall := time.Since(start).Seconds()
+		if len(got) < wantResults {
+			b.Fatalf("converged to %d of %d results", len(got), wantResults)
+		}
+		s := coord.TotalStats()
+		if err := coord.Shutdown(15 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(wall, "s/converge")
+			b.ReportMetric(float64(s.SentBytes)/1e6, "MB/run")
+			b.ReportMetric(float64(s.SentMessages), "msgs/run")
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ndlog/internal/val"
+)
+
+// Control-plane wire format. Frames ride the same varint/TLV encoding
+// as data tuples (internal/val): strings are length-prefixed, integers
+// are uvarints, and gathered tuples are encoded with val.AppendTuple —
+// so the control plane needs no codec of its own and benefits from the
+// same fuzzed decoders. One frame per datagram:
+//
+//	frame  := kind(byte) body
+//	hello  := shard(uvarint) nbook(uvarint) {node(string) addr(string)}*
+//	book   := nbook(uvarint) {node(string) addr(string)}*
+//	ready  := shard(uvarint)
+//	start  := ε
+//	idle   := shard(uvarint) seq(uvarint) activity(uvarint) stats
+//	query  := req(uvarint) pred(string)
+//	tuples := shard(uvarint) req(uvarint) chunk(uvarint) nchunks(uvarint)
+//	          count(uvarint) tuple*
+//	seed   := ε
+//	stop   := ε
+//	bye    := shard(uvarint) stats
+//	pong   := ε
+//	stats  := sentB sentM recvB recvM dropped (uvarints)
+//
+// Kind bytes start at 0x81, disjoint from the engine's data-message
+// kinds (1, 2) — a control frame mis-delivered to a data socket is
+// rejected as corrupt, and vice versa. Every frame is idempotent:
+// both sides resend until acknowledged by the protocol's next phase,
+// which is all the reliability loopback/LAN UDP needs.
+type frameKind byte
+
+const (
+	kindHello  frameKind = 0x81 // worker → coord: shard's node address book
+	kindBook   frameKind = 0x82 // coord → worker: merged global book
+	kindReady  frameKind = 0x83 // worker → coord: book installed
+	kindStart  frameKind = 0x84 // coord → worker: seed home facts, go
+	kindIdle   frameKind = 0x85 // worker → coord: periodic activity report
+	kindQuery  frameKind = 0x86 // coord → worker: gather a predicate
+	kindTuples frameKind = 0x87 // worker → coord: one chunk of results
+	kindSeed   frameKind = 0x88 // coord → worker: re-push home facts
+	kindStop   frameKind = 0x89 // coord → worker: shut down
+	kindBye    frameKind = 0x8A // worker → coord: final stats, exiting
+	kindPong   frameKind = 0x8B // coord → worker: idle-report ack (liveness)
+)
+
+// maxGatherChunks bounds the per-shard chunk count a tuples frame may
+// announce (decoder rejects more; see decodeFrame).
+const maxGatherChunks = 1 << 16
+
+// netStats is the traffic counter block shared by idle and bye frames.
+type netStats struct {
+	SentBytes    int64
+	SentMessages int64
+	RecvBytes    int64
+	RecvMessages int64
+	Dropped      int64
+}
+
+// frame is one decoded control message; unused fields are zero.
+type frame struct {
+	kind frameKind
+	// shard identifies the sender (worker → coord frames).
+	shard int
+	// book carries node → "host:port" entries (hello, book).
+	book map[string]string
+	// seq, activity: idle report ordering and the runner's activity
+	// counter.
+	seq      uint64
+	activity int64
+	stats    netStats
+	// req, pred: query correlation id and predicate.
+	req  uint64
+	pred string
+	// chunk/nchunks/tuples: one gather response chunk.
+	chunk   int
+	nchunks int
+	tuples  []val.Tuple
+}
+
+func appendUvarint(dst []byte, x uint64) []byte { return binary.AppendUvarint(dst, x) }
+
+func appendBook(dst []byte, book map[string]string) []byte {
+	dst = appendUvarint(dst, uint64(len(book)))
+	// Deterministic order keeps frames byte-stable for tests.
+	keys := make([]string, 0, len(book))
+	for k := range book {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = val.AppendString(dst, k)
+		dst = val.AppendString(dst, book[k])
+	}
+	return dst
+}
+
+func appendStats(dst []byte, s netStats) []byte {
+	dst = appendUvarint(dst, uint64(s.SentBytes))
+	dst = appendUvarint(dst, uint64(s.SentMessages))
+	dst = appendUvarint(dst, uint64(s.RecvBytes))
+	dst = appendUvarint(dst, uint64(s.RecvMessages))
+	return appendUvarint(dst, uint64(s.Dropped))
+}
+
+// encodeFrame marshals f. The zero-body kinds encode as a single byte.
+func encodeFrame(f frame) []byte {
+	buf := []byte{byte(f.kind)}
+	switch f.kind {
+	case kindHello:
+		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendBook(buf, f.book)
+	case kindBook:
+		buf = appendBook(buf, f.book)
+	case kindReady:
+		buf = appendUvarint(buf, uint64(f.shard))
+	case kindStart, kindStop, kindSeed, kindPong:
+	case kindIdle:
+		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendUvarint(buf, f.seq)
+		buf = appendUvarint(buf, uint64(f.activity))
+		buf = appendStats(buf, f.stats)
+	case kindQuery:
+		buf = appendUvarint(buf, f.req)
+		buf = val.AppendString(buf, f.pred)
+	case kindTuples:
+		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendUvarint(buf, f.req)
+		buf = appendUvarint(buf, uint64(f.chunk))
+		buf = appendUvarint(buf, uint64(f.nchunks))
+		buf = appendUvarint(buf, uint64(len(f.tuples)))
+		for _, t := range f.tuples {
+			buf = val.AppendTuple(buf, t)
+		}
+	case kindBye:
+		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendStats(buf, f.stats)
+	}
+	return buf
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("shard: corrupt control frame (uvarint)")
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+func (d *decoder) string() string {
+	if d.err != nil {
+		return ""
+	}
+	s, n, err := val.DecodeString(d.b)
+	if err != nil {
+		d.err = fmt.Errorf("shard: corrupt control frame: %w", err)
+		return ""
+	}
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) book() map[string]string {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	// Each entry is at least two bytes; cap preallocation by payload.
+	if n > uint64(len(d.b)) {
+		d.err = fmt.Errorf("shard: corrupt control frame (book size)")
+		return nil
+	}
+	book := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k := d.string()
+		v := d.string()
+		if d.err != nil {
+			return nil
+		}
+		book[k] = v
+	}
+	return book
+}
+
+func (d *decoder) stats() netStats {
+	return netStats{
+		SentBytes:    int64(d.uvarint()),
+		SentMessages: int64(d.uvarint()),
+		RecvBytes:    int64(d.uvarint()),
+		RecvMessages: int64(d.uvarint()),
+		Dropped:      int64(d.uvarint()),
+	}
+}
+
+// decodeFrame unmarshals one control frame. Decoded strings and tuples
+// never alias b (val's copy-on-decode invariant), so callers may reuse
+// the receive buffer.
+func decodeFrame(b []byte) (frame, error) {
+	if len(b) == 0 {
+		return frame{}, fmt.Errorf("shard: empty control frame")
+	}
+	f := frame{kind: frameKind(b[0])}
+	d := &decoder{b: b[1:]}
+	switch f.kind {
+	case kindHello:
+		f.shard = int(d.uvarint())
+		f.book = d.book()
+	case kindBook:
+		f.book = d.book()
+	case kindReady:
+		f.shard = int(d.uvarint())
+	case kindStart, kindStop, kindSeed, kindPong:
+	case kindIdle:
+		f.shard = int(d.uvarint())
+		f.seq = d.uvarint()
+		f.activity = int64(d.uvarint())
+		f.stats = d.stats()
+	case kindQuery:
+		f.req = d.uvarint()
+		f.pred = d.string()
+	case kindTuples:
+		f.shard = int(d.uvarint())
+		f.req = d.uvarint()
+		f.chunk = int(d.uvarint())
+		f.nchunks = int(d.uvarint())
+		// Bound the chunk geometry before anything allocates from it: a
+		// corrupt or hostile datagram must not drive make() or a slice
+		// index (maxGatherChunks × tupleChunkSz ≈ 2 GiB of results, far
+		// beyond any real gather).
+		if d.err == nil && (f.nchunks < 1 || f.nchunks > maxGatherChunks ||
+			f.chunk < 0 || f.chunk >= f.nchunks) {
+			d.err = fmt.Errorf("shard: corrupt control frame (chunk %d of %d)", f.chunk, f.nchunks)
+		}
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)) {
+			d.err = fmt.Errorf("shard: corrupt control frame (tuple count)")
+		}
+		for i := uint64(0); d.err == nil && i < n; i++ {
+			t, m, err := val.DecodeTuple(d.b)
+			if err != nil {
+				d.err = fmt.Errorf("shard: corrupt control frame: %w", err)
+				break
+			}
+			d.b = d.b[m:]
+			f.tuples = append(f.tuples, t)
+		}
+	case kindBye:
+		f.shard = int(d.uvarint())
+		f.stats = d.stats()
+	default:
+		return frame{}, fmt.Errorf("shard: unknown control frame kind 0x%x", b[0])
+	}
+	if d.err != nil {
+		return frame{}, d.err
+	}
+	return f, nil
+}

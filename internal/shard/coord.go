@@ -1,0 +1,526 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ndlog/internal/netrun"
+	"ndlog/internal/val"
+)
+
+// Coordinator drives one sharded deployment from a single UDP control
+// socket: it assembles the global address book from worker hellos,
+// releases the start barrier, watches idle reports for cross-process
+// quiescence, gathers predicates, and tears the fleet down. It never
+// touches data-plane traffic — tuples travel shard-to-shard directly.
+type Coordinator struct {
+	m    *Manifest
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	shards map[int]*shardState
+	reqSeq uint64
+	// gather is the in-flight query, nil between queries. gatherMu
+	// serializes Tuples callers: gathers are single-flight.
+	gatherMu sync.Mutex
+	gather   *gatherState
+
+	cmds map[int]*exec.Cmd // spawned worker processes, by shard ID
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// shardState is the coordinator's view of one worker process.
+type shardState struct {
+	id   int
+	addr *net.UDPAddr // worker control address (from its last frame)
+	book map[string]string
+
+	ready   bool
+	started bool
+
+	// Latest idle report.
+	seq        uint64
+	activity   int64
+	stats      netStats
+	lastReport time.Time
+	// lastChange is when activity last moved (coordinator clock).
+	lastChange time.Time
+
+	bye      bool
+	byeStats netStats
+}
+
+// gatherState tracks one in-flight gather. Every (re)query of a shard
+// carries a fresh request id and wipes that shard's partial chunks, so
+// a merged result is always assembled from whole per-shard snapshots —
+// never a mix of chunks from different retries.
+type gatherState struct {
+	cur    map[int]uint64        // shard → its current request id (≥1)
+	chunks map[int][][]val.Tuple // shard → chunk index → tuples
+}
+
+// NewCoordinator binds the control socket and starts the receive loop.
+// Workers are expected to dial ControlAddr; spawn them with Spawn or
+// any other process manager.
+func NewCoordinator(m *Manifest) (*Coordinator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	// Wildcard bind so workers on other machines can reach the control
+	// plane (ControlAddr still names loopback for same-host spawns).
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{})
+	if err != nil {
+		return nil, fmt.Errorf("shard: bind coordinator socket: %w", err)
+	}
+	c := &Coordinator{
+		m:      m,
+		conn:   conn,
+		shards: map[int]*shardState{},
+		stop:   make(chan struct{}),
+	}
+	for i := range m.Shards {
+		c.shards[m.Shards[i].ID] = &shardState{id: m.Shards[i].ID}
+	}
+	c.wg.Add(1)
+	go c.serve()
+	return c, nil
+}
+
+// ControlAddr returns the coordinator's UDP control address as
+// reachable from this host (the wildcard bind is reported as loopback).
+// Workers on other machines must instead be given an address routable
+// from there — the coordinator listens on all interfaces.
+func (c *Coordinator) ControlAddr() string {
+	a := c.conn.LocalAddr().(*net.UDPAddr)
+	if a.IP == nil || a.IP.IsUnspecified() {
+		return net.JoinHostPort("127.0.0.1", strconv.Itoa(a.Port))
+	}
+	return a.String()
+}
+
+// Spawn launches one worker process per shard with the command builder
+// (typically a re-exec of the current binary carrying WorkerEnv). The
+// spawned processes are waited on by Shutdown. If any start fails, the
+// workers already started are killed and reaped before returning, so a
+// partial spawn leaks nothing.
+func (c *Coordinator) Spawn(build func(shardID int) *exec.Cmd) error {
+	c.cmds = map[int]*exec.Cmd{}
+	for i := range c.m.Shards {
+		id := c.m.Shards[i].ID
+		cmd := build(id)
+		if err := cmd.Start(); err != nil {
+			for _, started := range c.cmds {
+				started.Process.Kill()
+				started.Wait()
+			}
+			c.cmds = nil
+			return fmt.Errorf("shard: spawn shard %d: %w", id, err)
+		}
+		c.cmds[id] = cmd
+	}
+	return nil
+}
+
+// serve is the receive loop: it applies every incoming control frame
+// to the coordinator's state and issues the protocol's idempotent
+// replies (book for hello, start for ready-once-all-ready).
+func (c *Coordinator) serve() {
+	defer c.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(controlRead))
+		n, from, err := c.conn.ReadFromUDP(buf)
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		if err != nil {
+			continue
+		}
+		f, err := decodeFrame(buf[:n])
+		if err != nil {
+			continue
+		}
+		c.apply(f, from)
+	}
+}
+
+func (c *Coordinator) apply(f frame, from *net.UDPAddr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.shards[f.shard]
+	if st == nil { // unknown shard id: ignore
+		return
+	}
+	st.addr = from
+	switch f.kind {
+	case kindHello:
+		st.book = f.book
+		// Reply with the merged book once every shard has said hello;
+		// the worker retries its hello until then.
+		if book := c.mergedBookLocked(); book != nil {
+			c.conn.WriteToUDP(encodeFrame(frame{kind: kindBook, book: book}), from)
+		}
+	case kindReady:
+		st.ready = true
+		if st.started {
+			// Late ready retry (our start datagram was lost): re-ack the
+			// retrier alone, the barrier has already released.
+			c.conn.WriteToUDP(encodeFrame(frame{kind: kindStart}), from)
+		} else if c.allReadyLocked() {
+			for _, s := range c.shards {
+				s.started = true
+				c.conn.WriteToUDP(encodeFrame(frame{kind: kindStart}), s.addr)
+			}
+		}
+	case kindIdle:
+		if f.seq <= st.seq { // reordered report
+			return
+		}
+		if f.activity != st.activity || st.lastChange.IsZero() {
+			st.lastChange = time.Now()
+		}
+		st.seq, st.activity, st.stats = f.seq, f.activity, f.stats
+		st.lastReport = time.Now()
+		// Ack: the worker uses pongs to notice a dead coordinator.
+		c.conn.WriteToUDP(encodeFrame(frame{kind: kindPong}), from)
+	case kindTuples:
+		g := c.gather
+		if g == nil || f.req == 0 || g.cur[f.shard] != f.req {
+			return // no gather in flight, or a superseded retry's chunk
+		}
+		if g.chunks[f.shard] == nil {
+			g.chunks[f.shard] = make([][]val.Tuple, f.nchunks)
+		}
+		if f.chunk < len(g.chunks[f.shard]) && g.chunks[f.shard][f.chunk] == nil {
+			ts := f.tuples
+			if ts == nil {
+				ts = []val.Tuple{}
+			}
+			g.chunks[f.shard][f.chunk] = ts
+		}
+	case kindBye:
+		st.bye = true
+		st.byeStats = f.stats
+	}
+}
+
+// mergedBookLocked merges every shard's hello book, or nil if a hello
+// is still missing.
+func (c *Coordinator) mergedBookLocked() map[string]string {
+	book := map[string]string{}
+	for _, s := range c.shards {
+		if s.book == nil {
+			return nil
+		}
+		for k, v := range s.book {
+			book[k] = v
+		}
+	}
+	return book
+}
+
+func (c *Coordinator) allReadyLocked() bool {
+	for _, s := range c.shards {
+		if !s.ready {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitReady blocks until every shard has completed the handshake and
+// the start barrier has been released.
+func (c *Coordinator) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		started := true
+		for _, s := range c.shards {
+			started = started && s.started
+		}
+		c.mu.Unlock()
+		if started {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.mu.Lock()
+	missing := 0
+	for _, s := range c.shards {
+		if !s.started {
+			missing++
+		}
+	}
+	c.mu.Unlock()
+	return fmt.Errorf("shard: %d of %d shards not ready after %v", missing, len(c.shards), timeout)
+}
+
+// WaitQuiescent blocks until the whole deployment has been idle for
+// the given window, or until timeout; it reports which. The cluster is
+// idle when every shard's activity counter has been stable for the
+// window AND the cluster-wide datagram ledger balances (total sent ==
+// total received), which proves no message is in flight between
+// processes. If the ledger never balances (a datagram was genuinely
+// lost), stability alone is accepted after three windows — the
+// soft-state recovery story (Reseed) covers the loss.
+func (c *Coordinator) WaitQuiescent(idle, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		time.Sleep(idle / 4)
+		c.mu.Lock()
+		stable, balanced := c.idleForLocked(idle), c.ledgerBalancedLocked()
+		lossFallback := c.idleForLocked(3 * idle)
+		c.mu.Unlock()
+		if stable && balanced {
+			return true
+		}
+		if lossFallback {
+			return true
+		}
+	}
+	return false
+}
+
+// idleForLocked reports whether every shard has reported, recently,
+// and with an activity counter unchanged for the window.
+func (c *Coordinator) idleForLocked(window time.Duration) bool {
+	now := time.Now()
+	for _, s := range c.shards {
+		if s.lastChange.IsZero() || now.Sub(s.lastChange) < window {
+			return false
+		}
+		if now.Sub(s.lastReport) > window+time.Second {
+			return false // stale view: worker reports stopped arriving
+		}
+	}
+	return true
+}
+
+// ledgerBalancedLocked reports whether cluster-wide data-plane sends
+// equal receives (nothing in flight, nothing lost).
+func (c *Coordinator) ledgerBalancedLocked() bool {
+	var sent, recv int64
+	for _, s := range c.shards {
+		sent += s.stats.SentMessages
+		recv += s.stats.RecvMessages
+	}
+	return sent == recv
+}
+
+// LedgerBalanced reports whether cluster-wide data-plane sends
+// currently equal receives. After WaitQuiescent returns true, a false
+// ledger means quiescence was accepted through the loss fallback —
+// callers wanting a complete fixpoint should Reseed and wait again.
+func (c *Coordinator) LedgerBalanced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ledgerBalancedLocked()
+}
+
+// Reseed asks every worker to re-push its home base facts — the
+// soft-state refresh used to recover from lost datagrams.
+func (c *Coordinator) Reseed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.shards {
+		if s.addr != nil {
+			c.conn.WriteToUDP(encodeFrame(frame{kind: kindSeed}), s.addr)
+		}
+	}
+}
+
+// Tuples gathers a predicate snapshot from every shard and returns the
+// merged result sorted. Each (re)query of a shard carries a fresh
+// request id and discards that shard's partial chunks, so the merge
+// always combines whole per-shard snapshots — a retry can only observe
+// states the cluster actually passed through, never a splice of two
+// responses. Gathers are single-flight; concurrent callers serialize.
+func (c *Coordinator) Tuples(pred string, timeout time.Duration) ([]val.Tuple, error) {
+	c.gatherMu.Lock()
+	defer c.gatherMu.Unlock()
+	c.mu.Lock()
+	g := &gatherState{cur: map[int]uint64{}, chunks: map[int][][]val.Tuple{}}
+	c.gather = g
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.gather = nil
+		c.mu.Unlock()
+	}()
+
+	deadline := time.Now().Add(timeout)
+	lastSend := time.Time{}
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		if time.Since(lastSend) >= 200*time.Millisecond {
+			// (Re)query incomplete shards under a fresh request id each,
+			// wiping their partial state: a lost chunk costs one retry of
+			// that shard's whole snapshot.
+			for id, s := range c.shards {
+				if s.addr == nil || c.completeLocked(g, id) {
+					continue
+				}
+				c.reqSeq++
+				g.cur[id] = c.reqSeq
+				delete(g.chunks, id)
+				c.conn.WriteToUDP(encodeFrame(frame{kind: kindQuery, req: c.reqSeq, pred: pred}), s.addr)
+			}
+			lastSend = time.Now()
+		}
+		done := true
+		for id := range c.shards {
+			done = done && c.completeLocked(g, id)
+		}
+		if done {
+			var out []val.Tuple
+			for _, chunks := range g.chunks {
+				for _, ch := range chunks {
+					out = append(out, ch...)
+				}
+			}
+			c.mu.Unlock()
+			sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+			return out, nil
+		}
+		c.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("shard: gather %q timed out after %v", pred, timeout)
+}
+
+func (c *Coordinator) completeLocked(g *gatherState, shardID int) bool {
+	chunks, ok := g.chunks[shardID]
+	if !ok {
+		return false
+	}
+	for _, ch := range chunks {
+		if ch == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardStats returns the latest per-shard traffic stats (final bye
+// stats once a shard has said goodbye), keyed by shard ID.
+func (c *Coordinator) ShardStats() map[int]Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[int]Stats{}
+	for id, s := range c.shards {
+		ns := s.stats
+		if s.bye {
+			ns = s.byeStats
+		}
+		out[id] = Stats(ns)
+	}
+	return out
+}
+
+// Stats is a shard's data-plane traffic snapshot as reported over the
+// control plane — the runner's own counters, so the one definition
+// serves both layers (netStats stays internal as the wire block).
+type Stats = netrun.Stats
+
+// TotalStats sums ShardStats across the deployment.
+func (c *Coordinator) TotalStats() Stats {
+	var t Stats
+	for _, s := range c.ShardStats() {
+		t.SentBytes += s.SentBytes
+		t.SentMessages += s.SentMessages
+		t.RecvBytes += s.RecvBytes
+		t.RecvMessages += s.RecvMessages
+		t.Dropped += s.Dropped
+	}
+	return t
+}
+
+// Shutdown stops the fleet: stop frames are re-sent until every shard
+// answers bye (or the overall timeout lapses), spawned processes are
+// waited on within the same deadline, and the control socket is
+// closed. A worker whose lone bye datagram was lost but whose process
+// exited cleanly still counts as acknowledged — bye is the one
+// protocol step the sender cannot retry. It returns an error if a
+// shard neither said bye nor exited cleanly, or a process had to be
+// killed.
+func (c *Coordinator) Shutdown(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		allBye := true
+		for _, s := range c.shards {
+			if s.bye {
+				continue
+			}
+			allBye = false
+			if s.addr != nil {
+				c.conn.WriteToUDP(encodeFrame(frame{kind: kindStop}), s.addr)
+			}
+		}
+		c.mu.Unlock()
+		if allBye {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Reap the spawned processes against the shared deadline.
+	exitedClean := map[int]bool{}
+	var firstErr error
+	for id, cmd := range c.cmds {
+		err := waitDeadline(cmd, deadline)
+		exitedClean[id] = err == nil
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.cmds = nil
+	c.mu.Lock()
+	for _, s := range c.shards {
+		if !s.bye && !exitedClean[s.id] && firstErr == nil {
+			firstErr = fmt.Errorf("shard: shard %d never acknowledged stop", s.id)
+		}
+	}
+	c.mu.Unlock()
+	c.Close()
+	return firstErr
+}
+
+// waitDeadline waits for a spawned worker to exit, killing it if it
+// overstays the deadline.
+func waitDeadline(cmd *exec.Cmd, deadline time.Time) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	wait := time.Until(deadline)
+	if wait < 0 {
+		wait = 0
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(wait):
+		cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("shard: worker pid %d killed at shutdown deadline", cmd.Process.Pid)
+	}
+}
+
+// Close releases the control socket and stops the receive loop. Safe
+// after Shutdown; use directly only when no processes were spawned.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.conn.Close()
+	c.wg.Wait()
+}

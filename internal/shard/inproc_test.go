@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestWorkerProtocolInProcess exercises the full control-plane protocol
+// — hello/book/ready/start, idle reports, gather, reseed, stop/bye —
+// with workers running as goroutines instead of processes. It is the
+// fast (go test -short) coverage of the same code paths TestMultiProcess
+// exercises across process boundaries.
+func TestWorkerProtocolInProcess(t *testing.T) {
+	m := &Manifest{
+		Source:  figure2Source(),
+		Options: Options{AggSel: true},
+		Shards:  Partition([]string{"a", "b", "c", "d", "e"}, 2),
+	}
+	coord, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	done := make(chan error, len(m.Shards))
+	for i := range m.Shards {
+		id := m.Shards[i].ID
+		go func() {
+			done <- RunWorker(WorkerConfig{Manifest: m, ShardID: id, Coord: coord.ControlAddr()})
+		}()
+	}
+	if err := coord.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !coord.WaitQuiescent(300*time.Millisecond, 20*time.Second) {
+		t.Fatal("deployment did not quiesce")
+	}
+
+	tuples, err := coord.Tuples("shortestPath", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, tu := range tuples {
+		got[tu.Key()] = true
+	}
+	// Spot-check the Figure 2 known answers (full fixpoint equality is
+	// TestMultiProcess's job; UDP loss is recovered there via Reseed).
+	for _, k := range []string{
+		"shortestPath(a,c,[a,c],1)",
+		"shortestPath(a,b,[a,c,b],2)",
+	} {
+		if !got[k] {
+			coord.Reseed()
+			coord.WaitQuiescent(300*time.Millisecond, 10*time.Second)
+			tuples, err = coord.Tuples("shortestPath", 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = map[string]bool{}
+			for _, tu := range tuples {
+				got[tu.Key()] = true
+			}
+			break
+		}
+	}
+	for _, k := range []string{
+		"shortestPath(a,c,[a,c],1)",
+		"shortestPath(a,b,[a,c,b],2)",
+	} {
+		if !got[k] {
+			keys := make([]string, 0, len(got))
+			for k := range got {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			t.Errorf("missing %s; have %v", k, keys)
+		}
+	}
+
+	// Per-shard stats flowed over the control plane.
+	stats := coord.ShardStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d shards", len(stats))
+	}
+	if total := coord.TotalStats(); total.SentMessages == 0 {
+		t.Error("no traffic in stats")
+	}
+
+	if err := coord.Shutdown(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for range m.Shards {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not exit after stop")
+		}
+	}
+}
+
+// TestWorkerCoordinatorDeath: a worker whose coordinator vanishes must
+// exit with an error instead of serving (and leaking) forever.
+func TestWorkerCoordinatorDeath(t *testing.T) {
+	m := &Manifest{
+		Source:  figure2Source(),
+		Options: Options{AggSel: true},
+		Shards:  []ShardSpec{{ID: 0, Nodes: map[string]string{"a": "", "b": "", "c": "", "d": "", "e": ""}}},
+	}
+	coord, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(WorkerConfig{
+			Manifest: m, ShardID: 0, Coord: coord.ControlAddr(),
+			CoordTimeout: 500 * time.Millisecond,
+		})
+	}()
+	if err := coord.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	coord.Close() // coordinator dies without sending stop
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("worker exited nil after coordinator death; want liveness error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker kept serving after coordinator death")
+	}
+}
+
+// TestWorkerErrors covers worker misconfiguration paths.
+func TestWorkerErrors(t *testing.T) {
+	m := &Manifest{
+		Source: figure2Source(),
+		Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}},
+	}
+	if err := RunWorker(WorkerConfig{Manifest: m, ShardID: 9}); err == nil {
+		t.Error("unknown shard id accepted")
+	}
+	bad := &Manifest{
+		Source:  "sp1 path(@S) :- ???",
+		Shards:  []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}},
+		Options: Options{},
+	}
+	if err := RunWorker(WorkerConfig{Manifest: bad, ShardID: 0, Coord: "127.0.0.1:1"}); err == nil {
+		t.Error("unparsable program accepted")
+	}
+	modeBad := &Manifest{
+		Source:  figure2Source(),
+		Shards:  []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}},
+		Options: Options{Mode: "nope"},
+	}
+	if err := RunWorker(WorkerConfig{Manifest: modeBad, ShardID: 0, Coord: "127.0.0.1:1"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	// Static mode (no coordinator) must reject ephemeral peer addresses:
+	// there is no handshake to resolve them.
+	unpinned := &Manifest{
+		Source: figure2Source(),
+		Shards: []ShardSpec{
+			{ID: 0, Nodes: map[string]string{"a": "127.0.0.1:7101"}},
+			{ID: 1, Nodes: map[string]string{"b": ""}},
+		},
+	}
+	if err := RunWorker(WorkerConfig{Manifest: unpinned, ShardID: 0}); err == nil {
+		t.Error("static mode accepted an unpinned peer address")
+	}
+}

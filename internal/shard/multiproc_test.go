@@ -1,0 +1,170 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/parser"
+	"ndlog/internal/programs"
+)
+
+// TestMain doubles as the worker entry point: a child process spawned
+// with the shard worker environment runs its shard instead of the test
+// suite. This is how the e2e test gets ≥3 real OS processes from one
+// binary.
+func TestMain(m *testing.M) {
+	if handled, err := MaybeRunWorker(); handled {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+var figure2 = []struct {
+	a, b string
+	cost float64
+}{
+	{"a", "b", 5}, {"a", "c", 1}, {"c", "b", 1}, {"b", "d", 1}, {"e", "a", 1},
+}
+
+// figure2Program returns the paper's shortest-path program with the
+// Figure 2 network as base facts, as source text (for manifests) and
+// parsed (for ground truth).
+func figure2Source() string {
+	src := programs.ShortestPath("")
+	for _, l := range figure2 {
+		src += fmt.Sprintf("link(%s, %s, %v).\nlink(%s, %s, %v).\n", l.a, l.b, l.cost, l.b, l.a, l.cost)
+	}
+	return src
+}
+
+// centralGroundTruth evaluates the program single-site and returns the
+// sorted shortestPath keys — the fixpoint every deployment must match.
+func centralGroundTruth(t *testing.T, src string) []string {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := engine.NewCentral(prog, engine.Options{AggSel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadFacts()
+	var keys []string
+	for _, tu := range c.Tuples("shortestPath") {
+		keys = append(keys, tu.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestMultiProcess is the deployment-scale acceptance test: the
+// Figure 2 network partitioned into 3 shards, each a real OS process
+// with its own UDP sockets, must converge to the same shortest-path
+// fixpoint as the centralized evaluator, then shut down cleanly.
+func TestMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	src := figure2Source()
+	want := centralGroundTruth(t, src)
+	if len(want) == 0 {
+		t.Fatal("central ground truth is empty")
+	}
+
+	m := &Manifest{
+		Source:  src,
+		Options: Options{AggSel: true},
+		Shards:  Partition([]string{"a", "b", "c", "d", "e"}, 3),
+	}
+	manifestPath := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Save(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Spawn one real OS process per shard: re-exec of this test binary,
+	// diverted to the worker loop by TestMain.
+	err = coord.Spawn(func(shardID int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), WorkerEnv(manifestPath, shardID, coord.ControlAddr())...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.WaitReady(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	gather := func() []string {
+		tuples, err := coord.Tuples("shortestPath", 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, 0, len(tuples))
+		for _, tu := range tuples {
+			keys = append(keys, tu.Key())
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	var got []string
+	for attempt := 0; attempt < 4; attempt++ {
+		if !coord.WaitQuiescent(400*time.Millisecond, 30*time.Second) {
+			t.Fatal("sharded deployment did not quiesce")
+		}
+		got = gather()
+		if equalStrings(got, want) {
+			break
+		}
+		// Datagram loss: re-seed home facts (soft-state refresh) and retry.
+		coord.Reseed()
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("fixpoint mismatch:\n got %v\nwant %v", got, want)
+	}
+
+	// Real cross-process traffic must have flowed.
+	stats := coord.TotalStats()
+	if stats.SentMessages == 0 || stats.SentBytes == 0 {
+		t.Errorf("no data-plane traffic recorded: %+v", stats)
+	}
+	if stats.Dropped != 0 {
+		t.Errorf("%d deltas dropped (address book incomplete?)", stats.Dropped)
+	}
+
+	// Clean teardown: every worker acknowledges stop and its process
+	// exits with status 0 (Shutdown errors otherwise).
+	if err := coord.Shutdown(15 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/val"
+)
+
+func TestPartitionDeterministicAndBalanced(t *testing.T) {
+	ids := []string{"e", "c", "a", "d", "b"}
+	a := Partition(ids, 3)
+	b := Partition([]string{"a", "b", "c", "d", "e"}, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("partition not deterministic: %v vs %v", a, b)
+	}
+	counts := map[string]int{}
+	for _, s := range a {
+		if len(s.Nodes) < 1 || len(s.Nodes) > 2 {
+			t.Errorf("shard %d unbalanced: %d nodes", s.ID, len(s.Nodes))
+		}
+		for n := range s.Nodes {
+			counts[n]++
+		}
+	}
+	for _, id := range ids {
+		if counts[id] != 1 {
+			t.Errorf("node %s assigned %d times", id, counts[id])
+		}
+	}
+	// More shards than nodes collapses to one node per shard.
+	if got := Partition([]string{"x", "y"}, 5); len(got) != 2 {
+		t.Errorf("oversharded partition: %d shards", len(got))
+	}
+	// Zero shards clamps to one.
+	if got := Partition([]string{"x", "y"}, 0); len(got) != 1 {
+		t.Errorf("zero-shard partition: %d shards", len(got))
+	}
+}
+
+func TestManifestRoundTripAndValidate(t *testing.T) {
+	m := &Manifest{
+		Source:  "sp path(...) :- link(...).",
+		Options: Options{Mode: "bsn", AggSel: true, AggSelPeriod: 0.5},
+		Shards: []ShardSpec{
+			{ID: 0, Nodes: map[string]string{"a": "", "b": "127.0.0.1:7001"}},
+			{ID: 1, Nodes: map[string]string{"c": ""}},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", m, got)
+	}
+	if got.NodeCount() != 3 {
+		t.Errorf("NodeCount = %d", got.NodeCount())
+	}
+	if got.Shard(1) == nil || got.Shard(7) != nil {
+		t.Error("Shard lookup broken")
+	}
+	opts, err := got.Options.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Mode != engine.BSN || !opts.AggSel || opts.AggSelPeriod != 0.5 {
+		t.Errorf("engine options: %+v", opts)
+	}
+
+	bad := []*Manifest{
+		{Source: "x"}, // no shards
+		{Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}}},                                                          // no program
+		{Source: "x", Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}, {ID: 0, Nodes: map[string]string{"b": ""}}}}, // dup id
+		{Source: "x", Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}, {ID: 1, Nodes: map[string]string{"a": ""}}}}, // dup node
+		{Source: "x", Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{}}}},                                                    // empty shard
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad manifest %d validated", i)
+		}
+	}
+	if _, err := (Options{Mode: "warp"}).Engine(); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestControlFrameRoundTrip(t *testing.T) {
+	tup := val.NewTuple("shortestPath",
+		val.NewAddr("a"), val.NewAddr("b"),
+		val.NewList(val.NewAddr("a"), val.NewAddr("b")), val.NewFloat(1.5))
+	frames := []frame{
+		{kind: kindHello, shard: 2, book: map[string]string{"a": "127.0.0.1:1", "b": "127.0.0.1:2"}},
+		{kind: kindBook, book: map[string]string{"a": "127.0.0.1:1"}},
+		{kind: kindReady, shard: 1},
+		{kind: kindStart},
+		{kind: kindIdle, shard: 3, seq: 9, activity: 42,
+			stats: netStats{SentBytes: 1, SentMessages: 2, RecvBytes: 3, RecvMessages: 4, Dropped: 5}},
+		{kind: kindQuery, req: 7, pred: "shortestPath"},
+		{kind: kindTuples, shard: 1, req: 7, chunk: 0, nchunks: 2, tuples: []val.Tuple{tup}},
+		{kind: kindTuples, shard: 1, req: 7, chunk: 1, nchunks: 2}, // empty chunk
+		{kind: kindSeed},
+		{kind: kindPong},
+		{kind: kindStop},
+		{kind: kindBye, shard: 2, stats: netStats{SentMessages: 10, RecvMessages: 10}},
+	}
+	for _, f := range frames {
+		b := encodeFrame(f)
+		got, err := decodeFrame(b)
+		if err != nil {
+			t.Fatalf("%#x: %v", f.kind, err)
+		}
+		if got.kind != f.kind || got.shard != f.shard || got.seq != f.seq ||
+			got.activity != f.activity || got.stats != f.stats ||
+			got.req != f.req || got.pred != f.pred ||
+			got.chunk != f.chunk || got.nchunks != f.nchunks {
+			t.Errorf("%#x: round trip mismatch: %+v vs %+v", f.kind, got, f)
+		}
+		if !reflect.DeepEqual(got.book, f.book) {
+			t.Errorf("%#x: book mismatch", f.kind)
+		}
+		if len(got.tuples) != len(f.tuples) {
+			t.Fatalf("%#x: tuple count %d vs %d", f.kind, len(got.tuples), len(f.tuples))
+		}
+		for i := range f.tuples {
+			if !got.tuples[i].Equal(f.tuples[i]) {
+				t.Errorf("%#x: tuple %d mismatch: %v vs %v", f.kind, i, got.tuples[i], f.tuples[i])
+			}
+		}
+	}
+}
+
+func TestControlFrameCorrupt(t *testing.T) {
+	good := encodeFrame(frame{kind: kindHello, shard: 1, book: map[string]string{"a": "127.0.0.1:1"}})
+	for cut := 0; cut < len(good); cut++ {
+		// No proper prefix of a hello frame is itself a valid frame.
+		if _, err := decodeFrame(good[:cut]); err == nil {
+			t.Errorf("truncated frame at %d decoded", cut)
+		}
+	}
+	if _, err := decodeFrame([]byte{0x7f}); err == nil {
+		t.Error("unknown kind decoded")
+	}
+	if _, err := decodeFrame(nil); err == nil {
+		t.Error("empty frame decoded")
+	}
+	// A tuples frame whose count field exceeds the payload must fail
+	// on truncation, not allocate.
+	bad := encodeFrame(frame{kind: kindTuples, shard: 1, req: 1, chunk: 0, nchunks: 1})
+	bad[len(bad)-1] = 0xff // count = huge (varint continuation...) -> corrupt
+	if _, err := decodeFrame(bad); err == nil {
+		t.Error("corrupt tuple count decoded")
+	}
+}

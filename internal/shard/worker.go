@@ -1,0 +1,360 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"ndlog/internal/netrun"
+	"ndlog/internal/val"
+)
+
+// Protocol timing. The control plane is chatty-but-tiny: reports are
+// one datagram each, so a short period costs nothing and keeps the
+// coordinator's view fresh.
+const (
+	helloRetry   = 100 * time.Millisecond // hello resend until book arrives
+	readyRetry   = 100 * time.Millisecond // ready resend until start arrives
+	idlePeriod   = 50 * time.Millisecond  // activity report period
+	controlRead  = 50 * time.Millisecond  // control socket read deadline
+	tupleChunkSz = 32 << 10               // gather response chunk cap (bytes)
+)
+
+// WorkerConfig configures one shard process.
+type WorkerConfig struct {
+	// Manifest is the deployment description (shared by every shard).
+	Manifest *Manifest
+	// ShardID selects this process's slice of the manifest.
+	ShardID int
+	// Coord is the coordinator's control address ("host:port"). Empty
+	// means no coordinator: the worker installs the manifest's static
+	// book, seeds immediately, and runs until the process is killed —
+	// the fully static multi-machine deployment mode.
+	Coord string
+	// CoordTimeout bounds coordinator silence: the handshake phases
+	// must complete within it, and once serving, some coordinator
+	// frame (pongs ack every idle report, so silence means death) must
+	// arrive within it or the worker exits with an error instead of
+	// running orphaned forever. ≤0 means the 60s default.
+	CoordTimeout time.Duration
+	// Logf, when non-nil, receives progress lines (flag-gated by cmds).
+	Logf func(format string, args ...any)
+}
+
+func (c *WorkerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// RunWorker hosts one shard: it binds the shard's node sockets, joins
+// the coordinator handshake (hello → book → ready → start), seeds its
+// home facts, reports activity until told to stop, and answers gather
+// queries. It blocks until the stop frame arrives (or forever in
+// static mode) and returns after a clean teardown.
+func RunWorker(cfg WorkerConfig) error {
+	m := cfg.Manifest
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	spec := m.Shard(cfg.ShardID)
+	if spec == nil {
+		return fmt.Errorf("shard: no shard %d in manifest", cfg.ShardID)
+	}
+	prog, err := m.ParseProgram()
+	if err != nil {
+		return err
+	}
+	opts, err := m.Options.Engine()
+	if err != nil {
+		return err
+	}
+	r, err := netrun.NewSharded(prog, spec.Nodes, opts)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	// Install the static book entries of every other shard up front;
+	// ephemeral ("") entries are learned from the coordinator.
+	for i := range m.Shards {
+		other := &m.Shards[i]
+		if other.ID == spec.ID {
+			continue
+		}
+		for id, addr := range other.Nodes {
+			if addr == "" {
+				continue
+			}
+			if err := r.SetRemote(id, addr); err != nil {
+				return err
+			}
+		}
+	}
+
+	if cfg.Coord == "" {
+		// Static mode: no control plane, so there is no handshake to
+		// resolve ephemeral addresses — every off-shard node must be
+		// pinned or the book would silently drop its tuples.
+		for i := range m.Shards {
+			if m.Shards[i].ID == spec.ID {
+				continue
+			}
+			for id, addr := range m.Shards[i].Nodes {
+				if addr == "" {
+					return fmt.Errorf("shard: static mode (no -coord) needs a pinned address for node %q (shard %d)", id, m.Shards[i].ID)
+				}
+			}
+		}
+		cfg.logf("shard %d: static mode, %d nodes", spec.ID, len(spec.Nodes))
+		r.Start()
+		select {}
+	}
+
+	if cfg.CoordTimeout <= 0 {
+		cfg.CoordTimeout = 60 * time.Second
+	}
+	coordAddr, err := net.ResolveUDPAddr("udp", cfg.Coord)
+	if err != nil {
+		return fmt.Errorf("shard: coordinator address: %w", err)
+	}
+	// Wildcard bind: the coordinator may be on another machine, and the
+	// reply path is learned from this socket's observed source address.
+	ctl, err := net.ListenUDP("udp", &net.UDPAddr{})
+	if err != nil {
+		return fmt.Errorf("shard: bind control socket: %w", err)
+	}
+	defer ctl.Close()
+
+	w := &worker{cfg: cfg, spec: spec, runner: r, ctl: ctl, coord: coordAddr}
+	return w.run()
+}
+
+// worker is the control-plane state of one shard process.
+type worker struct {
+	cfg    WorkerConfig
+	spec   *ShardSpec
+	runner *netrun.Runner
+	ctl    *net.UDPConn
+	coord  *net.UDPAddr
+
+	seq uint64 // idle report sequence
+}
+
+func (w *worker) send(f frame) {
+	w.ctl.WriteToUDP(encodeFrame(f), w.coord)
+}
+
+// read waits up to the control read deadline for one frame; ok is
+// false on timeout or a corrupt datagram.
+func (w *worker) read(buf []byte) (frame, bool) {
+	w.ctl.SetReadDeadline(time.Now().Add(controlRead))
+	n, _, err := w.ctl.ReadFromUDP(buf)
+	if err != nil {
+		return frame{}, false
+	}
+	f, err := decodeFrame(buf[:n])
+	if err != nil {
+		return frame{}, false
+	}
+	return f, true
+}
+
+func (w *worker) localBook() map[string]string {
+	book := map[string]string{}
+	for _, id := range w.spec.NodeIDs() {
+		book[id] = w.runner.Addr(id).String()
+	}
+	return book
+}
+
+func (w *worker) run() error {
+	buf := make([]byte, 64<<10)
+
+	// Phase 1: hello until the merged book arrives. The coordinator
+	// replies to each hello, so loss on either leg just retries. The
+	// phase deadline covers sibling shards that never start: the book
+	// is only sent once every shard has said hello.
+	w.cfg.logf("shard %d: hello → %s", w.spec.ID, w.coord)
+	var book map[string]string
+	lastHello := time.Time{}
+	phaseDeadline := time.Now().Add(w.cfg.CoordTimeout)
+	for book == nil {
+		if time.Now().After(phaseDeadline) {
+			return fmt.Errorf("shard %d: no address book from coordinator %s within %v",
+				w.spec.ID, w.coord, w.cfg.CoordTimeout)
+		}
+		if time.Since(lastHello) >= helloRetry {
+			w.send(frame{kind: kindHello, shard: w.spec.ID, book: w.localBook()})
+			lastHello = time.Now()
+		}
+		if f, ok := w.read(buf); ok {
+			switch f.kind {
+			case kindBook:
+				book = f.book
+			case kindStop: // deployment aborted before assembly completed
+				w.send(frame{kind: kindBye, shard: w.spec.ID, stats: netStats(w.runner.Stats())})
+				return nil
+			}
+		}
+	}
+	for id, addr := range book {
+		if _, local := w.spec.Nodes[id]; local {
+			continue
+		}
+		if err := w.runner.SetRemote(id, addr); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: ready until start. A re-sent book (coordinator missed
+	// our ready) is re-acked the same way.
+	started := false
+	lastReady := time.Time{}
+	phaseDeadline = time.Now().Add(w.cfg.CoordTimeout)
+	for !started {
+		if time.Now().After(phaseDeadline) {
+			return fmt.Errorf("shard %d: no start from coordinator %s within %v",
+				w.spec.ID, w.coord, w.cfg.CoordTimeout)
+		}
+		if time.Since(lastReady) >= readyRetry {
+			w.send(frame{kind: kindReady, shard: w.spec.ID})
+			lastReady = time.Now()
+		}
+		if f, ok := w.read(buf); ok {
+			switch f.kind {
+			case kindStart:
+				started = true
+			case kindStop: // aborted deployment
+				w.send(frame{kind: kindBye, shard: w.spec.ID, stats: netStats(w.runner.Stats())})
+				return nil
+			}
+		}
+	}
+	w.cfg.logf("shard %d: started, %d nodes", w.spec.ID, len(w.spec.Nodes))
+	w.runner.Start()
+
+	// Phase 3: serve. Periodic idle reports carry the activity counter
+	// and traffic stats (the coordinator pongs each one, so frames flow
+	// both ways continuously); queries are answered with chunked tuple
+	// frames; seed re-pushes home facts (datagram-loss recovery); stop
+	// acknowledges with final stats and tears down. A coordinator
+	// silent for the whole timeout is dead: exit rather than run
+	// orphaned.
+	lastIdle := time.Time{}
+	lastCoord := time.Now()
+	for {
+		if time.Since(lastCoord) > w.cfg.CoordTimeout {
+			return fmt.Errorf("shard %d: coordinator %s unreachable for %v",
+				w.spec.ID, w.coord, w.cfg.CoordTimeout)
+		}
+		if time.Since(lastIdle) >= idlePeriod {
+			w.sendIdle()
+			lastIdle = time.Now()
+		}
+		f, ok := w.read(buf)
+		if !ok {
+			continue
+		}
+		lastCoord = time.Now()
+		switch f.kind {
+		case kindQuery:
+			w.answerQuery(f.req, f.pred)
+		case kindSeed:
+			w.runner.Seed()
+			w.sendIdle()
+		case kindStop:
+			s := w.runner.Stats()
+			w.send(frame{kind: kindBye, shard: w.spec.ID, stats: netStats(s)})
+			w.cfg.logf("shard %d: stopping (sent %d msgs, recv %d msgs)",
+				w.spec.ID, s.SentMessages, s.RecvMessages)
+			return nil
+		}
+	}
+}
+
+func (w *worker) sendIdle() {
+	w.seq++
+	w.send(frame{
+		kind:     kindIdle,
+		shard:    w.spec.ID,
+		seq:      w.seq,
+		activity: w.runner.Activity(),
+		stats:    netStats(w.runner.Stats()),
+	})
+}
+
+// answerQuery streams a predicate snapshot back in chunks small enough
+// for one datagram each. Chunk counts are recomputed per query, so a
+// re-sent query (coordinator missed a chunk) re-sends a fresh snapshot.
+func (w *worker) answerQuery(req uint64, pred string) {
+	tuples := w.runner.TupleValues(pred)
+	var chunks [][]val.Tuple
+	cur, size := []val.Tuple(nil), 0
+	for _, t := range tuples {
+		sz := val.EncodedSize(t)
+		if len(cur) > 0 && size+sz > tupleChunkSz {
+			chunks = append(chunks, cur)
+			cur, size = nil, 0
+		}
+		cur = append(cur, t)
+		size += sz
+	}
+	chunks = append(chunks, cur) // always ≥1 chunk, possibly empty
+	for i, ch := range chunks {
+		w.send(frame{
+			kind: kindTuples, shard: w.spec.ID, req: req,
+			chunk: i, nchunks: len(chunks), tuples: ch,
+		})
+	}
+}
+
+// Environment variable names for the re-exec worker entry: a process
+// started with these set runs a shard instead of its normal main. Env
+// (not flags) keeps worker plumbing out of user-facing flag sets and
+// works identically for cmd/ndlog and test binaries.
+const (
+	EnvManifest = "NDLOG_SHARD_MANIFEST"
+	EnvShardID  = "NDLOG_SHARD_ID"
+	EnvCoord    = "NDLOG_SHARD_COORD"
+	EnvVerbose  = "NDLOG_SHARD_VERBOSE"
+)
+
+// WorkerEnv builds the environment entries that turn a re-exec of this
+// binary into the given shard's worker process.
+func WorkerEnv(manifestPath string, shardID int, coordAddr string) []string {
+	return []string{
+		EnvManifest + "=" + manifestPath,
+		EnvShardID + "=" + strconv.Itoa(shardID),
+		EnvCoord + "=" + coordAddr,
+	}
+}
+
+// MaybeRunWorker checks the process environment for a shard-worker
+// assignment; if present it runs the worker to completion and reports
+// handled=true (the caller should exit with err's status). Binaries
+// that can serve as shard hosts call this first thing in main — and
+// test binaries in TestMain — so a coordinator can spawn them.
+func MaybeRunWorker() (handled bool, err error) {
+	path := os.Getenv(EnvManifest)
+	if path == "" {
+		return false, nil
+	}
+	id, err := strconv.Atoi(os.Getenv(EnvShardID))
+	if err != nil {
+		return true, fmt.Errorf("shard: bad %s: %w", EnvShardID, err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		return true, err
+	}
+	cfg := WorkerConfig{Manifest: m, ShardID: id, Coord: os.Getenv(EnvCoord)}
+	if os.Getenv(EnvVerbose) != "" {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ndnode: "+format+"\n", args...)
+		}
+	}
+	return true, RunWorker(cfg)
+}

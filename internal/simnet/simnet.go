@@ -7,6 +7,14 @@
 //
 // Virtual time is in seconds. Handlers run instantaneously in virtual
 // time; processing cost is modelled by scheduling delayed sends/timers.
+//
+// Ownership: Send retains the payload slice until delivery — senders
+// must not reuse or scribble over it after handing it off (the engine's
+// encoders allocate a fresh payload per message for exactly this
+// reason). Conversely a Handler only borrows the payload for the
+// duration of HandleMessage; retaining it requires a copy, which the
+// engine's copy-on-decode invariant provides. The simulator itself is
+// single-threaded: all handlers run on the event loop's goroutine.
 package simnet
 
 import (

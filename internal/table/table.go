@@ -9,6 +9,13 @@
 // structural equality. Nothing on the insert/lookup/delete path formats
 // a value into a string; val.Tuple.Key and KeyOn exist only for display
 // and deterministic test output.
+//
+// Ownership: tables are single-owner (one engine node each, no internal
+// locking). A stored Entry and its Tuple belong to the table; callers
+// may hold the Tuple (tuples are immutable) but must treat Entry fields
+// other than the advertisement/pooling flags as read-only — indexes
+// alias the same Entry pointers, so replacing an Entry's Tuple wholesale
+// is reserved for the interning hooks that preserve structural equality.
 package table
 
 import (

@@ -4,6 +4,12 @@
 // reliability, random), the neighborhood function N(X,r) used by
 // cost-based optimization (Section 5.3), and a Dijkstra oracle that
 // supplies ground-truth shortest paths for the "% results" figures.
+//
+// Generation is deterministic in the seed, so experiments and their
+// oracles agree across processes. Underlays and Overlays are immutable
+// after construction and safe to share between concurrent readers;
+// OverlayLink.Cost maps are shared, never copied — treat them as
+// read-only.
 package topology
 
 import (

@@ -5,6 +5,13 @@
 //
 // Values are immutable once constructed. Lists share backing storage, so
 // callers must not mutate the slice passed to NewList after construction.
+//
+// Two more invariants anchor the rest of the system: wire decoding
+// copies — a decoded value or tuple never aliases the input buffer, so
+// transports may reuse receive buffers — and interning (Interner)
+// resolves structurally equal tuples to one canonical object, making
+// pointer equality a sound fast path for Equal but never a substitute
+// (hash-equal values are re-checked structurally).
 package val
 
 import (
