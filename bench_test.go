@@ -37,6 +37,7 @@ func reportSP(b *testing.B, res []experiments.SPResult) {
 // BenchmarkFig7AggregateSelections regenerates Figure 7 (per-node
 // bandwidth under the four metrics with immediate aggregate selections).
 func BenchmarkFig7AggregateSelections(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunAggSel(experiments.Small(), 0)
 		if err != nil {
@@ -158,7 +159,7 @@ func BenchmarkFig14InterleavedUpdates(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (DESIGN.md Section 5) ---
+// --- Ablation benchmarks (DESIGN.md Section 6) ---
 
 // figure2Links is the Section 2.2 example network.
 var figure2Links = []struct {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +42,7 @@ func main() {
 
 	dist := flag.Bool("dist", false, "distributed execution over the simulator")
 	shards := flag.Int("shards", 0, "deploy as N OS processes over loopback UDP (0: off)")
+	migrate := flag.String("migrate", "", "with -shards: migrate nodes mid-run, e.g. 'c@1' or 'c@1,d@2' (node@target-shard)")
 	idle := flag.Duration("idle", 500*time.Millisecond, "quiescence idle window for -shards")
 	timeout := flag.Duration("timeout", 60*time.Second, "convergence timeout for -shards")
 	latency := flag.Duration("latency", 10*time.Millisecond, "link latency for distributed execution")
@@ -88,7 +90,11 @@ func main() {
 		if *trace {
 			fmt.Fprintln(os.Stderr, "ndlog: -trace has no effect with -shards (derivations happen in worker processes)")
 		}
-		results, cleanup, err = runSharded(string(src), prog, *shards, *aggsel, *arena, *idle, *timeout)
+		migs, err := parseMigrations(*migrate)
+		if err != nil {
+			fail(err)
+		}
+		results, cleanup, err = runSharded(string(src), prog, *shards, migs, *aggsel, *arena, *idle, *timeout)
 		if err != nil {
 			fail(err)
 		}
@@ -145,11 +151,34 @@ func main() {
 	}
 }
 
+// parseMigrations parses a -migrate spec: comma-separated node@shard
+// moves, applied as one rebalance plan after the deployment starts.
+func parseMigrations(spec string) ([]shard.Migration, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var migs []shard.Migration
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		node, shardStr, ok := strings.Cut(part, "@")
+		if !ok || node == "" {
+			return nil, fmt.Errorf("bad -migrate entry %q (want node@shard)", part)
+		}
+		id, err := strconv.Atoi(shardStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -migrate shard in %q: %v", part, err)
+		}
+		migs = append(migs, shard.Migration{Node: node, To: id})
+	}
+	return migs, nil
+}
+
 // runSharded deploys the program as N worker processes (re-execs of
-// this binary) over loopback UDP, waits for convergence, and returns a
-// live gather function plus the teardown. The manifest carries the
-// program source inline so every worker parses identical text.
-func runSharded(src string, prog *ast.Program, shards int, aggsel, arena bool, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
+// this binary) over loopback UDP, optionally rebalances nodes mid-run,
+// waits for convergence, and returns a live gather function plus the
+// teardown. The manifest carries the program source inline so every
+// worker parses identical text.
+func runSharded(src string, prog *ast.Program, shards int, migs []shard.Migration, aggsel, arena bool, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
 	ids := factAddresses(prog)
 	if len(ids) == 0 {
 		return nil, nil, fmt.Errorf("no node addresses in program facts")
@@ -201,6 +230,18 @@ func runSharded(src string, prog *ast.Program, shards int, aggsel, arena bool, i
 	if err := coord.WaitReady(15 * time.Second); err != nil {
 		cleanup()
 		return nil, nil, err
+	}
+	// Mid-run elasticity demo: rebalance the requested nodes onto their
+	// target shards under a new epoch, then converge as usual.
+	if len(migs) > 0 {
+		rep, err := coord.Rebalance(migs, idle, timeout)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		fmt.Printf("// rebalance: epoch %d, %d nodes moved, %d state bytes, quiesce-wait %.3fs, pause %.3fs\n",
+			rep.Epoch, len(rep.Moved), rep.StateBytes,
+			rep.QuiesceWait.Seconds(), rep.Pause.Seconds())
 	}
 	// Converge, recovering from datagram loss: an unbalanced ledger
 	// after quiescence means a delta went missing — re-seed the home

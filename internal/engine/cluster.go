@@ -44,10 +44,24 @@ type Cluster struct {
 	aggselArmed map[string]bool
 	shareArmed  map[string]bool
 	bsnArmed    map[string]bool
-	shareBuf    map[string]map[string][]Delta // node -> dst -> deltas
+	// shareBuf buffers outbound deltas per node -> dst between flush
+	// timers; the inner maps and their slices are reused across flushes
+	// (cleared, not reallocated). sharePending counts buffered deltas
+	// per node, since empty-but-retained slices no longer mean "idle".
+	shareBuf     map[string]map[string][]Delta
+	sharePending map[string]int
 	// sendFree is the virtual time each node's sender becomes free;
 	// outbound messages depart serialized ProcDelay apart.
 	sendFree map[string]float64
+
+	// outBuf/outOrder are sendBatched's reusable per-pump-round scratch:
+	// the simulator is single-threaded, so one set serves every node.
+	// Slices are emptied (and their delta elements cleared, releasing
+	// the tuple references) after each round instead of reallocated.
+	outBuf   map[string][]Delta
+	outOrder []string
+	// dstScratch is flushShare's reusable sorted-destination scratch.
+	dstScratch []string
 
 	undeliverable int
 }
@@ -67,16 +81,18 @@ func NewCluster(sim *simnet.Sim, prog *ast.Program, opts Options, cfg ClusterCon
 		opts.Mode = BSN
 	}
 	return &Cluster{
-		sim:         sim,
-		prog:        p,
-		opts:        opts,
-		cfg:         cfg,
-		nodes:       map[string]*Node{},
-		aggselArmed: map[string]bool{},
-		shareArmed:  map[string]bool{},
-		bsnArmed:    map[string]bool{},
-		shareBuf:    map[string]map[string][]Delta{},
-		sendFree:    map[string]float64{},
+		sim:          sim,
+		prog:         p,
+		opts:         opts,
+		cfg:          cfg,
+		nodes:        map[string]*Node{},
+		aggselArmed:  map[string]bool{},
+		shareArmed:   map[string]bool{},
+		bsnArmed:     map[string]bool{},
+		shareBuf:     map[string]map[string][]Delta{},
+		sharePending: map[string]int{},
+		sendFree:     map[string]float64{},
+		outBuf:       map[string][]Delta{},
 	}, nil
 }
 
@@ -231,19 +247,27 @@ func (c *Cluster) pump(n *Node) {
 
 // sendBatched groups one pump round's outbound deltas by destination
 // (first-appearance order, for determinism) and sends one plain message
-// per destination.
+// per destination. The grouping map and order slice are the cluster's
+// reusable scratch: encode copies every tuple into the payload, so the
+// buffers are emptied — not reallocated — after the round, and the
+// delta elements cleared so the scratch pins no tuples between rounds.
 func (c *Cluster) sendBatched(n *Node, outs []OutDelta) {
-	byDst := map[string][]Delta{}
-	var order []string
+	byDst := c.outBuf
+	order := c.outOrder[:0]
 	for _, o := range outs {
-		if _, ok := byDst[o.Dst]; !ok {
+		ds := byDst[o.Dst]
+		if len(ds) == 0 {
 			order = append(order, o.Dst)
 		}
-		byDst[o.Dst] = append(byDst[o.Dst], o.Delta)
+		byDst[o.Dst] = append(ds, o.Delta)
 	}
 	for _, dst := range order {
-		c.sendNow(n, dst, EncodeDeltas(byDst[dst]))
+		ds := byDst[dst]
+		c.sendNow(n, dst, EncodeDeltas(ds))
+		clear(ds)
+		byDst[dst] = ds[:0]
 	}
+	c.outOrder = order[:0]
 }
 
 // bufferOut holds a delta in the share/batch buffer until the flush
@@ -255,6 +279,7 @@ func (c *Cluster) bufferOut(n *Node, o OutDelta) {
 		c.shareBuf[n.id] = buf
 	}
 	buf[o.Dst] = append(buf[o.Dst], o.Delta)
+	c.sharePending[n.id]++
 	if !c.shareArmed[n.id] {
 		c.shareArmed[n.id] = true
 		delay := c.cfg.Batch
@@ -266,14 +291,16 @@ func (c *Cluster) bufferOut(n *Node, o OutDelta) {
 }
 
 func (c *Cluster) flushShare(n *Node) {
-	buf := c.shareBuf[n.id]
-	if len(buf) == 0 {
+	if c.sharePending[n.id] == 0 {
 		return
 	}
-	c.shareBuf[n.id] = nil
-	dsts := make([]string, 0, len(buf))
-	for d := range buf {
-		dsts = append(dsts, d)
+	c.sharePending[n.id] = 0
+	buf := c.shareBuf[n.id]
+	dsts := c.dstScratch[:0]
+	for d, ds := range buf {
+		if len(ds) > 0 {
+			dsts = append(dsts, d)
+		}
 	}
 	sort.Strings(dsts)
 	for _, dst := range dsts {
@@ -285,7 +312,12 @@ func (c *Cluster) flushShare(n *Node) {
 			payload = EncodeDeltas(deltas)
 		}
 		c.sendNow(n, dst, payload)
+		// Keep the per-destination slice for the next flush; drop its
+		// tuple references now.
+		clear(deltas)
+		buf[dst] = deltas[:0]
 	}
+	c.dstScratch = dsts[:0]
 }
 
 func (c *Cluster) sendNow(n *Node, dst string, payload []byte) {

@@ -54,15 +54,25 @@ const (
 )
 
 // EncodeDeltas marshals a batch of deltas into a message payload.
-func EncodeDeltas(ds []Delta) []byte {
-	// Presize for the common case (short tuples) so the append chain
-	// doesn't reallocate several times per message.
+func EncodeDeltas(ds []Delta) []byte { return AppendDeltas(nil, ds) }
+
+// AppendDeltas appends the encoded delta batch to dst and returns the
+// extended buffer — transports that frame the payload (netrun's epoch
+// envelope) build prefix and message in one buffer instead of copying
+// the whole payload into place. The buffer is grown at most once,
+// presized for the common case (short tuples), so the append chain
+// doesn't reallocate several times per message.
+func AppendDeltas(dst []byte, ds []Delta) []byte {
 	size := 11
 	for _, d := range ds {
 		size += 12 + len(d.Tuple.Pred) + 12*len(d.Tuple.Fields)
 	}
-	buf := make([]byte, 0, size)
-	buf = append(buf, byte(msgDeltas))
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := append(dst, byte(msgDeltas))
 	buf = binary.AppendUvarint(buf, uint64(len(ds)))
 	for _, d := range ds {
 		if d.Sign >= 0 {

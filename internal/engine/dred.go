@@ -161,32 +161,16 @@ func (c *Central) DeleteDRed(t val.Tuple) error {
 	}
 }
 
-// rederiveOnce evaluates every rule once over the current state and
-// returns the over-deleted head tuples it can rebuild.
+// rederiveOnce evaluates every rule once over the current state
+// (Node.sweepDerivable — the sweep is shared with migration imports)
+// and returns the over-deleted head tuples it can rebuild.
 func (c *Central) rederiveOnce(overdeleted tupleSet) []val.Tuple {
-	n := c.node
 	var out []val.Tuple
 	found := tupleSet{}
-	ctx := &joinCtx{cat: n.cat, ltBefore: noLimit, leAfter: noLimit, res: n.res, in: n.in}
-	for _, sts := range n.prog.strands {
-		for _, st := range sts {
-			if st.isAgg || st.trigger != 0 {
-				continue // one full evaluation per rule: trigger atom 0
-			}
-			trigger := n.cat.Get(st.atoms[0].Pred)
-			for _, tu := range trigger.Tuples() {
-				err := st.run(ctx, tu, func(d derived) {
-					if overdeleted.has(d.tuple) && found.add(d.tuple) {
-						out = append(out, d.tuple)
-					}
-				})
-				if err != nil {
-					// Evaluation errors mean the binding cannot produce a
-					// head; skip, as the insert path would.
-					continue
-				}
-			}
+	c.node.sweepDerivable(func(d derived) {
+		if overdeleted.has(d.tuple) && found.add(d.tuple) {
+			out = append(out, d.tuple)
 		}
-	}
+	})
 	return out
 }

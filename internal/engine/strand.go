@@ -227,6 +227,10 @@ type program struct {
 	// maxSlots is the largest slot count of any rule; nodes size their
 	// reusable slot environment to it once.
 	maxSlots int
+	// derived marks every predicate that appears as a rule head: its
+	// hard-state contents are views, rebuildable from base facts, and so
+	// are excluded from migration exports (Node.Export).
+	derived map[string]bool
 }
 
 // compile checks, localizes and compiles prog into strands.
@@ -243,6 +247,7 @@ func compile(prog *ast.Program) (*program, error) {
 		strands:      map[string][]*strand{},
 		decls:        map[string]*ast.TableDecl{},
 		aggSelByPred: map[string][]planner.AggSelection{},
+		derived:      map[string]bool{},
 	}
 	for _, d := range local.Materialized {
 		p.decls[d.Name] = d
@@ -257,6 +262,7 @@ func compile(prog *ast.Program) (*program, error) {
 		if _, _, err := planner.EvalSite(r); err != nil {
 			return nil, err
 		}
+		p.derived[r.Head.Pred] = true
 		atoms := r.Atoms()
 		code, err := compileRule(r, atoms)
 		if err != nil {

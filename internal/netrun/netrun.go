@@ -11,14 +11,22 @@
 // goroutine or another OS process entirely (see internal/shard for the
 // multi-process deployment built on this). Tuples bound for a node the
 // book does not know are counted as dropped, exactly like a datagram
-// with no route.
+// with no route. The local set is elastic: AddNode and RemoveNode
+// adopt and release nodes on a live socket set, and ExportNode /
+// ImportNode move a node's engine state for migration.
+//
+// Every data datagram carries the runner's membership epoch
+// (SetEpoch): a frame from a different epoch is fenced — counted,
+// dropped, never applied — which is what makes a live re-partition
+// safe against stragglers from the previous configuration.
 //
 // Ownership: a Runner owns its engine nodes and their sockets. Engine
 // nodes are single-threaded, so every Push/Drain/Tuples access happens
 // under the per-node mutex; the receive loops rely on the engine's
 // copy-on-decode invariant (decoded tuples never alias the read buffer)
-// to reuse one buffer per loop. The address book is guarded separately
-// so remote entries can be installed while the loops are live.
+// to reuse one buffer per loop. The address book and the node set are
+// guarded separately so remote entries and live adoptions can land
+// while the loops are running.
 //
 // The default runner binds loopback addresses, so tests exercise
 // genuine socket I/O without leaving the machine. Message loss and
@@ -27,6 +35,7 @@
 package netrun
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sort"
@@ -41,9 +50,14 @@ import (
 
 // Runner drives the local slice of an NDlog deployment over UDP.
 type Runner struct {
-	prog  *ast.Program
-	opts  engine.Options
-	nodes map[string]*netNode
+	prog *ast.Program
+	opts engine.Options
+
+	// nodesMu guards the local node set and the started flag: nodes can
+	// be adopted and released while the receive loops are live.
+	nodesMu sync.RWMutex
+	nodes   map[string]*netNode
+	started bool
 
 	// book maps NDlog addresses — local and remote — to UDP addresses.
 	// bookMu guards it: remote entries arrive from a control plane while
@@ -51,12 +65,22 @@ type Runner struct {
 	bookMu sync.RWMutex
 	book   map[string]*net.UDPAddr
 
+	// epoch is the membership epoch stamped on every outbound data
+	// datagram; inbound frames from any other epoch are fenced.
+	epoch atomic.Uint64
+
+	// lossBudget > 0 makes dispatch drop that many outbound datagrams
+	// (still counted as sent) — deterministic loss injection for testing
+	// the control plane's ledger fallback.
+	lossBudget atomic.Int64
+
 	activity atomic.Int64 // bumps on every processed datagram, injection, or seed
 	sentB    atomic.Int64
 	sentM    atomic.Int64
 	recvB    atomic.Int64
 	recvM    atomic.Int64
 	dropped  atomic.Int64 // deltas bound for nodes absent from the book
+	fenced   atomic.Int64 // datagrams dropped for carrying a stale epoch
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -70,6 +94,7 @@ type Stats struct {
 	RecvBytes    int64 // UDP payload bytes received
 	RecvMessages int64 // datagrams received
 	Dropped      int64 // outbound deltas with no address-book entry
+	Fenced       int64 // inbound datagrams fenced for a stale epoch
 }
 
 type netNode struct {
@@ -77,6 +102,9 @@ type netNode struct {
 	node *engine.Node
 	conn *net.UDPConn
 	mu   sync.Mutex // guards node (engine nodes are single-threaded)
+	// closed marks a released node: its receive loop exits on the next
+	// read error instead of treating the closed socket as transient.
+	closed atomic.Bool
 }
 
 // New creates a runner hosting every id locally. Each node binds an
@@ -103,28 +131,185 @@ func NewSharded(prog *ast.Program, local map[string]string, opts engine.Options)
 		stop:  make(chan struct{}),
 	}
 	for id, bind := range local {
-		n, err := engine.NewNode(id, prog, opts)
-		if err != nil {
+		if _, err := r.bindNode(id, bind); err != nil {
 			r.Close()
 			return nil, err
 		}
-		laddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}
-		if bind != "" {
-			laddr, err = net.ResolveUDPAddr("udp", bind)
-			if err != nil {
-				r.Close()
-				return nil, fmt.Errorf("netrun: bind address for %s: %w", id, err)
-			}
-		}
-		conn, err := net.ListenUDP("udp", laddr)
-		if err != nil {
-			r.Close()
-			return nil, fmt.Errorf("netrun: bind %s: %w", id, err)
-		}
-		r.nodes[id] = &netNode{id: id, node: n, conn: conn}
-		r.book[id] = conn.LocalAddr().(*net.UDPAddr)
 	}
 	return r, nil
+}
+
+// bindNode creates the engine node and socket for one local node and
+// installs both. Callers hold no locks (construction) or nodesMu
+// (AddNode).
+func (r *Runner) bindNode(id, bind string) (*netNode, error) {
+	n, err := engine.NewNode(id, r.prog, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	laddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}
+	if bind != "" {
+		laddr, err = net.ResolveUDPAddr("udp", bind)
+		if err != nil {
+			return nil, fmt.Errorf("netrun: bind address for %s: %w", id, err)
+		}
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netrun: bind %s: %w", id, err)
+	}
+	nn := &netNode{id: id, node: n, conn: conn}
+	r.nodes[id] = nn
+	r.bookMu.Lock()
+	r.book[id] = conn.LocalAddr().(*net.UDPAddr)
+	r.bookMu.Unlock()
+	return nn, nil
+}
+
+// AddNode adopts a node into the live runner: it binds a socket, adds
+// the node to the local set and the address book, and — if the runner
+// has started — launches its receive loop immediately. The node starts
+// empty; seed it through ImportNode and/or Seed.
+func (r *Runner) AddNode(id, bind string) error {
+	r.nodesMu.Lock()
+	defer r.nodesMu.Unlock()
+	if _, ok := r.nodes[id]; ok {
+		return fmt.Errorf("netrun: node %q already hosted", id)
+	}
+	nn, err := r.bindNode(id, bind)
+	if err != nil {
+		return err
+	}
+	if r.started {
+		r.wg.Add(1)
+		go r.receiveLoop(nn)
+	}
+	return nil
+}
+
+// RemoveNode releases a node from the live runner: its socket closes
+// (the receive loop exits), and the node leaves the local set and the
+// address book. Datagrams already bound for the node are dropped by the
+// closed socket — the stale-epoch fence covers the ones that chase the
+// node to its new home. Export the node's state first (ExportNode) if
+// it is migrating.
+func (r *Runner) RemoveNode(id string) error {
+	r.nodesMu.Lock()
+	defer r.nodesMu.Unlock()
+	nn, ok := r.nodes[id]
+	if !ok {
+		return fmt.Errorf("netrun: node %q not hosted", id)
+	}
+	nn.closed.Store(true)
+	nn.conn.Close()
+	delete(r.nodes, id)
+	r.bookMu.Lock()
+	delete(r.book, id)
+	r.bookMu.Unlock()
+	return nil
+}
+
+// ExportNode snapshots a local node's migratable state (engine
+// EncodeState payload): base facts with counts plus soft state with
+// remaining TTLs. The engine view only — traffic counters stay behind.
+func (r *Runner) ExportNode(id string) ([]byte, error) {
+	nn, ok := r.node(id)
+	if !ok {
+		return nil, fmt.Errorf("netrun: node %q not hosted", id)
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
+	return engine.EncodeState(nn.node.Export()), nil
+}
+
+// ImportNode loads an exported state into a local (freshly adopted)
+// node, re-derives the local closure (engine Rederive — the DRed
+// sweep), clamps the imported soft state back to its exported
+// remaining lifetimes, and dispatches the resulting advertisements to
+// the fleet.
+func (r *Runner) ImportNode(id string, state []byte) error {
+	st, err := engine.DecodeState(state)
+	if err != nil {
+		return err
+	}
+	nn, ok := r.node(id)
+	if !ok {
+		return fmt.Errorf("netrun: node %q not hosted", id)
+	}
+	nn.mu.Lock()
+	nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
+	nn.node.ImportState(st)
+	outs := nn.node.Drain()
+	nn.node.Rederive()
+	outs = append(outs, nn.node.Drain()...)
+	nn.node.ApplyImportedTTLs(st)
+	nn.mu.Unlock()
+	r.activity.Add(1)
+	r.dispatch(nn, outs)
+	return nil
+}
+
+// RederiveFor rebuilds the derived state flowing into freshly migrated
+// nodes: every local node (except the migrated ones, whose own import
+// drain covers their outbound) sweeps its stored state and re-sends the
+// derivations homed at a migrated node — one datagram batch per
+// destination, reconstructing exact derivation counts there. Hard-state
+// duplicates do not re-trigger strands, so this sweep is the only way a
+// moved node's inbound views (and the localizer's shipped copies) come
+// back.
+func (r *Runner) RederiveFor(migrated []string) {
+	dsts := make(map[string]bool, len(migrated))
+	for _, id := range migrated {
+		dsts[id] = true
+	}
+	for _, nn := range r.localNodes() {
+		if dsts[nn.id] {
+			continue
+		}
+		nn.mu.Lock()
+		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
+		outs := nn.node.RederiveFor(dsts)
+		nn.mu.Unlock()
+		if len(outs) == 0 {
+			continue
+		}
+		r.activity.Add(1)
+		r.dispatch(nn, outs)
+	}
+}
+
+// SetEpoch installs the membership epoch stamped on outbound data
+// datagrams; inbound frames from any other epoch are fenced from then
+// on. Safe while the loops are live — a re-partition installs the new
+// epoch together with the new address book.
+func (r *Runner) SetEpoch(e uint64) { r.epoch.Store(e) }
+
+// Epoch returns the current membership epoch.
+func (r *Runner) Epoch() uint64 { return r.epoch.Load() }
+
+// InjectLoss makes the runner drop its next n outbound data datagrams
+// while still counting them as sent — deterministic loss injection for
+// exercising the control plane's unbalanced-ledger fallback.
+func (r *Runner) InjectLoss(n int64) { r.lossBudget.Add(n) }
+
+// node looks up a local node under the set lock.
+func (r *Runner) node(id string) (*netNode, bool) {
+	r.nodesMu.RLock()
+	defer r.nodesMu.RUnlock()
+	nn, ok := r.nodes[id]
+	return nn, ok
+}
+
+// localNodes snapshots the local node set.
+func (r *Runner) localNodes() []*netNode {
+	r.nodesMu.RLock()
+	defer r.nodesMu.RUnlock()
+	out := make([]*netNode, 0, len(r.nodes))
+	for _, nn := range r.nodes {
+		out = append(out, nn)
+	}
+	return out
 }
 
 // SetRemote installs (or replaces) an address-book entry for a node
@@ -151,10 +336,12 @@ func (r *Runner) Addr(id string) *net.UDPAddr {
 
 // LocalIDs returns the IDs of the nodes hosted by this runner, sorted.
 func (r *Runner) LocalIDs() []string {
+	r.nodesMu.RLock()
 	out := make([]string, 0, len(r.nodes))
 	for id := range r.nodes {
 		out = append(out, id)
 	}
+	r.nodesMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -178,16 +365,20 @@ func (r *Runner) Stats() Stats {
 		RecvBytes:    r.recvB.Load(),
 		RecvMessages: r.recvM.Load(),
 		Dropped:      r.dropped.Load(),
+		Fenced:       r.fenced.Load(),
 	}
 }
 
 // Start launches the receive loops and seeds every local node with its
 // home base facts.
 func (r *Runner) Start() {
+	r.nodesMu.Lock()
+	r.started = true
 	for _, nn := range r.nodes {
 		r.wg.Add(1)
 		go r.receiveLoop(nn)
 	}
+	r.nodesMu.Unlock()
 	r.Seed()
 }
 
@@ -197,7 +388,7 @@ func (r *Runner) Start() {
 // counts as activity, so an in-progress recovery holds off quiescence
 // detection.
 func (r *Runner) Seed() {
-	for _, nn := range r.nodes {
+	for _, nn := range r.localNodes() {
 		nn.mu.Lock()
 		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
 		for _, f := range engine.HomeFacts(r.prog, nn.id) {
@@ -209,6 +400,12 @@ func (r *Runner) Seed() {
 		r.dispatch(nn, outs)
 	}
 }
+
+// envMagic opens every data datagram: envelope := 0x7E epoch(uvarint)
+// payload. The byte is disjoint from the engine's message kinds and the
+// shard control-plane kinds, so a frame delivered to the wrong socket
+// is rejected as corrupt rather than misread.
+const envMagic = 0x7E
 
 func (r *Runner) receiveLoop(nn *netNode) {
 	defer r.wg.Done()
@@ -223,13 +420,34 @@ func (r *Runner) receiveLoop(nn *netNode) {
 		default:
 		}
 		if err != nil {
+			if nn.closed.Load() {
+				return // node released: its socket is gone for good
+			}
 			continue // deadline or transient error; keep serving
 		}
+		if n < 2 || buf[0] != envMagic {
+			continue // not a data envelope: drop, like any UDP protocol
+		}
+		epoch, sz := binary.Uvarint(buf[1:n])
+		if sz <= 0 {
+			continue
+		}
+		if epoch != r.epoch.Load() {
+			// Epoch fence: a straggler from another membership view. It
+			// arrived, so the sent==recv ledger counts it (nothing is in
+			// flight), but its tuples are dropped — the rebalance protocol
+			// reseeds on resume, which re-derives anything fenced here.
+			r.fenced.Add(1)
+			r.recvB.Add(int64(n))
+			r.recvM.Add(1)
+			continue
+		}
+		payload := buf[1+sz : n]
 		// Decode under the node lock: the interner is node state, and the
 		// copy-on-decode invariant (decoded tuples never alias buf) is
 		// what lets this loop reuse one read buffer across datagrams.
 		nn.mu.Lock()
-		deltas, err := engine.DecodeMessageIn(buf[:n], nn.node.Interner())
+		deltas, err := engine.DecodeMessageIn(payload, nn.node.Interner())
 		if err != nil {
 			nn.mu.Unlock()
 			continue // corrupt datagram: drop, like any UDP protocol
@@ -254,7 +472,7 @@ func (r *Runner) receiveLoop(nn *netNode) {
 // Inject delivers a delta to a local node from outside (e.g. a link
 // update).
 func (r *Runner) Inject(id string, d engine.Delta) error {
-	nn, ok := r.nodes[id]
+	nn, ok := r.node(id)
 	if !ok {
 		return fmt.Errorf("netrun: unknown node %q", id)
 	}
@@ -296,6 +514,7 @@ func (r *Runner) dispatch(nn *netNode, outs []engine.OutDelta) {
 		addrs[i] = r.book[dstID]
 	}
 	r.bookMu.RUnlock()
+	epoch := r.epoch.Load()
 	for i, dstID := range order {
 		dst := addrs[i]
 		deltas := byDst[dstID]
@@ -308,10 +527,20 @@ func (r *Runner) dispatch(nn *netNode, outs []engine.OutDelta) {
 				}
 				n++
 			}
-			payload := engine.EncodeDeltas(deltas[:n])
+			// Envelope: epoch tag first, engine payload appended in place
+			// (no second copy of the payload).
+			frame := binary.AppendUvarint([]byte{envMagic}, epoch)
+			frame = engine.AppendDeltas(frame, deltas[:n])
 			deltas = deltas[n:]
-			if _, err := nn.conn.WriteToUDP(payload, dst); err == nil {
-				r.sentB.Add(int64(len(payload)))
+			if r.lossBudget.Load() > 0 && r.lossBudget.Add(-1) >= 0 {
+				// Injected loss: the datagram is counted as sent (the
+				// ledger must see it) but never hits the wire.
+				r.sentB.Add(int64(len(frame)))
+				r.sentM.Add(1)
+				continue
+			}
+			if _, err := nn.conn.WriteToUDP(frame, dst); err == nil {
+				r.sentB.Add(int64(len(frame)))
 				r.sentM.Add(1)
 			}
 		}
@@ -345,7 +574,7 @@ func (r *Runner) WaitQuiescent(idle, timeout time.Duration) bool {
 // each node's lock).
 func (r *Runner) Tuples(pred string) []string {
 	var out []string
-	for _, nn := range r.nodes {
+	for _, nn := range r.localNodes() {
 		nn.mu.Lock()
 		for _, t := range nn.node.Tuples(pred) {
 			out = append(out, t.Key())
@@ -360,7 +589,7 @@ func (r *Runner) Tuples(pred string) []string {
 // per the engine's aliasing rules).
 func (r *Runner) TupleValues(pred string) []val.Tuple {
 	var out []val.Tuple
-	for _, nn := range r.nodes {
+	for _, nn := range r.localNodes() {
 		nn.mu.Lock()
 		out = append(out, nn.node.Tuples(pred)...)
 		nn.mu.Unlock()
@@ -370,7 +599,7 @@ func (r *Runner) TupleValues(pred string) []val.Tuple {
 
 // NodeTuples returns one local node's tuples for a predicate, as keys.
 func (r *Runner) NodeTuples(id, pred string) []string {
-	nn, ok := r.nodes[id]
+	nn, ok := r.node(id)
 	if !ok {
 		return nil
 	}
@@ -390,7 +619,7 @@ func (r *Runner) Close() {
 	default:
 		close(r.stop)
 	}
-	for _, nn := range r.nodes {
+	for _, nn := range r.localNodes() {
 		if nn.conn != nil {
 			nn.conn.Close()
 		}

@@ -1,6 +1,8 @@
 package netrun
 
 import (
+	"encoding/binary"
+	"net"
 	"testing"
 	"time"
 
@@ -223,6 +225,149 @@ func TestDroppedAccounting(t *testing.T) {
 	r.WaitQuiescent(200*time.Millisecond, 5*time.Second)
 	if r.Stats().Dropped == 0 {
 		t.Error("expected dropped deltas for unrouted destinations")
+	}
+}
+
+// TestEpochFencing proves the stale-epoch fence: a data datagram
+// carrying an old membership epoch is counted (sent==recv ledger stays
+// balanced) but its tuples are never applied; a current-epoch datagram
+// with the same payload is.
+func TestEpochFencing(t *testing.T) {
+	prog, err := parser.Parse(programs.ShortestPath(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewSharded(prog, map[string]string{"a": ""}, engine.Options{AggSel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetEpoch(2) // post-cutover view
+	r.Start()
+
+	src, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	payload := engine.EncodeDeltas([]engine.Delta{
+		engine.Insert(programs.LinkFact("link", "a", "zz", 9)),
+	})
+	send := func(epoch uint64) {
+		frame := binary.AppendUvarint([]byte{envMagic}, epoch)
+		frame = append(frame, payload...)
+		if _, err := src.WriteToUDP(frame, r.Addr("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stale epoch: fenced, counted, never applied.
+	send(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().Fenced == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	s := r.Stats()
+	if s.Fenced != 1 {
+		t.Fatalf("fenced = %d, want 1", s.Fenced)
+	}
+	if s.RecvMessages != 1 {
+		t.Fatalf("fenced datagram not counted in the ledger: recv = %d", s.RecvMessages)
+	}
+	for _, k := range r.NodeTuples("a", "link") {
+		if k == "link(a,zz,9)" {
+			t.Fatal("stale-epoch tuple was applied")
+		}
+	}
+
+	// Current epoch: the same payload lands.
+	send(2)
+	found := false
+	for time.Now().Before(deadline) && !found {
+		for _, k := range r.NodeTuples("a", "link") {
+			if k == "link(a,zz,9)" {
+				found = true
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !found {
+		t.Fatalf("current-epoch tuple missing: %v", r.NodeTuples("a", "link"))
+	}
+	if got := r.Stats().Fenced; got != 1 {
+		t.Fatalf("fenced = %d after current-epoch send, want 1", got)
+	}
+}
+
+// TestAddRemoveNode exercises live adoption and release: a node joins a
+// running socket set, serves, exports its state, and leaves.
+func TestAddRemoveNode(t *testing.T) {
+	prog, err := parser.Parse(programs.ShortestPath(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range figure2 {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+	}
+	r, err := NewSharded(prog, map[string]string{"a": ""}, engine.Options{AggSel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Start()
+
+	if err := r.AddNode("a", ""); err == nil {
+		t.Error("duplicate AddNode accepted")
+	}
+	if err := r.AddNode("b", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LocalIDs(); len(got) != 2 || got[1] != "b" {
+		t.Fatalf("LocalIDs = %v", got)
+	}
+	if r.Addr("b") == nil {
+		t.Fatal("adopted node has no address")
+	}
+	r.Seed() // b's home facts seed through the normal path
+	r.WaitQuiescent(200*time.Millisecond, 5*time.Second)
+	if got := r.NodeTuples("b", "link"); len(got) == 0 {
+		t.Fatalf("adopted node has no link facts: %v", got)
+	}
+
+	// Export, remove, re-adopt elsewhere-style: import restores state.
+	blob, err := r.ExportNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ExportNode("b"); err == nil {
+		t.Error("export of a removed node succeeded")
+	}
+	if err := r.RemoveNode("b"); err == nil {
+		t.Error("double remove succeeded")
+	}
+	if got := r.LocalIDs(); len(got) != 1 {
+		t.Fatalf("LocalIDs after remove = %v", got)
+	}
+
+	if err := r.AddNode("b", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ImportNode("b", blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NodeTuples("b", "link"); len(got) == 0 {
+		t.Fatalf("imported node has no link facts: %v", got)
+	}
+	if err := r.ImportNode("zz", blob); err == nil {
+		t.Error("import into unknown node succeeded")
+	}
+	if err := r.ImportNode("b", []byte{1, 2, 3}); err == nil {
+		t.Error("corrupt import succeeded")
 	}
 }
 

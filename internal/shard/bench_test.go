@@ -77,6 +77,83 @@ func BenchmarkNetrunFig7(b *testing.B) {
 	}
 }
 
+// BenchmarkMigration3Fig7 converges the Fig 7 workload as three real
+// OS processes, then migrates one node to another shard mid-run and
+// re-converges — the PR 5 elasticity cost probe. Reported metrics:
+// rebalance pause (quiesce→resume wall time, the window the deployment
+// makes no progress), and the post-migration re-convergence wall time.
+// Compare s/converge against BenchmarkSharded3Fig7 (no migration).
+func BenchmarkMigration3Fig7(b *testing.B) {
+	src, ids := fig7Workload()
+	wantResults := len(ids) * (len(ids) - 1)
+	for i := 0; i < b.N; i++ {
+		m := &Manifest{
+			Source:  src,
+			Options: Options{AggSel: true},
+			Shards:  Partition(ids, 3),
+		}
+		manifestPath := filepath.Join(b.TempDir(), "manifest.json")
+		if err := m.Save(manifestPath); err != nil {
+			b.Fatal(err)
+		}
+		coord, err := NewCoordinator(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = coord.Spawn(func(shardID int) *exec.Cmd {
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(), WorkerEnv(manifestPath, shardID, coord.ControlAddr())...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := coord.WaitReady(20 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		// Migrate the first node to the next shard over, mid-convergence.
+		node := ids[0]
+		to := (coord.Owner(node) + 1) % 3
+		rep, err := coord.Rebalance([]Migration{{Node: node, To: to}},
+			300*time.Millisecond, 60*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resumed := time.Now()
+		if !coord.WaitQuiescent(300*time.Millisecond, 60*time.Second) {
+			b.Fatal("post-migration deployment did not quiesce")
+		}
+		got, err := coord.Tuples("shortestPath", 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for attempt := 0; attempt < 5 && len(got) < wantResults; attempt++ {
+			coord.Reseed()
+			coord.WaitQuiescent(300*time.Millisecond, 30*time.Second)
+			got, err = coord.Tuples("shortestPath", 10*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		wall := time.Since(start).Seconds()
+		reconverge := time.Since(resumed).Seconds()
+		if len(got) < wantResults {
+			b.Fatalf("converged to %d of %d results", len(got), wantResults)
+		}
+		if err := coord.Shutdown(15 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(wall, "s/converge")
+			b.ReportMetric(rep.Pause.Seconds(), "s/pause")
+			b.ReportMetric(reconverge, "s/reconverge")
+			b.ReportMetric(float64(rep.StateBytes), "state-B")
+		}
+	}
+}
+
 // BenchmarkSharded3Fig7 converges the same workload as three real OS
 // processes (re-execs of the test binary) coordinated over the control
 // plane — the BENCH_PR4 sharded configuration.

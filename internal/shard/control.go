@@ -14,32 +14,46 @@ import (
 // so the control plane needs no codec of its own and benefits from the
 // same fuzzed decoders. One frame per datagram:
 //
-//	frame  := kind(byte) body
-//	hello  := shard(uvarint) nbook(uvarint) {node(string) addr(string)}*
-//	book   := nbook(uvarint) {node(string) addr(string)}*
-//	ready  := shard(uvarint)
-//	start  := ε
-//	idle   := shard(uvarint) seq(uvarint) activity(uvarint) stats
-//	query  := req(uvarint) pred(string)
-//	tuples := shard(uvarint) req(uvarint) chunk(uvarint) nchunks(uvarint)
-//	          count(uvarint) tuple*
-//	seed   := ε
-//	stop   := ε
-//	bye    := shard(uvarint) stats
-//	pong   := ε
-//	stats  := sentB sentM recvB recvM dropped (uvarints)
+//	frame   := kind(byte) body
+//	hello   := shard(uvarint) nbook(uvarint) {node(string) addr(string)}*
+//	book    := epoch(uvarint) nbook(uvarint) {node(string) addr(string)}*
+//	ready   := shard(uvarint) epoch(uvarint)
+//	start   := ε
+//	idle    := shard(uvarint) epoch(uvarint) seq(uvarint)
+//	           activity(uvarint) stats
+//	query   := req(uvarint) pred(string)
+//	tuples  := shard(uvarint) req(uvarint) chunk(uvarint) nchunks(uvarint)
+//	           count(uvarint) tuple*
+//	seed    := ε
+//	stop    := ε
+//	bye     := shard(uvarint) stats
+//	pong    := ε
+//	release := req(uvarint) epoch(uvarint) node(string)
+//	state   := shard(uvarint) req(uvarint) chunk(uvarint) nchunks(uvarint)
+//	           blob(string)
+//	adopt   := req(uvarint) epoch(uvarint) node(string) chunk(uvarint)
+//	           nchunks(uvarint) blob(string)
+//	adopted := shard(uvarint) req(uvarint) node(string) addr(string)
+//	resume  := epoch(uvarint) nnodes(uvarint) {node(string)}*
+//	resumed := shard(uvarint) epoch(uvarint)
+//	stats   := sentB sentM recvB recvM dropped fenced (uvarints)
 //
 // Kind bytes start at 0x81, disjoint from the engine's data-message
-// kinds (1, 2) — a control frame mis-delivered to a data socket is
-// rejected as corrupt, and vice versa. Every frame is idempotent:
-// both sides resend until acknowledged by the protocol's next phase,
-// which is all the reliability loopback/LAN UDP needs.
+// kinds (1, 2) and the netrun data envelope (0x7E) — a control frame
+// mis-delivered to a data socket is rejected as corrupt, and vice
+// versa. Every frame is idempotent: both sides resend until
+// acknowledged by the protocol's next phase, which is all the
+// reliability loopback/LAN UDP needs.
+//
+// Epochs version the membership view: the coordinator bumps the epoch
+// on every rebalance, workers echo it in ready/idle/resumed frames, and
+// the data plane fences datagrams from other epochs (internal/netrun).
 type frameKind byte
 
 const (
 	kindHello  frameKind = 0x81 // worker → coord: shard's node address book
-	kindBook   frameKind = 0x82 // coord → worker: merged global book
-	kindReady  frameKind = 0x83 // worker → coord: book installed
+	kindBook   frameKind = 0x82 // coord → worker: merged global book, epoch-stamped
+	kindReady  frameKind = 0x83 // worker → coord: book of that epoch installed
 	kindStart  frameKind = 0x84 // coord → worker: seed home facts, go
 	kindIdle   frameKind = 0x85 // worker → coord: periodic activity report
 	kindQuery  frameKind = 0x86 // coord → worker: gather a predicate
@@ -48,6 +62,14 @@ const (
 	kindStop   frameKind = 0x89 // coord → worker: shut down
 	kindBye    frameKind = 0x8A // worker → coord: final stats, exiting
 	kindPong   frameKind = 0x8B // coord → worker: idle-report ack (liveness)
+
+	// Rebalance frames (epoch cutover; see coord.go Rebalance).
+	kindRelease frameKind = 0x8C // coord → worker: export + drop a migrating node
+	kindState   frameKind = 0x8D // worker → coord: one chunk of exported state
+	kindAdopt   frameKind = 0x8E // coord → worker: host this node, one state chunk
+	kindAdopted frameKind = 0x8F // worker → coord: node bound, here is its address
+	kindResume  frameKind = 0x90 // coord → worker: cutover done, import + reseed
+	kindResumed frameKind = 0x91 // worker → coord: resumed in the new epoch
 )
 
 // maxGatherChunks bounds the per-shard chunk count a tuples frame may
@@ -55,12 +77,14 @@ const (
 const maxGatherChunks = 1 << 16
 
 // netStats is the traffic counter block shared by idle and bye frames.
+// It mirrors netrun.Stats field-for-field so the two convert directly.
 type netStats struct {
 	SentBytes    int64
 	SentMessages int64
 	RecvBytes    int64
 	RecvMessages int64
 	Dropped      int64
+	Fenced       int64
 }
 
 // frame is one decoded control message; unused fields are zero.
@@ -68,6 +92,9 @@ type frame struct {
 	kind frameKind
 	// shard identifies the sender (worker → coord frames).
 	shard int
+	// epoch is the membership view a frame belongs to (book, ready,
+	// idle, release, adopt, resume, resumed).
+	epoch uint64
 	// book carries node → "host:port" entries (hello, book).
 	book map[string]string
 	// seq, activity: idle report ordering and the runner's activity
@@ -75,13 +102,23 @@ type frame struct {
 	seq      uint64
 	activity int64
 	stats    netStats
-	// req, pred: query correlation id and predicate.
+	// req, pred: query correlation id and predicate (query); req also
+	// correlates release/state and adopt/adopted exchanges.
 	req  uint64
 	pred string
-	// chunk/nchunks/tuples: one gather response chunk.
+	// node names the migrating node (release, adopt, adopted); nodes
+	// lists every node moved by a cutover (resume).
+	node  string
+	nodes []string
+	// addr is the migrated node's new data address (adopted).
+	addr string
+	// chunk/nchunks/tuples: one gather response chunk; chunk/nchunks
+	// also frame the blob chunks of state and adopt.
 	chunk   int
 	nchunks int
 	tuples  []val.Tuple
+	// blob is one chunk of an exported node state (state, adopt).
+	blob []byte
 }
 
 func appendUvarint(dst []byte, x uint64) []byte { return binary.AppendUvarint(dst, x) }
@@ -106,7 +143,13 @@ func appendStats(dst []byte, s netStats) []byte {
 	dst = appendUvarint(dst, uint64(s.SentMessages))
 	dst = appendUvarint(dst, uint64(s.RecvBytes))
 	dst = appendUvarint(dst, uint64(s.RecvMessages))
-	return appendUvarint(dst, uint64(s.Dropped))
+	dst = appendUvarint(dst, uint64(s.Dropped))
+	return appendUvarint(dst, uint64(s.Fenced))
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
 }
 
 // encodeFrame marshals f. The zero-body kinds encode as a single byte.
@@ -117,12 +160,15 @@ func encodeFrame(f frame) []byte {
 		buf = appendUvarint(buf, uint64(f.shard))
 		buf = appendBook(buf, f.book)
 	case kindBook:
+		buf = appendUvarint(buf, f.epoch)
 		buf = appendBook(buf, f.book)
 	case kindReady:
 		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendUvarint(buf, f.epoch)
 	case kindStart, kindStop, kindSeed, kindPong:
 	case kindIdle:
 		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendUvarint(buf, f.epoch)
 		buf = appendUvarint(buf, f.seq)
 		buf = appendUvarint(buf, uint64(f.activity))
 		buf = appendStats(buf, f.stats)
@@ -141,6 +187,37 @@ func encodeFrame(f frame) []byte {
 	case kindBye:
 		buf = appendUvarint(buf, uint64(f.shard))
 		buf = appendStats(buf, f.stats)
+	case kindRelease:
+		buf = appendUvarint(buf, f.req)
+		buf = appendUvarint(buf, f.epoch)
+		buf = val.AppendString(buf, f.node)
+	case kindState:
+		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendUvarint(buf, f.req)
+		buf = appendUvarint(buf, uint64(f.chunk))
+		buf = appendUvarint(buf, uint64(f.nchunks))
+		buf = appendBytes(buf, f.blob)
+	case kindAdopt:
+		buf = appendUvarint(buf, f.req)
+		buf = appendUvarint(buf, f.epoch)
+		buf = val.AppendString(buf, f.node)
+		buf = appendUvarint(buf, uint64(f.chunk))
+		buf = appendUvarint(buf, uint64(f.nchunks))
+		buf = appendBytes(buf, f.blob)
+	case kindAdopted:
+		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendUvarint(buf, f.req)
+		buf = val.AppendString(buf, f.node)
+		buf = val.AppendString(buf, f.addr)
+	case kindResume:
+		buf = appendUvarint(buf, f.epoch)
+		buf = appendUvarint(buf, uint64(len(f.nodes)))
+		for _, n := range f.nodes {
+			buf = val.AppendString(buf, n)
+		}
+	case kindResumed:
+		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendUvarint(buf, f.epoch)
 	}
 	return buf
 }
@@ -205,7 +282,25 @@ func (d *decoder) stats() netStats {
 		RecvBytes:    int64(d.uvarint()),
 		RecvMessages: int64(d.uvarint()),
 		Dropped:      int64(d.uvarint()),
+		Fenced:       int64(d.uvarint()),
 	}
+}
+
+// bytes decodes a length-prefixed blob; the result never aliases the
+// receive buffer (copy-on-decode, like every decoded string and tuple).
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.err = fmt.Errorf("shard: corrupt control frame (blob size)")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[:n])
+	d.b = d.b[n:]
+	return out
 }
 
 // decodeFrame unmarshals one control frame. Decoded strings and tuples
@@ -222,12 +317,15 @@ func decodeFrame(b []byte) (frame, error) {
 		f.shard = int(d.uvarint())
 		f.book = d.book()
 	case kindBook:
+		f.epoch = d.uvarint()
 		f.book = d.book()
 	case kindReady:
 		f.shard = int(d.uvarint())
+		f.epoch = d.uvarint()
 	case kindStart, kindStop, kindSeed, kindPong:
 	case kindIdle:
 		f.shard = int(d.uvarint())
+		f.epoch = d.uvarint()
 		f.seq = d.uvarint()
 		f.activity = int64(d.uvarint())
 		f.stats = d.stats()
@@ -263,6 +361,48 @@ func decodeFrame(b []byte) (frame, error) {
 	case kindBye:
 		f.shard = int(d.uvarint())
 		f.stats = d.stats()
+	case kindRelease:
+		f.req = d.uvarint()
+		f.epoch = d.uvarint()
+		f.node = d.string()
+	case kindState:
+		f.shard = int(d.uvarint())
+		f.req = d.uvarint()
+		f.chunk = int(d.uvarint())
+		f.nchunks = int(d.uvarint())
+		if d.err == nil && (f.nchunks < 1 || f.nchunks > maxGatherChunks ||
+			f.chunk < 0 || f.chunk >= f.nchunks) {
+			d.err = fmt.Errorf("shard: corrupt control frame (chunk %d of %d)", f.chunk, f.nchunks)
+		}
+		f.blob = d.bytes()
+	case kindAdopt:
+		f.req = d.uvarint()
+		f.epoch = d.uvarint()
+		f.node = d.string()
+		f.chunk = int(d.uvarint())
+		f.nchunks = int(d.uvarint())
+		if d.err == nil && (f.nchunks < 1 || f.nchunks > maxGatherChunks ||
+			f.chunk < 0 || f.chunk >= f.nchunks) {
+			d.err = fmt.Errorf("shard: corrupt control frame (chunk %d of %d)", f.chunk, f.nchunks)
+		}
+		f.blob = d.bytes()
+	case kindAdopted:
+		f.shard = int(d.uvarint())
+		f.req = d.uvarint()
+		f.node = d.string()
+		f.addr = d.string()
+	case kindResume:
+		f.epoch = d.uvarint()
+		nn := d.uvarint()
+		if d.err == nil && nn > uint64(len(d.b)) {
+			d.err = fmt.Errorf("shard: corrupt control frame (node count)")
+		}
+		for i := uint64(0); d.err == nil && i < nn; i++ {
+			f.nodes = append(f.nodes, d.string())
+		}
+	case kindResumed:
+		f.shard = int(d.uvarint())
+		f.epoch = d.uvarint()
 	default:
 		return frame{}, fmt.Errorf("shard: unknown control frame kind 0x%x", b[0])
 	}

@@ -16,8 +16,9 @@ import (
 // Coordinator drives one sharded deployment from a single UDP control
 // socket: it assembles the global address book from worker hellos,
 // releases the start barrier, watches idle reports for cross-process
-// quiescence, gathers predicates, and tears the fleet down. It never
-// touches data-plane traffic — tuples travel shard-to-shard directly.
+// quiescence, gathers predicates, re-partitions the live fleet
+// (Rebalance), and tears the deployment down. It never touches
+// data-plane traffic — tuples travel shard-to-shard directly.
 type Coordinator struct {
 	m    *Manifest
 	conn *net.UDPConn
@@ -25,10 +26,27 @@ type Coordinator struct {
 	mu     sync.Mutex
 	shards map[int]*shardState
 	reqSeq uint64
+	// epoch is the current membership view; it starts at 1 (the
+	// manifest's partition) and bumps on every rebalance.
+	epoch uint64
+	// owner maps every node to the shard currently hosting it;
+	// overrides maps migrated nodes to their post-migration data
+	// addresses (they shadow the stale hello-book entries).
+	owner     map[string]int
+	overrides map[string]string
+	// xfer collects the state chunks of the release in flight.
+	// adoptReq/adoptAddr track the single in-flight adoption
+	// (rebalances are single-flight and adoptions within one are
+	// serialized), so stray or duplicate acks cannot accumulate state.
+	xfer      *xferState
+	adoptReq  uint64
+	adoptAddr *string
 	// gather is the in-flight query, nil between queries. gatherMu
 	// serializes Tuples callers: gathers are single-flight.
 	gatherMu sync.Mutex
 	gather   *gatherState
+	// rebalMu serializes Rebalance callers (single-flight, like gathers).
+	rebalMu sync.Mutex
 
 	cmds map[int]*exec.Cmd // spawned worker processes, by shard ID
 
@@ -44,9 +62,14 @@ type shardState struct {
 
 	ready   bool
 	started bool
+	// readyEpoch / resumedEpoch are the latest epochs the worker has
+	// acknowledged installing (ready) and resuming into (resumed).
+	readyEpoch   uint64
+	resumedEpoch uint64
 
 	// Latest idle report.
 	seq        uint64
+	epoch      uint64 // membership view the report was sent under
 	activity   int64
 	stats      netStats
 	lastReport time.Time
@@ -55,6 +78,24 @@ type shardState struct {
 
 	bye      bool
 	byeStats netStats
+}
+
+// xferState collects one release's chunked state transfer.
+type xferState struct {
+	req    uint64
+	chunks [][]byte
+}
+
+func (x *xferState) complete() bool {
+	if x.chunks == nil {
+		return false
+	}
+	for _, ch := range x.chunks {
+		if ch == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // gatherState tracks one in-flight gather. Every (re)query of a shard
@@ -80,13 +121,19 @@ func NewCoordinator(m *Manifest) (*Coordinator, error) {
 		return nil, fmt.Errorf("shard: bind coordinator socket: %w", err)
 	}
 	c := &Coordinator{
-		m:      m,
-		conn:   conn,
-		shards: map[int]*shardState{},
-		stop:   make(chan struct{}),
+		m:         m,
+		conn:      conn,
+		shards:    map[int]*shardState{},
+		epoch:     1,
+		owner:     map[string]int{},
+		overrides: map[string]string{},
+		stop:      make(chan struct{}),
 	}
 	for i := range m.Shards {
 		c.shards[m.Shards[i].ID] = &shardState{id: m.Shards[i].ID}
+		for node := range m.Shards[i].Nodes {
+			c.owner[node] = m.Shards[i].ID
+		}
 	}
 	c.wg.Add(1)
 	go c.serve()
@@ -108,8 +155,8 @@ func (c *Coordinator) ControlAddr() string {
 // Spawn launches one worker process per shard with the command builder
 // (typically a re-exec of the current binary carrying WorkerEnv). The
 // spawned processes are waited on by Shutdown. If any start fails, the
-// workers already started are killed and reaped before returning, so a
-// partial spawn leaks nothing.
+// workers already started are killed and reaped — each reap bounded by
+// killGrace, so a worker stuck before exec cannot hang the error path.
 func (c *Coordinator) Spawn(build func(shardID int) *exec.Cmd) error {
 	c.cmds = map[int]*exec.Cmd{}
 	for i := range c.m.Shards {
@@ -117,8 +164,7 @@ func (c *Coordinator) Spawn(build func(shardID int) *exec.Cmd) error {
 		cmd := build(id)
 		if err := cmd.Start(); err != nil {
 			for _, started := range c.cmds {
-				started.Process.Kill()
-				started.Wait()
+				killWait(started, killGrace)
 			}
 			c.cmds = nil
 			return fmt.Errorf("shard: spawn shard %d: %w", id, err)
@@ -167,10 +213,13 @@ func (c *Coordinator) apply(f frame, from *net.UDPAddr) {
 		// Reply with the merged book once every shard has said hello;
 		// the worker retries its hello until then.
 		if book := c.mergedBookLocked(); book != nil {
-			c.conn.WriteToUDP(encodeFrame(frame{kind: kindBook, book: book}), from)
+			c.conn.WriteToUDP(encodeFrame(frame{kind: kindBook, epoch: c.epoch, book: book}), from)
 		}
 	case kindReady:
 		st.ready = true
+		if f.epoch > st.readyEpoch {
+			st.readyEpoch = f.epoch
+		}
 		if st.started {
 			// Late ready retry (our start datagram was lost): re-ack the
 			// retrier alone, the barrier has already released.
@@ -188,10 +237,34 @@ func (c *Coordinator) apply(f frame, from *net.UDPAddr) {
 		if f.activity != st.activity || st.lastChange.IsZero() {
 			st.lastChange = time.Now()
 		}
-		st.seq, st.activity, st.stats = f.seq, f.activity, f.stats
+		st.seq, st.epoch, st.activity, st.stats = f.seq, f.epoch, f.activity, f.stats
 		st.lastReport = time.Now()
 		// Ack: the worker uses pongs to notice a dead coordinator.
 		c.conn.WriteToUDP(encodeFrame(frame{kind: kindPong}), from)
+	case kindState:
+		x := c.xfer
+		if x == nil || f.req == 0 || x.req != f.req {
+			return // no release in flight, or a superseded retry's chunk
+		}
+		if x.chunks == nil {
+			x.chunks = make([][]byte, f.nchunks)
+		}
+		if f.chunk < len(x.chunks) && x.chunks[f.chunk] == nil {
+			ch := f.blob
+			if ch == nil {
+				ch = []byte{}
+			}
+			x.chunks[f.chunk] = ch
+		}
+	case kindAdopted:
+		if f.req != 0 && f.req == c.adoptReq && c.adoptAddr == nil {
+			addr := f.addr
+			c.adoptAddr = &addr
+		}
+	case kindResumed:
+		if f.epoch > st.resumedEpoch {
+			st.resumedEpoch = f.epoch
+		}
 	case kindTuples:
 		g := c.gather
 		if g == nil || f.req == 0 || g.cur[f.shard] != f.req {
@@ -213,8 +286,9 @@ func (c *Coordinator) apply(f frame, from *net.UDPAddr) {
 	}
 }
 
-// mergedBookLocked merges every shard's hello book, or nil if a hello
-// is still missing.
+// mergedBookLocked merges every shard's hello book (nil if a hello is
+// still missing), with migration overrides shadowing the original
+// entries of nodes that have since moved.
 func (c *Coordinator) mergedBookLocked() map[string]string {
 	book := map[string]string{}
 	for _, s := range c.shards {
@@ -224,6 +298,9 @@ func (c *Coordinator) mergedBookLocked() map[string]string {
 		for k, v := range s.book {
 			book[k] = v
 		}
+	}
+	for k, v := range c.overrides {
+		book[k] = v
 	}
 	return book
 }
@@ -291,10 +368,15 @@ func (c *Coordinator) WaitQuiescent(idle, timeout time.Duration) bool {
 }
 
 // idleForLocked reports whether every shard has reported, recently,
-// and with an activity counter unchanged for the window.
+// from the current epoch, and with an activity counter unchanged for
+// the window. Reports from an older epoch are a stale view — the
+// worker has not installed the latest cutover yet — and block idleness.
 func (c *Coordinator) idleForLocked(window time.Duration) bool {
 	now := time.Now()
 	for _, s := range c.shards {
+		if s.epoch != c.epoch {
+			return false
+		}
 		if s.lastChange.IsZero() || now.Sub(s.lastChange) < window {
 			return false
 		}
@@ -336,6 +418,324 @@ func (c *Coordinator) Reseed() {
 			c.conn.WriteToUDP(encodeFrame(frame{kind: kindSeed}), s.addr)
 		}
 	}
+}
+
+// Migration names one node move of a rebalance plan.
+type Migration struct {
+	// Node is the NDlog node to move.
+	Node string
+	// To is the destination shard ID.
+	To int
+}
+
+// RebalanceReport describes a completed rebalance.
+type RebalanceReport struct {
+	// Epoch is the membership epoch installed by the cutover.
+	Epoch uint64
+	// Moved lists the migrations performed.
+	Moved []Migration
+	// QuiesceWait is how long the fleet took to go quiet before the
+	// cutover could start.
+	QuiesceWait time.Duration
+	// Pause is the quiesce→resume wall time: the window during which
+	// the deployment made no progress (state transfer + book install +
+	// resume barrier).
+	Pause time.Duration
+	// StateBytes is the total exported state moved between shards.
+	StateBytes int
+}
+
+// Epoch returns the current membership epoch (1 = the manifest's
+// initial partition).
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Owner returns the shard currently hosting a node (-1 if unknown).
+func (c *Coordinator) Owner(node string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.owner[node]; ok {
+		return id
+	}
+	return -1
+}
+
+// Rebalance migrates nodes between live shards under a new membership
+// epoch:
+//
+//  1. quiesce — wait for the fleet to go idle (the activity-counter +
+//     datagram-ledger detector), so no tuple is in flight when state
+//     moves;
+//  2. release — each migrating node's worker exports the node's base
+//     and soft state (engine Export) and drops it from its socket set;
+//  3. adopt — the destination worker binds a fresh socket for the node
+//     and holds the state;
+//  4. cutover — every worker installs the new epoch's book and fences
+//     the old epoch's datagrams;
+//  5. resume — workers import the held state (re-deriving the local
+//     closure via the DRed sweep) and run the neighbor-side
+//     rederivation sweep (RederiveFor), which rebuilds the derived
+//     state flowing into the moved nodes.
+//
+// Every step is an idempotent datagram exchange retried until
+// acknowledged, against the shared timeout. Rebalances are
+// single-flight; concurrent callers serialize. On success the report
+// carries the pause (quiesce→resume) wall time.
+//
+// If a destination cannot adopt a released node (bind failure, dead
+// worker), the coordinator re-adopts the node back onto its source
+// shard from the state it already holds, then completes the cutover
+// for wherever the nodes actually landed before returning the error —
+// a failed rebalance leaves the fleet whole, never short a node.
+func (c *Coordinator) Rebalance(migs []Migration, idle, timeout time.Duration) (*RebalanceReport, error) {
+	c.rebalMu.Lock()
+	defer c.rebalMu.Unlock()
+	if len(migs) == 0 {
+		return nil, fmt.Errorf("shard: rebalance: empty plan")
+	}
+
+	// Validate the plan against current ownership.
+	c.mu.Lock()
+	from := map[string]int{}
+	for _, m := range migs {
+		src, ok := c.owner[m.Node]
+		if !ok {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("shard: rebalance: unknown node %q", m.Node)
+		}
+		if c.shards[m.To] == nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("shard: rebalance: unknown destination shard %d", m.To)
+		}
+		if src == m.To {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("shard: rebalance: node %q already on shard %d", m.Node, m.To)
+		}
+		if _, dup := from[m.Node]; dup {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("shard: rebalance: node %q moved twice in one plan", m.Node)
+		}
+		from[m.Node] = src
+		if c.shards[src].addr == nil || c.shards[m.To].addr == nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("shard: rebalance: shard %d or %d has not joined yet", src, m.To)
+		}
+	}
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	t0 := time.Now()
+	if !c.WaitQuiescent(idle, timeout) {
+		return nil, fmt.Errorf("shard: rebalance: fleet did not quiesce within %v", timeout)
+	}
+	tQuiesce := time.Now()
+
+	// Release each migrating node and collect its exported state.
+	states := map[string][]byte{}
+	stateBytes := 0
+	for _, m := range migs {
+		blob, err := c.releaseNode(m.Node, from[m.Node], deadline)
+		if err != nil {
+			return nil, err
+		}
+		states[m.Node] = blob
+		stateBytes += len(blob)
+	}
+
+	// Hand each node to its destination worker (socket binds now; the
+	// state import waits for resume, when the new epoch is installed
+	// fleet-wide). A node whose destination fails is re-adopted onto
+	// its source shard from the state the coordinator holds — the
+	// cutover below then installs wherever each node actually landed,
+	// so even a failed rebalance leaves the fleet whole.
+	newAddrs := map[string]string{}
+	placed := map[string]int{}
+	var adoptErr error
+	for _, m := range migs {
+		addr, err := c.adoptNode(m.Node, m.To, states[m.Node], deadline)
+		if err == nil {
+			newAddrs[m.Node], placed[m.Node] = addr, m.To
+			continue
+		}
+		if adoptErr == nil {
+			adoptErr = err
+		}
+		restoreBy := time.Now().Add(10 * time.Second)
+		if deadline.After(restoreBy) {
+			restoreBy = deadline
+		}
+		addr, rerr := c.adoptNode(m.Node, from[m.Node], states[m.Node], restoreBy)
+		if rerr != nil {
+			return nil, fmt.Errorf("shard: rebalance: node %q LOST (adopt: %v; restore to shard %d: %v)",
+				m.Node, err, from[m.Node], rerr)
+		}
+		newAddrs[m.Node], placed[m.Node] = addr, from[m.Node]
+	}
+	// A recovery must finish the cutover even if the caller's deadline
+	// lapsed during the failed adoption, or restored nodes stay dark.
+	if adoptErr != nil {
+		if min := time.Now().Add(10 * time.Second); deadline.Before(min) {
+			deadline = min
+		}
+	}
+
+	// Cutover: new epoch, new book, every worker must acknowledge
+	// before anything resumes (a worker running the old epoch would
+	// fence the resumed traffic).
+	c.mu.Lock()
+	c.epoch++
+	epoch := c.epoch
+	for node, addr := range newAddrs {
+		c.overrides[node] = addr
+	}
+	for node, shardID := range placed {
+		c.owner[node] = shardID
+	}
+	book := c.mergedBookLocked()
+	c.mu.Unlock()
+	if book == nil {
+		return nil, fmt.Errorf("shard: rebalance: address book incomplete")
+	}
+	err := c.broadcastUntil(frame{kind: kindBook, epoch: epoch, book: book}, deadline,
+		func(s *shardState) bool { return s.readyEpoch >= epoch })
+	if err != nil {
+		return nil, fmt.Errorf("shard: rebalance: book cutover: %w", err)
+	}
+
+	// Resume: import held state, rederive the moved nodes' inbound
+	// views, go.
+	moved := make([]string, 0, len(migs))
+	for _, m := range migs {
+		moved = append(moved, m.Node)
+	}
+	err = c.broadcastUntil(frame{kind: kindResume, epoch: epoch, nodes: moved}, deadline,
+		func(s *shardState) bool { return s.resumedEpoch >= epoch })
+	if err != nil {
+		return nil, fmt.Errorf("shard: rebalance: resume: %w", err)
+	}
+	if adoptErr != nil {
+		// The fleet is whole again (failed nodes restored to their
+		// sources under the new epoch), but the requested placement was
+		// not achieved.
+		return nil, fmt.Errorf("shard: rebalance: %w (failed nodes restored to their source shards)", adoptErr)
+	}
+	return &RebalanceReport{
+		Epoch:       epoch,
+		Moved:       append([]Migration(nil), migs...),
+		QuiesceWait: tQuiesce.Sub(t0),
+		Pause:       time.Since(tQuiesce),
+		StateBytes:  stateBytes,
+	}, nil
+}
+
+// releaseNode asks a shard to export and drop a node, retrying the
+// idempotent release until the chunked state transfer completes.
+func (c *Coordinator) releaseNode(node string, fromShard int, deadline time.Time) ([]byte, error) {
+	c.mu.Lock()
+	c.reqSeq++
+	req := c.reqSeq
+	x := &xferState{req: req}
+	c.xfer = x
+	addr := c.shards[fromShard].addr
+	epoch := c.epoch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.xfer = nil
+		c.mu.Unlock()
+	}()
+
+	lastSend := time.Time{}
+	for time.Now().Before(deadline) {
+		if time.Since(lastSend) >= 200*time.Millisecond {
+			c.conn.WriteToUDP(encodeFrame(frame{kind: kindRelease, req: req, epoch: epoch, node: node}), addr)
+			lastSend = time.Now()
+		}
+		c.mu.Lock()
+		done := x.complete()
+		c.mu.Unlock()
+		if done {
+			var blob []byte
+			for _, ch := range x.chunks {
+				blob = append(blob, ch...)
+			}
+			return blob, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("shard: release of %q from shard %d timed out", node, fromShard)
+}
+
+// adoptNode streams a node's state to its destination shard, retrying
+// until the worker acknowledges with the node's new data address.
+func (c *Coordinator) adoptNode(node string, toShard int, blob []byte, deadline time.Time) (string, error) {
+	c.mu.Lock()
+	c.reqSeq++
+	req := c.reqSeq
+	c.adoptReq, c.adoptAddr = req, nil
+	addr := c.shards[toShard].addr
+	epoch := c.epoch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.adoptReq, c.adoptAddr = 0, nil
+		c.mu.Unlock()
+	}()
+
+	chunks := blobChunks(blob)
+	lastSend := time.Time{}
+	for time.Now().Before(deadline) {
+		if time.Since(lastSend) >= 200*time.Millisecond {
+			for i, ch := range chunks {
+				c.conn.WriteToUDP(encodeFrame(frame{kind: kindAdopt, req: req, epoch: epoch,
+					node: node, chunk: i, nchunks: len(chunks), blob: ch}), addr)
+			}
+			lastSend = time.Now()
+		}
+		c.mu.Lock()
+		got := c.adoptAddr
+		c.mu.Unlock()
+		if got != nil {
+			if *got == "" {
+				return "", fmt.Errorf("shard: shard %d failed to bind adopted node %q", toShard, node)
+			}
+			return *got, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return "", fmt.Errorf("shard: adoption of %q by shard %d timed out", node, toShard)
+}
+
+// broadcastUntil re-sends a frame to every shard not yet satisfying
+// done, until all do or the deadline lapses.
+func (c *Coordinator) broadcastUntil(f frame, deadline time.Time, done func(*shardState) bool) error {
+	payload := encodeFrame(f)
+	lastSend := time.Time{}
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		all := true
+		for _, s := range c.shards {
+			if done(s) {
+				continue
+			}
+			all = false
+			if time.Since(lastSend) >= 200*time.Millisecond && s.addr != nil {
+				c.conn.WriteToUDP(payload, s.addr)
+			}
+		}
+		c.mu.Unlock()
+		if all {
+			return nil
+		}
+		if time.Since(lastSend) >= 200*time.Millisecond {
+			lastSend = time.Now()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("shard: broadcast 0x%x not acknowledged by every shard", byte(f.kind))
 }
 
 // Tuples gathers a predicate snapshot from every shard and returns the
@@ -494,8 +894,16 @@ func (c *Coordinator) Shutdown(timeout time.Duration) error {
 	return firstErr
 }
 
+// killGrace bounds the wait for a killed worker to be reaped. SIGKILL
+// terminates even a SIGSTOPped process, but cmd.Wait can still block on
+// inherited descriptors (a grandchild holding the worker's stderr), so
+// no reap is allowed to wait forever.
+const killGrace = 5 * time.Second
+
 // waitDeadline waits for a spawned worker to exit, killing it if it
-// overstays the deadline.
+// overstays the deadline. Every path out of here is bounded: the
+// post-kill reap gets killGrace, after which the zombie is abandoned to
+// the reaper goroutine and reported.
 func waitDeadline(cmd *exec.Cmd, deadline time.Time) error {
 	done := make(chan error, 1)
 	go func() { done <- cmd.Wait() }()
@@ -507,9 +915,30 @@ func waitDeadline(cmd *exec.Cmd, deadline time.Time) error {
 	case err := <-done:
 		return err
 	case <-time.After(wait):
-		cmd.Process.Kill()
-		<-done
+		if err := reap(cmd, done, killGrace); err != nil {
+			return err
+		}
 		return fmt.Errorf("shard: worker pid %d killed at shutdown deadline", cmd.Process.Pid)
+	}
+}
+
+// killWait kills a worker and reaps it within the grace period.
+func killWait(cmd *exec.Cmd, grace time.Duration) {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	reap(cmd, done, grace)
+}
+
+// reap sends SIGKILL and waits up to grace for the exit status. A
+// worker that cannot be reaped even then (wedged descriptors) is
+// reported rather than waited on forever.
+func reap(cmd *exec.Cmd, done <-chan error, grace time.Duration) error {
+	cmd.Process.Kill()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(grace):
+		return fmt.Errorf("shard: worker pid %d not reapable %v after kill", cmd.Process.Pid, grace)
 	}
 }
 

@@ -5,11 +5,14 @@
 // hosts its nodes' UDP sockets through a netrun.Runner, and a
 // Coordinator — reachable over a loopback/LAN UDP control socket —
 // assembles the global address book, detects cross-process quiescence,
-// gathers tuples and per-shard metrics, and tears the deployment down.
+// gathers tuples and per-shard metrics, re-partitions the live fleet
+// (Rebalance: epoch-versioned books, node state migration, stale-epoch
+// fencing), and tears the deployment down.
 //
 // Control-plane frames ride the same varint/TLV wire encoding as data
 // tuples (internal/val); see control.go for the frame grammar and
-// DESIGN.md §4 for the handshake and quiescence protocol.
+// DESIGN.md §4 for the handshake and quiescence protocol, and §5 for
+// the epoch/fencing/migration protocol (Coordinator.Rebalance).
 //
 // Ownership: the Coordinator and Worker each own their control socket
 // and goroutines; tuples crossing the control plane are decoded copies
@@ -43,6 +46,11 @@ type Options struct {
 	AggSelPeriod float64 `json:"aggsel_period,omitempty"`
 	// ArenaIntern switches nodes to per-drain arena interning.
 	ArenaIntern bool `json:"arena,omitempty"`
+	// LossFirst > 0 makes each worker drop its first N outbound data
+	// datagrams while still counting them as sent — deterministic fault
+	// injection for exercising the coordinator's unbalanced-ledger
+	// quiescence fallback and the reseed recovery path. Testing only.
+	LossFirst int `json:"loss_first,omitempty"`
 }
 
 // Engine converts the manifest options to engine options.

@@ -6,6 +6,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"syscall"
 	"testing"
 	"time"
 
@@ -154,6 +155,147 @@ func TestMultiProcess(t *testing.T) {
 	// exits with status 0 (Shutdown errors otherwise).
 	if err := coord.Shutdown(15 * time.Second); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestMultiProcessMigration is the elastic-deployment acceptance test:
+// a 3-process deployment migrates a node between shards mid-convergence
+// under a new epoch, and the final fixpoint is byte-identical to the
+// centralized evaluator's.
+func TestMultiProcessMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process migration e2e skipped in -short mode")
+	}
+	src := figure2Source()
+	want := centralGroundTruth(t, src)
+
+	m := &Manifest{
+		Source:  src,
+		Options: Options{AggSel: true},
+		Shards:  Partition([]string{"a", "b", "c", "d", "e"}, 3),
+	}
+	manifestPath := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Save(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	err = coord.Spawn(func(shardID int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), WorkerEnv(manifestPath, shardID, coord.ControlAddr())...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.WaitReady(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-convergence: migrate node "c" to another shard while the
+	// fleet is still deriving. Rebalance itself waits for a quiet
+	// moment, moves the state, fences the old epoch, and resumes.
+	from := coord.Owner("c")
+	to := (from + 1) % len(m.Shards)
+	rep, err := coord.Rebalance([]Migration{{Node: "c", To: to}}, 300*time.Millisecond, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("migration c: shard %d -> %d, epoch %d, quiesce-wait %v, pause %v, %d state bytes",
+		from, to, rep.Epoch, rep.QuiesceWait, rep.Pause, rep.StateBytes)
+	if rep.Epoch != 2 || coord.Owner("c") != to {
+		t.Fatalf("cutover bookkeeping: epoch=%d owner=%d", rep.Epoch, coord.Owner("c"))
+	}
+	if rep.Pause <= 0 {
+		t.Fatalf("pause not measured: %+v", rep)
+	}
+
+	gather := func() []string {
+		tuples, err := coord.Tuples("shortestPath", 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, 0, len(tuples))
+		for _, tu := range tuples {
+			keys = append(keys, tu.Key())
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	var got []string
+	for attempt := 0; attempt < 4; attempt++ {
+		if !coord.WaitQuiescent(400*time.Millisecond, 30*time.Second) {
+			t.Fatal("deployment did not quiesce after migration")
+		}
+		got = gather()
+		if equalStrings(got, want) {
+			break
+		}
+		coord.Reseed() // datagram loss: soft-state refresh and retry
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("fixpoint mismatch after migration:\n got %v\nwant %v", got, want)
+	}
+
+	if err := coord.Shutdown(15 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestShutdownHungWorker: a SIGSTOPped worker can neither acknowledge
+// stop nor exit, so Shutdown must escalate to SIGKILL and return within
+// its deadline (plus the bounded reap grace) with an error — never hang.
+func TestShutdownHungWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-spawning test skipped in -short mode")
+	}
+	m := &Manifest{
+		Source:  figure2Source(),
+		Options: Options{AggSel: true},
+		Shards:  Partition([]string{"a", "b", "c", "d", "e"}, 1),
+	}
+	manifestPath := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Save(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	err = coord.Spawn(func(shardID int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), WorkerEnv(manifestPath, shardID, coord.ControlAddr())...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.WaitReady(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze the worker: it stops reporting, acking, and exiting.
+	pid := coord.cmds[0].Process.Pid
+	if err := syscall.Kill(pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	shutdownErr := coord.Shutdown(2 * time.Second)
+	elapsed := time.Since(start)
+	if shutdownErr == nil {
+		t.Error("Shutdown returned nil for a frozen worker; want a kill error")
+	}
+	// Deadline + bounded reap grace + scheduling slack: never the
+	// unbounded wait this test exists to forbid.
+	if limit := 2*time.Second + killGrace + 3*time.Second; elapsed > limit {
+		t.Errorf("Shutdown took %v, want < %v", elapsed, limit)
 	}
 }
 

@@ -97,11 +97,11 @@ func TestControlFrameRoundTrip(t *testing.T) {
 		val.NewList(val.NewAddr("a"), val.NewAddr("b")), val.NewFloat(1.5))
 	frames := []frame{
 		{kind: kindHello, shard: 2, book: map[string]string{"a": "127.0.0.1:1", "b": "127.0.0.1:2"}},
-		{kind: kindBook, book: map[string]string{"a": "127.0.0.1:1"}},
-		{kind: kindReady, shard: 1},
+		{kind: kindBook, epoch: 3, book: map[string]string{"a": "127.0.0.1:1"}},
+		{kind: kindReady, shard: 1, epoch: 3},
 		{kind: kindStart},
-		{kind: kindIdle, shard: 3, seq: 9, activity: 42,
-			stats: netStats{SentBytes: 1, SentMessages: 2, RecvBytes: 3, RecvMessages: 4, Dropped: 5}},
+		{kind: kindIdle, shard: 3, epoch: 2, seq: 9, activity: 42,
+			stats: netStats{SentBytes: 1, SentMessages: 2, RecvBytes: 3, RecvMessages: 4, Dropped: 5, Fenced: 6}},
 		{kind: kindQuery, req: 7, pred: "shortestPath"},
 		{kind: kindTuples, shard: 1, req: 7, chunk: 0, nchunks: 2, tuples: []val.Tuple{tup}},
 		{kind: kindTuples, shard: 1, req: 7, chunk: 1, nchunks: 2}, // empty chunk
@@ -109,6 +109,13 @@ func TestControlFrameRoundTrip(t *testing.T) {
 		{kind: kindPong},
 		{kind: kindStop},
 		{kind: kindBye, shard: 2, stats: netStats{SentMessages: 10, RecvMessages: 10}},
+		{kind: kindRelease, req: 11, epoch: 2, node: "c"},
+		{kind: kindState, shard: 1, req: 11, chunk: 0, nchunks: 2, blob: []byte{0x4E, 1, 2, 3}},
+		{kind: kindState, shard: 1, req: 11, chunk: 1, nchunks: 2, blob: []byte{}}, // empty chunk
+		{kind: kindAdopt, req: 12, epoch: 3, node: "c", chunk: 0, nchunks: 1, blob: []byte{9, 9}},
+		{kind: kindAdopted, shard: 2, req: 12, node: "c", addr: "127.0.0.1:9"},
+		{kind: kindResume, epoch: 3, nodes: []string{"c", "d"}},
+		{kind: kindResumed, shard: 2, epoch: 3},
 	}
 	for _, f := range frames {
 		b := encodeFrame(f)
@@ -116,14 +123,22 @@ func TestControlFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%#x: %v", f.kind, err)
 		}
-		if got.kind != f.kind || got.shard != f.shard || got.seq != f.seq ||
+		if got.kind != f.kind || got.shard != f.shard || got.epoch != f.epoch ||
+			got.seq != f.seq ||
 			got.activity != f.activity || got.stats != f.stats ||
 			got.req != f.req || got.pred != f.pred ||
+			got.node != f.node || got.addr != f.addr ||
 			got.chunk != f.chunk || got.nchunks != f.nchunks {
 			t.Errorf("%#x: round trip mismatch: %+v vs %+v", f.kind, got, f)
 		}
 		if !reflect.DeepEqual(got.book, f.book) {
 			t.Errorf("%#x: book mismatch", f.kind)
+		}
+		if !reflect.DeepEqual(got.nodes, f.nodes) {
+			t.Errorf("%#x: nodes mismatch: %v vs %v", f.kind, got.nodes, f.nodes)
+		}
+		if len(got.blob) != len(f.blob) || (len(f.blob) > 0 && !reflect.DeepEqual(got.blob, f.blob)) {
+			t.Errorf("%#x: blob mismatch: %v vs %v", f.kind, got.blob, f.blob)
 		}
 		if len(got.tuples) != len(f.tuples) {
 			t.Fatalf("%#x: tuple count %d vs %d", f.kind, len(got.tuples), len(f.tuples))

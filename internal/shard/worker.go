@@ -76,6 +76,9 @@ func RunWorker(cfg WorkerConfig) error {
 		return err
 	}
 	defer r.Close()
+	if m.Options.LossFirst > 0 {
+		r.InjectLoss(int64(m.Options.LossFirst))
+	}
 
 	// Install the static book entries of every other shard up front;
 	// ephemeral ("") entries are learned from the coordinator.
@@ -128,7 +131,14 @@ func RunWorker(cfg WorkerConfig) error {
 	}
 	defer ctl.Close()
 
-	w := &worker{cfg: cfg, spec: spec, runner: r, ctl: ctl, coord: coordAddr}
+	w := &worker{
+		cfg: cfg, spec: spec, runner: r, ctl: ctl, coord: coordAddr,
+		releaseCache: map[uint64][]byte{},
+		lastExport:   map[string][]byte{},
+		adoptBuf:     map[uint64][][]byte{},
+		adoptDone:    map[uint64]string{},
+		stash:        map[string][]byte{},
+	}
 	return w.run()
 }
 
@@ -140,7 +150,26 @@ type worker struct {
 	ctl    *net.UDPConn
 	coord  *net.UDPAddr
 
-	seq uint64 // idle report sequence
+	seq   uint64 // idle report sequence
+	epoch uint64 // membership epoch of the installed book
+
+	// Rebalance state. releaseCache holds exported node states by
+	// release request id, so a retried release (our state frames were
+	// lost) resends the same snapshot instead of re-exporting a node
+	// that is already gone; lastExport keeps the newest snapshot per
+	// node, serving a re-released node after a failed rebalance retries
+	// under a fresh request id. adoptBuf assembles chunked adopt
+	// transfers; adoptDone remembers completed adoptions for re-acks;
+	// stash holds adopted state until the resume frame says the new
+	// epoch is fully installed fleet-wide. The request-keyed maps are
+	// pruned at every epoch cutover (a new book proves the exchange
+	// that filled them has completed), so rebalance bookkeeping does
+	// not grow with deployment lifetime.
+	releaseCache map[uint64][]byte
+	lastExport   map[string][]byte
+	adoptBuf     map[uint64][][]byte
+	adoptDone    map[uint64]string
+	stash        map[string][]byte
 }
 
 func (w *worker) send(f frame) {
@@ -178,10 +207,10 @@ func (w *worker) run() error {
 	// phase deadline covers sibling shards that never start: the book
 	// is only sent once every shard has said hello.
 	w.cfg.logf("shard %d: hello → %s", w.spec.ID, w.coord)
-	var book map[string]string
+	gotBook := false
 	lastHello := time.Time{}
 	phaseDeadline := time.Now().Add(w.cfg.CoordTimeout)
-	for book == nil {
+	for !gotBook {
 		if time.Now().After(phaseDeadline) {
 			return fmt.Errorf("shard %d: no address book from coordinator %s within %v",
 				w.spec.ID, w.coord, w.cfg.CoordTimeout)
@@ -193,19 +222,14 @@ func (w *worker) run() error {
 		if f, ok := w.read(buf); ok {
 			switch f.kind {
 			case kindBook:
-				book = f.book
+				if err := w.installBook(f); err != nil {
+					return err
+				}
+				gotBook = true
 			case kindStop: // deployment aborted before assembly completed
 				w.send(frame{kind: kindBye, shard: w.spec.ID, stats: netStats(w.runner.Stats())})
 				return nil
 			}
-		}
-	}
-	for id, addr := range book {
-		if _, local := w.spec.Nodes[id]; local {
-			continue
-		}
-		if err := w.runner.SetRemote(id, addr); err != nil {
-			return err
 		}
 	}
 
@@ -220,7 +244,7 @@ func (w *worker) run() error {
 				w.spec.ID, w.coord, w.cfg.CoordTimeout)
 		}
 		if time.Since(lastReady) >= readyRetry {
-			w.send(frame{kind: kindReady, shard: w.spec.ID})
+			w.send(frame{kind: kindReady, shard: w.spec.ID, epoch: w.epoch})
 			lastReady = time.Now()
 		}
 		if f, ok := w.read(buf); ok {
@@ -239,10 +263,11 @@ func (w *worker) run() error {
 	// Phase 3: serve. Periodic idle reports carry the activity counter
 	// and traffic stats (the coordinator pongs each one, so frames flow
 	// both ways continuously); queries are answered with chunked tuple
-	// frames; seed re-pushes home facts (datagram-loss recovery); stop
-	// acknowledges with final stats and tears down. A coordinator
-	// silent for the whole timeout is dead: exit rather than run
-	// orphaned.
+	// frames; seed re-pushes home facts (datagram-loss recovery); the
+	// rebalance frames (book/release/adopt/resume) re-partition the live
+	// deployment; stop acknowledges with final stats and tears down. A
+	// coordinator silent for the whole timeout is dead: exit rather than
+	// run orphaned.
 	lastIdle := time.Time{}
 	lastCoord := time.Now()
 	for {
@@ -265,6 +290,43 @@ func (w *worker) run() error {
 		case kindSeed:
 			w.runner.Seed()
 			w.sendIdle()
+		case kindBook:
+			// Epoch cutover: install the new view, fence the old one, and
+			// acknowledge. A duplicate book for the installed epoch is
+			// just re-acked.
+			if f.epoch >= w.epoch {
+				if err := w.installBook(f); err != nil {
+					return err
+				}
+			}
+			w.send(frame{kind: kindReady, shard: w.spec.ID, epoch: w.epoch})
+		case kindRelease:
+			w.handleRelease(f)
+		case kindAdopt:
+			if err := w.handleAdopt(f); err != nil {
+				return err
+			}
+		case kindResume:
+			// Only resume into the epoch we actually installed; a stale or
+			// early resume is dropped and the coordinator retries.
+			if f.epoch != w.epoch {
+				break
+			}
+			for id, blob := range w.stash {
+				w.cfg.logf("shard %d: importing state for adopted node %s (%d bytes)",
+					w.spec.ID, id, len(blob))
+				if err := w.runner.ImportNode(id, blob); err != nil {
+					return fmt.Errorf("shard %d: import %s: %w", w.spec.ID, id, err)
+				}
+				delete(w.stash, id)
+			}
+			// Neighbor-side rederivation: re-send the derivations homed at
+			// the moved nodes (hard-state duplicates do not re-trigger
+			// strands, so their inbound views only come back via this
+			// sweep). Idempotent per resume retry only in tuple-set terms —
+			// counts inflate on retries, like any reseed.
+			w.runner.RederiveFor(f.nodes)
+			w.send(frame{kind: kindResumed, shard: w.spec.ID, epoch: w.epoch})
 		case kindStop:
 			s := w.runner.Stats()
 			w.send(frame{kind: kindBye, shard: w.spec.ID, stats: netStats(s)})
@@ -275,11 +337,151 @@ func (w *worker) run() error {
 	}
 }
 
+// installBook installs a membership view: every off-runner entry lands
+// in the runner's address book, then the runner switches to the view's
+// epoch — data sent from here on carries it, data from other epochs is
+// fenced.
+func (w *worker) installBook(f frame) error {
+	local := map[string]bool{}
+	for _, id := range w.runner.LocalIDs() {
+		local[id] = true
+	}
+	for id, addr := range f.book {
+		if local[id] {
+			continue
+		}
+		if err := w.runner.SetRemote(id, addr); err != nil {
+			return err
+		}
+	}
+	if f.epoch > w.epoch {
+		// A new epoch proves the rebalance exchange that filled the
+		// request-keyed caches has completed: no retry for an old
+		// request can arrive anymore, so drop them.
+		w.releaseCache = map[uint64][]byte{}
+		w.adoptBuf = map[uint64][][]byte{}
+		w.adoptDone = map[uint64]string{}
+	}
+	w.runner.SetEpoch(f.epoch)
+	w.epoch = f.epoch
+	return nil
+}
+
+// handleRelease exports a migrating node's state, drops the node from
+// the runner, and streams the snapshot back in chunks. The export is
+// cached by request id (a retry resends the same snapshot even though
+// the node is already gone) and by node (a failed rebalance retried
+// under a fresh request id still gets the snapshot). A release for a
+// node this worker never held is ignored — the coordinator's release
+// loop times out and reports it; one bad release must not kill a
+// worker hosting other nodes. Releases are epoch-fenced: a delayed
+// duplicate from a previous rebalance must not remove a node that has
+// since been re-adopted here.
+func (w *worker) handleRelease(f frame) {
+	if f.epoch != w.epoch {
+		return // straggler from another membership view
+	}
+	blob, ok := w.releaseCache[f.req]
+	if !ok {
+		if exported, err := w.runner.ExportNode(f.node); err == nil {
+			if err := w.runner.RemoveNode(f.node); err != nil {
+				w.cfg.logf("shard %d: release %s: %v", w.spec.ID, f.node, err)
+				return
+			}
+			blob = exported
+			w.lastExport[f.node] = exported
+			w.cfg.logf("shard %d: released node %s (%d bytes of state)", w.spec.ID, f.node, len(blob))
+		} else if prev, held := w.lastExport[f.node]; held {
+			blob = prev // already released; serve the retained snapshot
+		} else {
+			w.cfg.logf("shard %d: ignoring release of unknown node %s", w.spec.ID, f.node)
+			return
+		}
+		w.releaseCache[f.req] = blob
+	}
+	chunks := blobChunks(blob)
+	for i, ch := range chunks {
+		w.send(frame{kind: kindState, shard: w.spec.ID, req: f.req,
+			chunk: i, nchunks: len(chunks), blob: ch})
+	}
+}
+
+// handleAdopt assembles a chunked adopt transfer; once complete, the
+// node is bound to a fresh local socket and its state stashed until the
+// resume frame (import waits for the new epoch to be installed
+// fleet-wide, so re-advertisements are not fenced). Duplicate chunks
+// after completion just re-ack. Adopts are epoch-fenced like releases:
+// a delayed duplicate from a previous rebalance must not re-bind a
+// node that has since moved elsewhere.
+func (w *worker) handleAdopt(f frame) error {
+	if f.epoch != w.epoch {
+		return nil // straggler from another membership view
+	}
+	if node, done := w.adoptDone[f.req]; done {
+		w.sendAdopted(f.req, node)
+		return nil
+	}
+	chunks := w.adoptBuf[f.req]
+	if chunks == nil {
+		chunks = make([][]byte, f.nchunks)
+		w.adoptBuf[f.req] = chunks
+	}
+	if f.chunk < len(chunks) && chunks[f.chunk] == nil {
+		ch := f.blob
+		if ch == nil {
+			ch = []byte{}
+		}
+		chunks[f.chunk] = ch
+	}
+	for _, ch := range chunks {
+		if ch == nil {
+			return nil // still assembling
+		}
+	}
+	var blob []byte
+	for _, ch := range chunks {
+		blob = append(blob, ch...)
+	}
+	delete(w.adoptBuf, f.req)
+	if err := w.runner.AddNode(f.node, ""); err == nil {
+		w.stash[f.node] = blob
+		// The node is back (or new) here: any snapshot retained from a
+		// past release of it is superseded.
+		delete(w.lastExport, f.node)
+		w.cfg.logf("shard %d: adopted node %s (%d bytes of state)", w.spec.ID, f.node, len(blob))
+	}
+	// AddNode error means the node is already hosted (a duplicate adopt
+	// completed twice): re-ack with the existing binding either way.
+	w.adoptDone[f.req] = f.node
+	w.sendAdopted(f.req, f.node)
+	return nil
+}
+
+func (w *worker) sendAdopted(req uint64, node string) {
+	addr := ""
+	if a := w.runner.Addr(node); a != nil {
+		addr = a.String()
+	}
+	w.send(frame{kind: kindAdopted, shard: w.spec.ID, req: req, node: node, addr: addr})
+}
+
+// blobChunks splits an exported state into control-datagram-sized
+// chunks; always at least one (possibly empty) chunk.
+func blobChunks(blob []byte) [][]byte {
+	var chunks [][]byte
+	for len(blob) > tupleChunkSz {
+		chunks = append(chunks, blob[:tupleChunkSz])
+		blob = blob[tupleChunkSz:]
+	}
+	return append(chunks, blob)
+}
+
 func (w *worker) sendIdle() {
 	w.seq++
 	w.send(frame{
 		kind:     kindIdle,
 		shard:    w.spec.ID,
+		epoch:    w.epoch,
 		seq:      w.seq,
 		activity: w.runner.Activity(),
 		stats:    netStats(w.runner.Stats()),
