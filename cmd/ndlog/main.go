@@ -10,6 +10,7 @@
 //	ndlog program.ndl                 # centralized evaluation
 //	ndlog -dist -latency 10ms prog.ndl
 //	ndlog -shards 3 prog.ndl          # 3 worker processes over UDP
+//	ndlog -shards 3 -data ./state prog.ndl   # durable workers (WAL + snapshots)
 //	ndlog -dump path,shortestPath prog.ndl
 package main
 
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -43,6 +45,7 @@ func main() {
 	dist := flag.Bool("dist", false, "distributed execution over the simulator")
 	shards := flag.Int("shards", 0, "deploy as N OS processes over loopback UDP (0: off)")
 	migrate := flag.String("migrate", "", "with -shards: migrate nodes mid-run, e.g. 'c@1' or 'c@1,d@2' (node@target-shard)")
+	data := flag.String("data", "", "with -shards: persist worker state (WAL + snapshots) under this directory; workers respawn warm from it")
 	idle := flag.Duration("idle", 500*time.Millisecond, "quiescence idle window for -shards")
 	timeout := flag.Duration("timeout", 60*time.Second, "convergence timeout for -shards")
 	latency := flag.Duration("latency", 10*time.Millisecond, "link latency for distributed execution")
@@ -94,7 +97,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		results, cleanup, err = runSharded(string(src), prog, *shards, migs, *aggsel, *arena, *idle, *timeout)
+		results, cleanup, err = runSharded(string(src), prog, *shards, migs, *data, *aggsel, *arena, *idle, *timeout)
 		if err != nil {
 			fail(err)
 		}
@@ -178,14 +181,22 @@ func parseMigrations(spec string) ([]shard.Migration, error) {
 // waits for convergence, and returns a live gather function plus the
 // teardown. The manifest carries the program source inline so every
 // worker parses identical text.
-func runSharded(src string, prog *ast.Program, shards int, migs []shard.Migration, aggsel, arena bool, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
+func runSharded(src string, prog *ast.Program, shards int, migs []shard.Migration, dataDir string, aggsel, arena bool, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
 	ids := factAddresses(prog)
 	if len(ids) == 0 {
 		return nil, nil, fmt.Errorf("no node addresses in program facts")
 	}
+	if dataDir != "" {
+		// Workers resolve relative DataDir against their own cwd; pin it.
+		abs, err := filepath.Abs(dataDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		dataDir = abs
+	}
 	m := &shard.Manifest{
 		Source:  src,
-		Options: shard.Options{AggSel: aggsel, ArenaIntern: arena},
+		Options: shard.Options{AggSel: aggsel, ArenaIntern: arena, DataDir: dataDir},
 		Shards:  shard.Partition(ids, shards),
 	}
 	dir, err := os.MkdirTemp("", "ndlog-shards-")

@@ -41,6 +41,7 @@ func main() {
 	shardID := flag.Int("shard", -1, "shard id to run (from the manifest)")
 	coord := flag.String("coord", "", "coordinator control address (empty: static book, run until killed)")
 	coordTimeout := flag.Duration("coord-timeout", 0, "max coordinator silence before exiting (0: 60s default)")
+	data := flag.String("data", "", "override the manifest's data directory (WAL + snapshots; empty: use manifest)")
 	verbose := flag.Bool("v", false, "log shard lifecycle to stderr")
 	flag.Parse()
 
@@ -52,6 +53,9 @@ func main() {
 	m, err := shard.Load(*manifest)
 	if err != nil {
 		fail(err)
+	}
+	if *data != "" {
+		m.Options.DataDir = *data
 	}
 	cfg := shard.WorkerConfig{Manifest: m, ShardID: *shardID, Coord: *coord, CoordTimeout: *coordTimeout}
 	if *verbose {

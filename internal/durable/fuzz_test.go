@@ -1,0 +1,89 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the store as an on-disk WAL:
+// recovery must never panic, must be idempotent (a second open after
+// the truncating first open sees the same records with nothing left to
+// truncate), and appends after recovery must survive a clean reopen —
+// i.e. a corrupt tail can be dropped but never partially applied.
+func FuzzWALReplay(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		return append(hdr[:], payload...)
+	}
+	f.Add([]byte{})
+	f.Add(frame([]byte("hello")))
+	f.Add(append(frame([]byte("hello")), frame([]byte("world"))[:7]...))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, wal []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, genName(walPrefix, 1)), wal, 0o644); err != nil {
+			t.Skip()
+		}
+		s, rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Skip() // unreadable dir, not a framing outcome
+		}
+		if err := s.Append([]byte("post-recovery")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s2, rec2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen after recovery: %v", err)
+		}
+		defer s2.Close()
+		if rec2.Truncated {
+			t.Fatal("recovery not idempotent: second open truncated again")
+		}
+		if len(rec2.Records) != len(rec.Records)+1 {
+			t.Fatalf("records %d after reopen, want %d", len(rec2.Records), len(rec.Records)+1)
+		}
+		for i, r := range rec.Records {
+			if !bytes.Equal(rec2.Records[i], r) {
+				t.Fatalf("record %d changed across reopen", i)
+			}
+		}
+		if string(rec2.Records[len(rec.Records)]) != "post-recovery" {
+			t.Fatal("post-recovery append lost")
+		}
+	})
+}
+
+// FuzzDecodeBundle: arbitrary bytes must never panic or over-allocate,
+// and anything that decodes must survive an encode/decode round trip.
+func FuzzDecodeBundle(f *testing.F) {
+	f.Add(EncodeBundle(nil, nil))
+	f.Add(EncodeBundle([]byte("SNAP"), [][]byte{[]byte("r1"), {}}))
+	f.Add([]byte{bundleMagic, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		snap, recs, err := DecodeBundle(b)
+		if err != nil {
+			return
+		}
+		snap2, recs2, err := DecodeBundle(EncodeBundle(snap, recs))
+		if err != nil {
+			t.Fatalf("re-encoded bundle fails decode: %v", err)
+		}
+		if !bytes.Equal(snap, snap2) || len(recs) != len(recs2) {
+			t.Fatalf("round trip changed bundle: %x", b)
+		}
+		for i := range recs {
+			if !bytes.Equal(recs[i], recs2[i]) {
+				t.Fatalf("round trip changed record %d", i)
+			}
+		}
+	})
+}

@@ -134,6 +134,12 @@ type Node struct {
 	aggKeyScratch  []val.Value
 	aggHeadScratch []val.Value
 
+	// journal, when set, observes every processed delta whose predicate
+	// is part of the node's recoverable state (see SetJournal); journaled
+	// caches that predicate test.
+	journal   func(d Delta)
+	journaled map[string]bool
+
 	// in is the node's persistent tuple interner: rows that repeat
 	// resolve to one canonical copy, making equality a pointer compare
 	// downstream. arena, when ArenaIntern is set, replaces it as the
@@ -314,8 +320,38 @@ func (n *Node) Interner() *val.Interner { return n.transientIn() }
 // SetNow advances the node's virtual clock (driver responsibility).
 func (n *Node) SetNow(now float64) { n.now = now }
 
+// Now returns the node's virtual clock.
+func (n *Node) Now() float64 { return n.now }
+
 // Push enqueues a delta for processing.
 func (n *Node) Push(d Delta) { n.queue = append(n.queue, d) }
+
+// SetJournal installs fn as the node's durability tap: every delta the
+// evaluator processes on a recoverable predicate — soft state of any
+// origin, or hard state no rule derives (the same notion of "cannot be
+// rebuilt" as Export) — is handed to fn before it takes effect, in
+// processing order. Duplicates are included: hard-state counts and
+// soft-state refreshes are both replay-significant. Derived hard state
+// is excluded; recovery rebuilds it with Rederive. The driver installs
+// the tap only after recovery replay has finished, so replayed deltas
+// are not re-journaled. nil uninstalls.
+func (n *Node) SetJournal(fn func(d Delta)) {
+	n.journal = fn
+	if fn == nil || n.journaled != nil {
+		return
+	}
+	n.journaled = map[string]bool{}
+	for _, name := range n.cat.Names() {
+		n.journaled[name] = n.cat.Get(name).TTL() >= 0 || !n.prog.derived[name]
+	}
+}
+
+// journalDelta feeds a delta about to be processed to the journal tap.
+func (n *Node) journalDelta(d Delta) {
+	if n.journal != nil && n.journaled[d.Tuple.Pred] {
+		n.journal(d)
+	}
+}
 
 // QueueLen returns the number of pending deltas.
 func (n *Node) QueueLen() int { return len(n.queue) }
@@ -365,6 +401,7 @@ func (n *Node) drainSN() {
 		}
 		var inserts []accepted
 		for _, d := range batch {
+			n.journalDelta(d)
 			if d.Sign > 0 {
 				if t, ok := n.storeInsert(d.Tuple, n.iter); ok {
 					inserts = append(inserts, accepted{t: t, stamp: n.iter})
@@ -380,6 +417,7 @@ func (n *Node) drainSN() {
 }
 
 func (n *Node) process(d Delta) {
+	n.journalDelta(d)
 	if d.Sign > 0 {
 		n.processInsert(d.Tuple)
 	} else {

@@ -1,0 +1,208 @@
+package netrun
+
+// Durability: each local node owns a durable.Store (WAL + snapshots)
+// under <dir>/<nodeID>. The engine's journal tap collects every
+// processed recoverable delta during a drain; commitDurable frames the
+// batch as one WAL record — stamped with the node's virtual clock —
+// and group-commits it BEFORE the drain's outbound datagrams are
+// dispatched, so a kill -9 can never have advertised state it will not
+// remember. When the WAL outgrows Options.SnapshotBytes the node's
+// exported state replaces it as a fresh snapshot generation.
+//
+// Recovery (EnableDurability, before Start): per node, import the
+// snapshot, clamp its soft-state TTLs, replay the WAL tail record by
+// record under each record's own clock, then Rederive to close the
+// local derivations. Outbound deltas produced during recovery are
+// discarded — the shard-level respawn protocol rebuilds cross-node
+// state with explicit rederivation sweeps once the fleet knows the
+// node is back. The journal tap installs only after replay, so
+// recovery does not re-journal itself; a fresh snapshot then folds the
+// replayed tail into a compact generation.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"ndlog/internal/durable"
+	"ndlog/internal/engine"
+	"ndlog/internal/val"
+)
+
+// EnableDurability attaches a durable store to every local node,
+// recovering whatever a previous incarnation persisted under dir. It
+// must be called after construction and before Start (the node set is
+// quiet). Returns the number of nodes that recovered non-empty state.
+// Nodes adopted later (AddNode) get stores automatically.
+func (r *Runner) EnableDurability(dir string, opts durable.Options) (int, error) {
+	if dir == "" {
+		return 0, fmt.Errorf("netrun: empty durability dir")
+	}
+	r.nodesMu.Lock()
+	defer r.nodesMu.Unlock()
+	if r.started {
+		return 0, fmt.Errorf("netrun: EnableDurability after Start")
+	}
+	if r.durDir != "" {
+		return 0, fmt.Errorf("netrun: durability already enabled")
+	}
+	r.durDir, r.durOpts = dir, opts
+	recovered := 0
+	for _, id := range sortedNodeIDs(r.nodes) {
+		nn := r.nodes[id]
+		warm, err := r.attachStore(nn, false)
+		if err != nil {
+			return recovered, fmt.Errorf("netrun: durability for %s: %w", id, err)
+		}
+		if warm {
+			recovered++
+		}
+	}
+	return recovered, nil
+}
+
+func sortedNodeIDs(nodes map[string]*netNode) []string {
+	out := make([]string, 0, len(nodes))
+	for id := range nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// attachStore opens the node's store, replays recovered state into the
+// engine (unless discard is set — adopted nodes get their state from a
+// migration bundle instead), takes a fresh post-recovery snapshot, and
+// installs the journal tap. Reports whether recovery found state.
+func (r *Runner) attachStore(nn *netNode, discard bool) (bool, error) {
+	store, rec, err := durable.Open(filepath.Join(r.durDir, nn.id), r.durOpts)
+	if err != nil {
+		return false, err
+	}
+	warm := !rec.Empty()
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if warm && !discard {
+		if err := replayRecovered(nn.node, rec); err != nil {
+			store.Close()
+			return false, err
+		}
+	}
+	// Fold the recovered (or deliberately empty) state into a compact
+	// snapshot generation before journaling resumes.
+	nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
+	if err := store.Snapshot(engine.EncodeState(nn.node.Export())); err != nil {
+		store.Close()
+		return false, err
+	}
+	nn.dur = store
+	nn.node.SetJournal(func(d engine.Delta) {
+		nn.pending = append(nn.pending, d)
+	})
+	return warm && !discard, nil
+}
+
+// replayRecovered rebuilds a node from its snapshot and WAL tail.
+// Caller holds nn.mu; the journal tap is not yet installed.
+func replayRecovered(n *engine.Node, rec durable.Recovered) error {
+	now := float64(time.Now().UnixNano()) / 1e9
+	if len(rec.Snapshot) > 0 {
+		st, err := engine.DecodeState(rec.Snapshot)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		n.SetNow(now)
+		n.ImportState(st)
+		n.Drain() // discard: the fleet is re-synced by the respawn sweeps
+		n.ApplyImportedTTLs(st)
+	}
+	for i, b := range rec.Records {
+		recNow, deltas, err := decodeWALRecord(b, n.Interner())
+		if err != nil {
+			return fmt.Errorf("wal record %d: %w", i, err)
+		}
+		if recNow < now {
+			n.SetNow(recNow)
+		}
+		for _, d := range deltas {
+			n.Push(d)
+		}
+		n.Drain()
+	}
+	n.SetNow(now)
+	n.Rederive()
+	n.Drain()
+	return nil
+}
+
+// commitDurable folds the deltas journaled during one drain into a
+// single WAL record and commits it; once the WAL outgrows its
+// threshold the node's state is snapshotted instead, truncating the
+// log. Caller holds nn.mu. No-op without durability. Persistence
+// errors are deliberately non-fatal to the data path (the node keeps
+// serving; the next commit retries), matching UDP's own stance that
+// the ledger, not per-operation success, is the consistency check.
+func (r *Runner) commitDurable(nn *netNode) {
+	if nn.dur == nil {
+		return
+	}
+	if len(nn.pending) > 0 {
+		rec := encodeWALRecord(nn.node.Now(), nn.pending)
+		nn.pending = nn.pending[:0]
+		if err := nn.dur.Append(rec); err != nil {
+			return
+		}
+	}
+	nn.dur.Commit()
+	if nn.dur.ShouldSnapshot() {
+		nn.dur.Snapshot(engine.EncodeState(nn.node.Export()))
+	}
+}
+
+// ExportBundle packages a node's durable snapshot + WAL tail for
+// migration (Rebalance ships this instead of a fresh export, so the
+// pause does not pay a full state re-encode of a large node). Without
+// durability it falls back to a bare state export.
+func (r *Runner) ExportBundle(id string) ([]byte, error) {
+	nn, ok := r.node(id)
+	if !ok {
+		return nil, fmt.Errorf("netrun: node %q not hosted", id)
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if nn.dur == nil {
+		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
+		return engine.EncodeState(nn.node.Export()), nil
+	}
+	r.commitDurable(nn)
+	return nn.dur.Bundle()
+}
+
+// walRecord := now(float64 bits, 8B LE) deltas(engine delta message)
+//
+// The virtual clock rides in every record so replay can re-install
+// soft-state TTLs relative to when the deltas were processed, not when
+// the recovery runs.
+func encodeWALRecord(now float64, deltas []engine.Delta) []byte {
+	rec := make([]byte, 8)
+	binary.LittleEndian.PutUint64(rec, math.Float64bits(now))
+	return engine.AppendDeltas(rec, deltas)
+}
+
+func decodeWALRecord(b []byte, in *val.Interner) (float64, []engine.Delta, error) {
+	if len(b) < 9 {
+		return 0, nil, fmt.Errorf("netrun: short WAL record")
+	}
+	now := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	if math.IsNaN(now) {
+		return 0, nil, fmt.Errorf("netrun: corrupt WAL record clock")
+	}
+	deltas, err := engine.DecodeDeltasIn(b[8:], in)
+	if err != nil {
+		return 0, nil, fmt.Errorf("netrun: corrupt WAL record: %w", err)
+	}
+	return now, deltas, nil
+}

@@ -1,0 +1,296 @@
+package netrun
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"ndlog/internal/durable"
+	"ndlog/internal/engine"
+	"ndlog/internal/parser"
+	"ndlog/internal/val"
+)
+
+const reachSrc = `
+materialize(edge, infinity, infinity, keys(1,2)).
+materialize(reach, infinity, infinity, keys(1,2)).
+r1 reach(@S,@D) :- #edge(@S,@D).
+r2 reach(@S,@D) :- #edge(@S,@Z), reach(@Z,@D).
+`
+
+func edge(a, b string) val.Tuple {
+	return val.NewTuple("edge", val.NewAddr(a), val.NewAddr(b))
+}
+
+func waitIdle(t *testing.T, r *Runner) {
+	t.Helper()
+	if !r.WaitQuiescent(200*time.Millisecond, 15*time.Second) {
+		t.Fatal("runner did not go idle")
+	}
+}
+
+func sorted(ks []string) []string {
+	out := append([]string(nil), ks...)
+	sort.Strings(out)
+	return out
+}
+
+// TestDurableRecovery: a runner's state survives its process — a second
+// runner opening the same data directory recovers base facts with exact
+// derivation counts from the WAL, and the migration-style rederivation
+// sweeps rebuild the cross-node derived state to the same fixpoint.
+func TestDurableRecovery(t *testing.T) {
+	prog, err := parser.Parse(reachSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	r1, err := New(prog, []string{"a", "b"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r1.EnableDurability(dir, durable.Options{}); err != nil || n != 0 {
+		t.Fatalf("fresh enable: recovered=%d err=%v", n, err)
+	}
+	r1.Start()
+	// Inject'ed facts are not program facts, so a later Seed cannot mask
+	// a recovery failure. edge(a,b) twice: count 2 must survive.
+	r1.Inject("a", engine.Insert(edge("a", "b")))
+	r1.Inject("a", engine.Insert(edge("a", "b")))
+	r1.Inject("b", engine.Insert(edge("b", "a")))
+	waitIdle(t, r1)
+	wantReach := sorted(r1.Tuples("reach"))
+	wantEdge := sorted(r1.Tuples("edge"))
+	if len(wantReach) == 0 {
+		t.Fatal("no derived state before crash")
+	}
+	// Abandon r1 without Close: with the default SyncCommit policy every
+	// drain was fsynced before its datagrams left, so the directory is
+	// exactly what a kill -9 would leave behind.
+	defer r1.Close()
+
+	r2, err := New(prog, []string{"a", "b"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	n, err := r2.EnableDurability(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("recovered %d warm nodes, want 2", n)
+	}
+	if got := sorted(r2.Tuples("edge")); !reflect.DeepEqual(got, wantEdge) {
+		t.Fatalf("recovered edges %v, want %v", got, wantEdge)
+	}
+	// The respawn protocol's per-destination sweeps rebuild the derived
+	// state that crossed node boundaries.
+	r2.Start()
+	r2.RederiveFor([]string{"a"})
+	r2.RederiveFor([]string{"b"})
+	waitIdle(t, r2)
+	if got := sorted(r2.Tuples("reach")); !reflect.DeepEqual(got, wantReach) {
+		t.Fatalf("recovered fixpoint %v, want %v", got, wantReach)
+	}
+
+	// Count fidelity: edge(a,b) was inserted twice; one delete leaves it.
+	r2.Inject("a", engine.Deletion(edge("a", "b")))
+	waitIdle(t, r2)
+	if got := r2.NodeTuples("a", "edge"); len(got) != 1 {
+		t.Fatalf("count-2 edge vanished after one delete: %v", got)
+	}
+	r2.Inject("a", engine.Deletion(edge("a", "b")))
+	waitIdle(t, r2)
+	if got := r2.NodeTuples("a", "edge"); len(got) != 0 {
+		t.Fatalf("edge survived both deletes: %v", got)
+	}
+}
+
+// TestDurableSnapshotCadence: a tiny snapshot threshold forces the WAL
+// to roll into snapshots mid-run, and recovery from a snapshot (counts
+// ride in the exported state) is as exact as WAL replay.
+func TestDurableSnapshotCadence(t *testing.T) {
+	prog, err := parser.Parse(reachSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	r1, err := New(prog, []string{"a"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.EnableDurability(dir, durable.Options{SnapshotBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r1.Start()
+	r1.Inject("a", engine.Insert(edge("a", "a")))
+	r1.Inject("a", engine.Insert(edge("a", "a")))
+	waitIdle(t, r1)
+	defer r1.Close()
+
+	r2, err := New(prog, []string{"a"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if n, err := r2.EnableDurability(dir, durable.Options{}); err != nil || n != 1 {
+		t.Fatalf("recovered=%d err=%v", n, err)
+	}
+	if got := r2.NodeTuples("a", "edge"); len(got) != 1 {
+		t.Fatalf("edge not recovered from snapshot: %v", got)
+	}
+	r2.Inject("a", engine.Deletion(edge("a", "a")))
+	if got := r2.NodeTuples("a", "edge"); len(got) != 1 {
+		t.Fatal("derivation count lost across snapshot recovery")
+	}
+	r2.Inject("a", engine.Deletion(edge("a", "a")))
+	if got := r2.NodeTuples("a", "edge"); len(got) != 0 {
+		t.Fatal("edge survived both deletes")
+	}
+}
+
+// TestExportBundleMigration: a durable node migrates by shipping its
+// snapshot + WAL tail; the adopting runner rebuilds the same state —
+// counts included — and the bundle lands in the adopter's own store.
+func TestExportBundleMigration(t *testing.T) {
+	prog, err := parser.Parse(reachSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := New(prog, []string{"a"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	if _, err := r1.EnableDurability(t.TempDir(), durable.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	r1.Start()
+	r1.Inject("a", engine.Insert(edge("a", "a")))
+	r1.Inject("a", engine.Insert(edge("a", "a")))
+	waitIdle(t, r1)
+	bundle, err := r1.ExportBundle("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable.IsBundle(bundle) {
+		t.Fatal("durable runner exported a bare state blob")
+	}
+
+	dir2 := t.TempDir()
+	r2, err := NewSharded(prog, map[string]string{}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := r2.EnableDurability(dir2, durable.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	r2.Start()
+	if err := r2.AddNode("a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.ImportNode("a", bundle); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.NodeTuples("a", "reach"); len(got) != 1 {
+		t.Fatalf("imported node did not rederive: %v", got)
+	}
+	r2.Inject("a", engine.Deletion(edge("a", "a")))
+	if got := r2.NodeTuples("a", "edge"); len(got) != 1 {
+		t.Fatal("bundle lost the derivation count")
+	}
+
+	// The import itself was journaled: a restart of the adopter recovers
+	// the migrated state from the adopter's own store.
+	r3, err := New(prog, []string{"a"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if n, err := r3.EnableDurability(dir2, durable.Options{}); err != nil || n != 1 {
+		t.Fatalf("adopter restart: recovered=%d err=%v", n, err)
+	}
+	if got := r3.NodeTuples("a", "edge"); len(got) != 1 {
+		t.Fatalf("adopter restart lost migrated state: %v", got)
+	}
+
+	// A non-durable runner falls back to a bare state export, which
+	// ImportNode also accepts.
+	r4, err := New(prog, []string{"a"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r4.Close()
+	r4.Start()
+	r4.Inject("a", engine.Insert(edge("a", "a")))
+	bare, err := r4.ExportBundle("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable.IsBundle(bare) {
+		t.Fatal("non-durable runner exported a bundle")
+	}
+	if err := r2.ImportNode("a", bare); err != nil {
+		t.Fatalf("bare state import: %v", err)
+	}
+}
+
+// TestBindHost: the manifest Host knob binds ephemeral node sockets on
+// an explicit interface, and a bad host fails construction.
+func TestBindHost(t *testing.T) {
+	prog, err := parser.Parse(reachSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewShardedHost(prog, map[string]string{"a": ""}, "127.0.0.1", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	addr := r.Addr("a")
+	if addr == nil || addr.IP.String() != "127.0.0.1" || addr.Port == 0 {
+		t.Fatalf("bind host not honored: %v", addr)
+	}
+	r.Start()
+	r.Inject("a", engine.Insert(edge("a", "a")))
+	waitIdle(t, r)
+	if got := r.NodeTuples("a", "reach"); len(got) != 1 {
+		t.Fatalf("node on explicit host not serving: %v", got)
+	}
+
+	if _, err := NewShardedHost(prog, map[string]string{"a": ""}, "no.such.host.invalid", engine.Options{}); err == nil {
+		t.Fatal("invalid bind host accepted")
+	}
+}
+
+// TestSentToLedger: per-destination sent counts line up with the
+// aggregate ledger, so a control plane can attribute loss.
+func TestSentToLedger(t *testing.T) {
+	prog, err := parser.Parse(reachSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(prog, []string{"a", "b"}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Start()
+	r.Inject("a", engine.Insert(edge("a", "b")))
+	r.Inject("b", engine.Insert(edge("b", "a")))
+	waitIdle(t, r)
+	per := r.SentTo()
+	total := int64(0)
+	for _, n := range per {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no per-destination accounting")
+	}
+	if got := r.Stats().SentMessages; got != total {
+		t.Fatalf("sentTo sums to %d, ledger says %d", total, got)
+	}
+}

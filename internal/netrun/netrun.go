@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"ndlog/internal/ast"
+	"ndlog/internal/durable"
 	"ndlog/internal/engine"
 	"ndlog/internal/val"
 )
@@ -52,6 +53,16 @@ import (
 type Runner struct {
 	prog *ast.Program
 	opts engine.Options
+
+	// bindHost is the host ephemeral node sockets bind when a node's
+	// manifest address is "" — loopback by default, a LAN interface for
+	// multi-machine runs (manifest Host knob).
+	bindHost string
+
+	// durDir/durOpts configure per-node durable stores (EnableDurability);
+	// "" means in-memory only.
+	durDir  string
+	durOpts durable.Options
 
 	// nodesMu guards the local node set and the started flag: nodes can
 	// be adopted and released while the receive loops are live.
@@ -82,6 +93,12 @@ type Runner struct {
 	dropped  atomic.Int64 // deltas bound for nodes absent from the book
 	fenced   atomic.Int64 // datagrams dropped for carrying a stale epoch
 
+	// sentTo counts datagrams per destination node ID — the
+	// per-destination half of the sent==recv ledger, which lets a
+	// control plane attribute loss to the shard that failed to receive.
+	sentToMu sync.Mutex
+	sentTo   map[string]int64
+
 	wg   sync.WaitGroup
 	stop chan struct{}
 }
@@ -105,6 +122,13 @@ type netNode struct {
 	// closed marks a released node: its receive loop exits on the next
 	// read error instead of treating the closed socket as transient.
 	closed atomic.Bool
+
+	// dur is the node's durable store (nil without durability); pending
+	// collects the deltas the engine journal tap emits during a drain,
+	// group-committed as one WAL record before the drain's outbound
+	// datagrams are dispatched. Both are guarded by mu.
+	dur     *durable.Store
+	pending []engine.Delta
 }
 
 // New creates a runner hosting every id locally. Each node binds an
@@ -123,12 +147,21 @@ func New(prog *ast.Program, ids []string, opts engine.Options) (*Runner, error) 
 // manifests). Nodes of the program that live elsewhere are reached
 // through remote book entries installed with SetRemote.
 func NewSharded(prog *ast.Program, local map[string]string, opts engine.Options) (*Runner, error) {
+	return NewShardedHost(prog, local, "", opts)
+}
+
+// NewShardedHost is NewSharded with a default bind host: nodes whose
+// manifest address is "" bind an ephemeral port on bindHost instead of
+// loopback, so a shard can serve a LAN interface without pinning every
+// node's port. "" keeps the loopback default.
+func NewShardedHost(prog *ast.Program, local map[string]string, bindHost string, opts engine.Options) (*Runner, error) {
 	r := &Runner{
-		prog:  prog,
-		opts:  opts,
-		nodes: map[string]*netNode{},
-		book:  map[string]*net.UDPAddr{},
-		stop:  make(chan struct{}),
+		prog:     prog,
+		opts:     opts,
+		bindHost: bindHost,
+		nodes:    map[string]*netNode{},
+		book:     map[string]*net.UDPAddr{},
+		stop:     make(chan struct{}),
 	}
 	for id, bind := range local {
 		if _, err := r.bindNode(id, bind); err != nil {
@@ -148,6 +181,9 @@ func (r *Runner) bindNode(id, bind string) (*netNode, error) {
 		return nil, err
 	}
 	laddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}
+	if bind == "" && r.bindHost != "" {
+		bind = net.JoinHostPort(r.bindHost, "0")
+	}
 	if bind != "" {
 		laddr, err = net.ResolveUDPAddr("udp", bind)
 		if err != nil {
@@ -180,6 +216,14 @@ func (r *Runner) AddNode(id, bind string) error {
 	if err != nil {
 		return err
 	}
+	if r.durDir != "" {
+		// An adopted node starts from the state its bundle will import,
+		// not from whatever a stale directory of a past owner holds.
+		if _, err := r.attachStore(nn, true); err != nil {
+			r.dropNodeLocked(nn)
+			return err
+		}
+	}
 	if r.started {
 		r.wg.Add(1)
 		go r.receiveLoop(nn)
@@ -200,13 +244,28 @@ func (r *Runner) RemoveNode(id string) error {
 	if !ok {
 		return fmt.Errorf("netrun: node %q not hosted", id)
 	}
+	r.dropNodeLocked(nn)
+	return nil
+}
+
+// dropNodeLocked removes a node from the live sets and destroys its
+// durable store: the node is leaving this runner (released to another
+// shard, or a failed adoption), so a local on-disk copy of its state
+// must not resurrect on the next restart. Caller holds nodesMu.
+func (r *Runner) dropNodeLocked(nn *netNode) {
 	nn.closed.Store(true)
 	nn.conn.Close()
-	delete(r.nodes, id)
+	delete(r.nodes, nn.id)
 	r.bookMu.Lock()
-	delete(r.book, id)
+	delete(r.book, nn.id)
 	r.bookMu.Unlock()
-	return nil
+	nn.mu.Lock()
+	if nn.dur != nil {
+		nn.node.SetJournal(nil)
+		nn.dur.Destroy()
+		nn.dur = nil
+	}
+	nn.mu.Unlock()
 }
 
 // ExportNode snapshots a local node's migratable state (engine
@@ -227,23 +286,65 @@ func (r *Runner) ExportNode(id string) ([]byte, error) {
 // node, re-derives the local closure (engine Rederive — the DRed
 // sweep), clamps the imported soft state back to its exported
 // remaining lifetimes, and dispatches the resulting advertisements to
-// the fleet.
+// the fleet. The blob is either a bare engine state (EncodeState) or a
+// durable migration bundle (snapshot + WAL tail, durable.EncodeBundle)
+// — the magic byte decides.
 func (r *Runner) ImportNode(id string, state []byte) error {
-	st, err := engine.DecodeState(state)
-	if err != nil {
-		return err
-	}
 	nn, ok := r.node(id)
 	if !ok {
 		return fmt.Errorf("netrun: node %q not hosted", id)
 	}
+	var (
+		snap    []byte
+		records [][]byte
+		err     error
+	)
+	if durable.IsBundle(state) {
+		if snap, records, err = durable.DecodeBundle(state); err != nil {
+			return err
+		}
+	} else {
+		snap = state
+	}
+	var st *engine.NodeState
+	if len(snap) > 0 {
+		if st, err = engine.DecodeState(snap); err != nil {
+			return err
+		}
+	}
 	nn.mu.Lock()
-	nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
-	nn.node.ImportState(st)
-	outs := nn.node.Drain()
+	now := float64(time.Now().UnixNano()) / 1e9
+	nn.node.SetNow(now)
+	var outs []engine.OutDelta
+	if st != nil {
+		nn.node.ImportState(st)
+		outs = nn.node.Drain()
+		// Clamp before replaying the WAL tail: a replayed soft-state
+		// refresh then extends lifetimes legitimately, instead of being
+		// clamped back to what the snapshot remembered.
+		nn.node.ApplyImportedTTLs(st)
+	}
+	for _, rec := range records {
+		recNow, deltas, derr := decodeWALRecord(rec, nn.node.Interner())
+		if derr != nil {
+			nn.mu.Unlock()
+			return derr
+		}
+		// Replay under the record's virtual clock so soft-state TTLs land
+		// where the source node had them, clamped so a skewed source
+		// cannot push this node's clock forward.
+		if recNow < now {
+			nn.node.SetNow(recNow)
+		}
+		for _, d := range deltas {
+			nn.node.Push(d)
+		}
+		outs = append(outs, nn.node.Drain()...)
+	}
+	nn.node.SetNow(now)
 	nn.node.Rederive()
 	outs = append(outs, nn.node.Drain()...)
-	nn.node.ApplyImportedTTLs(st)
+	r.commitDurable(nn)
 	nn.mu.Unlock()
 	r.activity.Add(1)
 	r.dispatch(nn, outs)
@@ -270,6 +371,7 @@ func (r *Runner) RederiveFor(migrated []string) {
 		nn.mu.Lock()
 		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
 		outs := nn.node.RederiveFor(dsts)
+		r.commitDurable(nn)
 		nn.mu.Unlock()
 		if len(outs) == 0 {
 			continue
@@ -395,6 +497,7 @@ func (r *Runner) Seed() {
 			nn.node.Push(engine.Insert(f))
 		}
 		outs := nn.node.Drain()
+		r.commitDurable(nn)
 		nn.mu.Unlock()
 		r.activity.Add(1)
 		r.dispatch(nn, outs)
@@ -463,6 +566,10 @@ func (r *Runner) receiveLoop(nn *netNode) {
 			nn.node.Push(d)
 		}
 		outs := nn.node.Drain()
+		// WAL before wire: the drain's effects are durable before any
+		// derived datagram leaves, so a crash right here cannot have
+		// advertised state it will not remember.
+		r.commitDurable(nn)
 		nn.mu.Unlock()
 		r.activity.Add(1)
 		r.dispatch(nn, outs)
@@ -480,6 +587,7 @@ func (r *Runner) Inject(id string, d engine.Delta) error {
 	nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
 	nn.node.Push(d)
 	outs := nn.node.Drain()
+	r.commitDurable(nn)
 	nn.mu.Unlock()
 	r.activity.Add(1)
 	r.dispatch(nn, outs)
@@ -535,16 +643,40 @@ func (r *Runner) dispatch(nn *netNode, outs []engine.OutDelta) {
 			if r.lossBudget.Load() > 0 && r.lossBudget.Add(-1) >= 0 {
 				// Injected loss: the datagram is counted as sent (the
 				// ledger must see it) but never hits the wire.
-				r.sentB.Add(int64(len(frame)))
-				r.sentM.Add(1)
+				r.countSent(dstID, int64(len(frame)))
 				continue
 			}
 			if _, err := nn.conn.WriteToUDP(frame, dst); err == nil {
-				r.sentB.Add(int64(len(frame)))
-				r.sentM.Add(1)
+				r.countSent(dstID, int64(len(frame)))
 			}
 		}
 	}
+}
+
+// countSent records one outbound datagram in the ledger, including the
+// per-destination tally.
+func (r *Runner) countSent(dstID string, bytes int64) {
+	r.sentB.Add(bytes)
+	r.sentM.Add(1)
+	r.sentToMu.Lock()
+	if r.sentTo == nil {
+		r.sentTo = map[string]int64{}
+	}
+	r.sentTo[dstID]++
+	r.sentToMu.Unlock()
+}
+
+// SentTo snapshots the per-destination datagram counts. Keys are NDlog
+// node IDs; the control plane folds them onto owning shards to find
+// which shard's receive ledger is short after loss.
+func (r *Runner) SentTo() map[string]int64 {
+	r.sentToMu.Lock()
+	defer r.sentToMu.Unlock()
+	out := make(map[string]int64, len(r.sentTo))
+	for id, n := range r.sentTo {
+		out[id] = n
+	}
+	return out
 }
 
 // WaitQuiescent blocks until no local node has processed a datagram for
@@ -612,7 +744,9 @@ func (r *Runner) NodeTuples(id, pred string) []string {
 	return out
 }
 
-// Close shuts down all sockets and waits for the receive loops.
+// Close shuts down all sockets, waits for the receive loops, and
+// flushes the durable stores (a clean shutdown loses nothing even
+// under the lazier sync policies).
 func (r *Runner) Close() {
 	select {
 	case <-r.stop:
@@ -625,4 +759,13 @@ func (r *Runner) Close() {
 		}
 	}
 	r.wg.Wait()
+	for _, nn := range r.localNodes() {
+		nn.mu.Lock()
+		if nn.dur != nil {
+			r.commitDurable(nn)
+			nn.dur.Close()
+			nn.dur = nil
+		}
+		nn.mu.Unlock()
+	}
 }

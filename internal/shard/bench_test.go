@@ -84,12 +84,28 @@ func BenchmarkNetrunFig7(b *testing.B) {
 // makes no progress), and the post-migration re-convergence wall time.
 // Compare s/converge against BenchmarkSharded3Fig7 (no migration).
 func BenchmarkMigration3Fig7(b *testing.B) {
+	benchMigration3Fig7(b, false)
+}
+
+// BenchmarkDurableMigration3Fig7 is the same probe with durability on:
+// every worker journals to a WAL (fsync-on-commit) and the moved node
+// ships as a snapshot+WAL bundle. The pause delta against the
+// non-durable benchmark is the cost of crash-survivability.
+func BenchmarkDurableMigration3Fig7(b *testing.B) {
+	benchMigration3Fig7(b, true)
+}
+
+func benchMigration3Fig7(b *testing.B, durable bool) {
 	src, ids := fig7Workload()
 	wantResults := len(ids) * (len(ids) - 1)
 	for i := 0; i < b.N; i++ {
+		opts := Options{AggSel: true}
+		if durable {
+			opts.DataDir = filepath.Join(b.TempDir(), "data")
+		}
 		m := &Manifest{
 			Source:  src,
-			Options: Options{AggSel: true},
+			Options: opts,
 			Shards:  Partition(ids, 3),
 		}
 		manifestPath := filepath.Join(b.TempDir(), "manifest.json")

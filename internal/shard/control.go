@@ -21,6 +21,7 @@ import (
 //	start   := ε
 //	idle    := shard(uvarint) epoch(uvarint) seq(uvarint)
 //	           activity(uvarint) stats
+//	           nsent(uvarint) {node(string) count(uvarint)}*
 //	query   := req(uvarint) pred(string)
 //	tuples  := shard(uvarint) req(uvarint) chunk(uvarint) nchunks(uvarint)
 //	           count(uvarint) tuple*
@@ -36,6 +37,8 @@ import (
 //	adopted := shard(uvarint) req(uvarint) node(string) addr(string)
 //	resume  := epoch(uvarint) nnodes(uvarint) {node(string)}*
 //	resumed := shard(uvarint) epoch(uvarint)
+//	rederive  := req(uvarint) epoch(uvarint) nnodes(uvarint) {node(string)}*
+//	rederived := shard(uvarint) req(uvarint)
 //	stats   := sentB sentM recvB recvM dropped fenced (uvarints)
 //
 // Kind bytes start at 0x81, disjoint from the engine's data-message
@@ -70,6 +73,11 @@ const (
 	kindAdopted frameKind = 0x8F // worker → coord: node bound, here is its address
 	kindResume  frameKind = 0x90 // coord → worker: cutover done, import + reseed
 	kindResumed frameKind = 0x91 // worker → coord: resumed in the new epoch
+
+	// Recovery frames (crash respawn and loss-adaptive reseed; see
+	// coord.go Respawn and RecoverLoss).
+	kindRederive  frameKind = 0x92 // coord → worker: re-send derivations toward these nodes
+	kindRederived frameKind = 0x93 // worker → coord: rederivation sweep done
 )
 
 // maxGatherChunks bounds the per-shard chunk count a tuples frame may
@@ -102,12 +110,16 @@ type frame struct {
 	seq      uint64
 	activity int64
 	stats    netStats
+	// sentTo is the runner's per-destination datagram tally (idle) —
+	// the attribution half of the sent==recv ledger.
+	sentTo map[string]int64
 	// req, pred: query correlation id and predicate (query); req also
 	// correlates release/state and adopt/adopted exchanges.
 	req  uint64
 	pred string
 	// node names the migrating node (release, adopt, adopted); nodes
-	// lists every node moved by a cutover (resume).
+	// lists every node moved by a cutover (resume) or targeted by a
+	// rederivation sweep (rederive).
 	node  string
 	nodes []string
 	// addr is the migrated node's new data address (adopted).
@@ -152,6 +164,20 @@ func appendBytes(dst, b []byte) []byte {
 	return append(dst, b...)
 }
 
+func appendSentTo(dst []byte, sentTo map[string]int64) []byte {
+	dst = appendUvarint(dst, uint64(len(sentTo)))
+	keys := make([]string, 0, len(sentTo))
+	for k := range sentTo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = val.AppendString(dst, k)
+		dst = appendUvarint(dst, uint64(sentTo[k]))
+	}
+	return dst
+}
+
 // encodeFrame marshals f. The zero-body kinds encode as a single byte.
 func encodeFrame(f frame) []byte {
 	buf := []byte{byte(f.kind)}
@@ -172,6 +198,7 @@ func encodeFrame(f frame) []byte {
 		buf = appendUvarint(buf, f.seq)
 		buf = appendUvarint(buf, uint64(f.activity))
 		buf = appendStats(buf, f.stats)
+		buf = appendSentTo(buf, f.sentTo)
 	case kindQuery:
 		buf = appendUvarint(buf, f.req)
 		buf = val.AppendString(buf, f.pred)
@@ -218,6 +245,16 @@ func encodeFrame(f frame) []byte {
 	case kindResumed:
 		buf = appendUvarint(buf, uint64(f.shard))
 		buf = appendUvarint(buf, f.epoch)
+	case kindRederive:
+		buf = appendUvarint(buf, f.req)
+		buf = appendUvarint(buf, f.epoch)
+		buf = appendUvarint(buf, uint64(len(f.nodes)))
+		for _, n := range f.nodes {
+			buf = val.AppendString(buf, n)
+		}
+	case kindRederived:
+		buf = appendUvarint(buf, uint64(f.shard))
+		buf = appendUvarint(buf, f.req)
 	}
 	return buf
 }
@@ -286,6 +323,30 @@ func (d *decoder) stats() netStats {
 	}
 }
 
+// sentTo decodes the per-destination tally block; nil when empty, so
+// frames without tallies round-trip to their zero field.
+func (d *decoder) sentTo() map[string]int64 {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	// Each entry is at least two bytes; cap preallocation by payload.
+	if n > uint64(len(d.b)) {
+		d.err = fmt.Errorf("shard: corrupt control frame (sentTo size)")
+		return nil
+	}
+	out := make(map[string]int64, n)
+	for i := uint64(0); i < n; i++ {
+		k := d.string()
+		v := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		out[k] = int64(v)
+	}
+	return out
+}
+
 // bytes decodes a length-prefixed blob; the result never aliases the
 // receive buffer (copy-on-decode, like every decoded string and tuple).
 func (d *decoder) bytes() []byte {
@@ -329,6 +390,7 @@ func decodeFrame(b []byte) (frame, error) {
 		f.seq = d.uvarint()
 		f.activity = int64(d.uvarint())
 		f.stats = d.stats()
+		f.sentTo = d.sentTo()
 	case kindQuery:
 		f.req = d.uvarint()
 		f.pred = d.string()
@@ -403,6 +465,19 @@ func decodeFrame(b []byte) (frame, error) {
 	case kindResumed:
 		f.shard = int(d.uvarint())
 		f.epoch = d.uvarint()
+	case kindRederive:
+		f.req = d.uvarint()
+		f.epoch = d.uvarint()
+		nn := d.uvarint()
+		if d.err == nil && nn > uint64(len(d.b)) {
+			d.err = fmt.Errorf("shard: corrupt control frame (node count)")
+		}
+		for i := uint64(0); d.err == nil && i < nn; i++ {
+			f.nodes = append(f.nodes, d.string())
+		}
+	case kindRederived:
+		f.shard = int(d.uvarint())
+		f.req = d.uvarint()
 	default:
 		return frame{}, fmt.Errorf("shard: unknown control frame kind 0x%x", b[0])
 	}

@@ -45,8 +45,18 @@ type Coordinator struct {
 	// serializes Tuples callers: gathers are single-flight.
 	gatherMu sync.Mutex
 	gather   *gatherState
-	// rebalMu serializes Rebalance callers (single-flight, like gathers).
+	// rebalMu serializes Rebalance callers (single-flight, like gathers);
+	// Respawn and RecoverLoss share it — all three reconfigure the fleet.
 	rebalMu sync.Mutex
+	// ledgerSlack is the sent−recv imbalance accepted as permanent:
+	// datagrams provably lost to a crash or injected loss, folded into
+	// the baseline by Respawn/RecoverLoss so the quiescence ledger
+	// balances again afterwards.
+	ledgerSlack int64
+	// recovered tracks, per shard, the receive deficit RecoverLoss has
+	// already compensated, so repeated calls do not re-recover (and
+	// re-count) the same historical loss.
+	recovered map[int]int64
 
 	cmds map[int]*exec.Cmd // spawned worker processes, by shard ID
 
@@ -72,12 +82,55 @@ type shardState struct {
 	epoch      uint64 // membership view the report was sent under
 	activity   int64
 	stats      netStats
+	sentTo     map[string]int64
 	lastReport time.Time
 	// lastChange is when activity last moved (coordinator clock).
 	lastChange time.Time
 
+	// base and baseSentTo fold in the counters a crashed incarnation
+	// last reported: its replacement restarts at zero, but the ledger's
+	// history must survive the respawn or sent==recv could never
+	// balance again.
+	base       netStats
+	baseSentTo map[string]int64
+
+	// rederivedReq is the newest rederivation request this worker has
+	// acknowledged completing.
+	rederivedReq uint64
+
 	bye      bool
 	byeStats netStats
+}
+
+// totalStats is the shard's cumulative traffic view: the live report
+// (or the final bye stats) plus whatever earlier incarnations reported
+// before crashing.
+func (s *shardState) totalStats() netStats {
+	ns := s.stats
+	if s.bye {
+		ns = s.byeStats
+	}
+	return netStats{
+		SentBytes:    s.base.SentBytes + ns.SentBytes,
+		SentMessages: s.base.SentMessages + ns.SentMessages,
+		RecvBytes:    s.base.RecvBytes + ns.RecvBytes,
+		RecvMessages: s.base.RecvMessages + ns.RecvMessages,
+		Dropped:      s.base.Dropped + ns.Dropped,
+		Fenced:       s.base.Fenced + ns.Fenced,
+	}
+}
+
+// totalSentTo merges the live per-destination tallies with the folded
+// pre-respawn base.
+func (s *shardState) totalSentTo() map[string]int64 {
+	out := make(map[string]int64, len(s.sentTo)+len(s.baseSentTo))
+	for id, n := range s.baseSentTo {
+		out[id] += n
+	}
+	for id, n := range s.sentTo {
+		out[id] += n
+	}
+	return out
 }
 
 // xferState collects one release's chunked state transfer.
@@ -127,6 +180,7 @@ func NewCoordinator(m *Manifest) (*Coordinator, error) {
 		epoch:     1,
 		owner:     map[string]int{},
 		overrides: map[string]string{},
+		recovered: map[int]int64{},
 		stop:      make(chan struct{}),
 	}
 	for i := range m.Shards {
@@ -238,6 +292,7 @@ func (c *Coordinator) apply(f frame, from *net.UDPAddr) {
 			st.lastChange = time.Now()
 		}
 		st.seq, st.epoch, st.activity, st.stats = f.seq, f.epoch, f.activity, f.stats
+		st.sentTo = f.sentTo
 		st.lastReport = time.Now()
 		// Ack: the worker uses pongs to notice a dead coordinator.
 		c.conn.WriteToUDP(encodeFrame(frame{kind: kindPong}), from)
@@ -264,6 +319,10 @@ func (c *Coordinator) apply(f frame, from *net.UDPAddr) {
 	case kindResumed:
 		if f.epoch > st.resumedEpoch {
 			st.resumedEpoch = f.epoch
+		}
+	case kindRederived:
+		if f.req > st.rederivedReq {
+			st.rederivedReq = f.req
 		}
 	case kindTuples:
 		g := c.gather
@@ -388,14 +447,22 @@ func (c *Coordinator) idleForLocked(window time.Duration) bool {
 }
 
 // ledgerBalancedLocked reports whether cluster-wide data-plane sends
-// equal receives (nothing in flight, nothing lost).
+// equal receives (nothing in flight, nothing lost) — up to the slack
+// Respawn/RecoverLoss folded in for datagrams proven permanently lost.
 func (c *Coordinator) ledgerBalancedLocked() bool {
+	return c.ledgerImbalanceLocked() == c.ledgerSlack
+}
+
+// ledgerImbalanceLocked is cluster-wide sends minus receives, with each
+// shard's pre-respawn base counters folded in.
+func (c *Coordinator) ledgerImbalanceLocked() int64 {
 	var sent, recv int64
 	for _, s := range c.shards {
-		sent += s.stats.SentMessages
-		recv += s.stats.RecvMessages
+		ns := s.totalStats()
+		sent += ns.SentMessages
+		recv += ns.RecvMessages
 	}
-	return sent == recv
+	return sent - recv
 }
 
 // LedgerBalanced reports whether cluster-wide data-plane sends
@@ -418,6 +485,328 @@ func (c *Coordinator) Reseed() {
 			c.conn.WriteToUDP(encodeFrame(frame{kind: kindSeed}), s.addr)
 		}
 	}
+}
+
+// DeadWorkers reports the shards presumed crashed: started workers
+// whose periodic idle reports (one per idlePeriod) have stopped for the
+// silence window. On loopback/LAN a multi-hundred-millisecond silence
+// means the process is gone, not slow.
+func (c *Coordinator) DeadWorkers(silence time.Duration) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	var out []int
+	for id, s := range c.shards {
+		if !s.started || s.bye || s.lastReport.IsZero() {
+			continue
+		}
+		if now.Sub(s.lastReport) > silence {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Respawn replaces a crashed worker process and drives its warm rejoin:
+//
+//  1. reap — the old process (if spawned here) is killed and waited on,
+//     and the counters it last reported fold into the shard's base, so
+//     the cluster ledger keeps its history across the restart;
+//  2. re-exec — build spawns the replacement, which recovers its node
+//     set and per-node state from the shard's durable data directory
+//     (manifest DataDir: snapshot + WAL replay), binds fresh sockets,
+//     and re-enters the handshake (its ready is re-acked with an
+//     immediate start — the barrier released long ago);
+//  3. cutover — a new epoch's book routes the respawned nodes' fresh
+//     addresses fleet-wide and fences stragglers aimed at the dead
+//     sockets;
+//  4. rederive — every shard re-sends the derivations homed at the
+//     respawned nodes (the cross-node derived state a WAL cannot
+//     carry), and the respawned shard sweeps its own derivations back
+//     outward: WAL-before-wire means a crash cannot have advertised
+//     state it will not remember, but it can remember state it never
+//     got to advertise;
+//  5. rebaseline — once the fleet settles, the remaining sent−recv
+//     imbalance is exactly the crash window's permanent datagram loss
+//     and folds into the ledger slack, so WaitQuiescent balances again
+//     with no coordinator reseed.
+//
+// Pass a nil build when the replacement process is managed externally;
+// start it only after calling Respawn, which waits for its hello.
+// Single-flight with Rebalance and RecoverLoss.
+func (c *Coordinator) Respawn(shardID int, build func(shardID int) *exec.Cmd, idle, timeout time.Duration) error {
+	c.rebalMu.Lock()
+	defer c.rebalMu.Unlock()
+	deadline := time.Now().Add(timeout)
+
+	c.mu.Lock()
+	st := c.shards[shardID]
+	if st == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("shard: respawn: unknown shard %d", shardID)
+	}
+	old := c.cmds[shardID]
+	delete(c.cmds, shardID)
+
+	// Fold the dead incarnation's last report into the base (its
+	// replacement restarts every counter at zero) and reset the
+	// handshake view so the fresh hello is distinguishable. started
+	// stays true: the replacement's ready re-acks with an immediate
+	// start.
+	st.base = st.totalStats()
+	st.baseSentTo = st.totalSentTo()
+	st.stats, st.sentTo = netStats{}, nil
+	st.seq = 0
+	st.book = nil
+	st.bye = false
+	st.lastReport, st.lastChange = time.Time{}, time.Time{}
+	c.mu.Unlock()
+
+	if old != nil {
+		killWait(old, killGrace) // reap; a SIGKILL at a corpse is a no-op
+	}
+	if build != nil {
+		cmd := build(shardID)
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("shard: respawn shard %d: %w", shardID, err)
+		}
+		c.mu.Lock()
+		if c.cmds == nil {
+			c.cmds = map[int]*exec.Cmd{}
+		}
+		c.cmds[shardID] = cmd
+		c.mu.Unlock()
+	}
+
+	// Wait for the replacement's hello: the shard's book reappears,
+	// carrying its recovered nodes at their fresh socket addresses.
+	for {
+		c.mu.Lock()
+		book := st.book
+		c.mu.Unlock()
+		if book != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shard: respawn: no hello from shard %d within %v", shardID, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Cutover: a fresh epoch whose merged book routes the respawned
+	// nodes to their new sockets. The hello entries land as overrides —
+	// they must shadow both other shards' stale hello books and any
+	// stale migration overrides for nodes this shard hosts.
+	c.mu.Lock()
+	c.epoch++
+	epoch := c.epoch
+	var nodes []string
+	for id, addr := range st.book {
+		c.overrides[id] = addr
+		nodes = append(nodes, id)
+	}
+	sort.Strings(nodes)
+	book := c.mergedBookLocked()
+	c.mu.Unlock()
+	if book == nil {
+		return fmt.Errorf("shard: respawn: address book incomplete")
+	}
+	err := c.broadcastUntil(frame{kind: kindBook, epoch: epoch, book: book}, deadline,
+		func(s *shardState) bool { return s.readyEpoch >= epoch })
+	if err != nil {
+		return fmt.Errorf("shard: respawn: book cutover: %w", err)
+	}
+
+	// Rederivation sweeps, both directions.
+	if err := c.rederiveToward(nodes, deadline); err != nil {
+		return fmt.Errorf("shard: respawn: %w", err)
+	}
+	c.mu.Lock()
+	var others []string
+	for node, owner := range c.owner {
+		if owner != shardID {
+			others = append(others, node)
+		}
+	}
+	sort.Strings(others)
+	c.mu.Unlock()
+	if len(others) > 0 {
+		if err := c.rederiveShard(shardID, others, deadline); err != nil {
+			return fmt.Errorf("shard: respawn: %w", err)
+		}
+	}
+
+	// Rebaseline: with the fleet stable again, what is still unbalanced
+	// is the crash window's permanent loss.
+	if !c.waitStable(idle, deadline) {
+		return fmt.Errorf("shard: respawn: fleet did not settle within %v", timeout)
+	}
+	c.mu.Lock()
+	c.rebaselineLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// RecoverLoss recovers from datagram loss adaptively: instead of a
+// fleet-wide reseed, the per-destination sent tallies carried by idle
+// reports are folded onto owning shards and compared with each shard's
+// receive counter — the shards that come up short are exactly the ones
+// that missed datagrams. Each short shard gets a targeted seed (its
+// home facts re-advertise — the soft-state refresh, shard-local) and
+// the fleet re-sends the derivations homed at its nodes, rebuilding
+// the inbound state the lost datagrams carried. The deficit then folds
+// into the ledger slack, so WaitQuiescent balances again.
+//
+// Call it after WaitQuiescent returns: the measurement needs a stable
+// fleet, or an in-flight burst would read as loss. Attribution follows
+// current ownership, so the first call after a rebalance may also
+// re-cover tallies that simply moved shards — harmless, the recovery
+// actions are idempotent in tuple-set terms. Returns the IDs of the
+// shards recovered (empty when the imbalance is already accounted
+// for). Single-flight with Rebalance and Respawn.
+func (c *Coordinator) RecoverLoss(idle, timeout time.Duration) ([]int, error) {
+	c.rebalMu.Lock()
+	defer c.rebalMu.Unlock()
+	deadline := time.Now().Add(timeout)
+	if !c.waitStable(idle, deadline) {
+		return nil, fmt.Errorf("shard: recover: fleet not stable within %v", timeout)
+	}
+
+	c.mu.Lock()
+	expected, recv := c.expectedRecvLocked()
+	var short []int
+	var nodes []string
+	seedAddrs := map[int]*net.UDPAddr{}
+	for id, s := range c.shards {
+		if expected[id]-recv[id] <= c.recovered[id] {
+			continue
+		}
+		short = append(short, id)
+		seedAddrs[id] = s.addr
+		for node, owner := range c.owner {
+			if owner == id {
+				nodes = append(nodes, node)
+			}
+		}
+	}
+	sort.Ints(short)
+	sort.Strings(nodes)
+	c.mu.Unlock()
+	if len(short) == 0 {
+		return nil, nil
+	}
+
+	for _, id := range short {
+		if a := seedAddrs[id]; a != nil {
+			c.conn.WriteToUDP(encodeFrame(frame{kind: kindSeed}), a)
+		}
+	}
+	if err := c.rederiveToward(nodes, deadline); err != nil {
+		return short, err
+	}
+
+	// Accept what is still unbalanced after recovery as permanent loss.
+	if !c.waitStable(idle, deadline) {
+		return short, fmt.Errorf("shard: recover: fleet did not settle within %v", timeout)
+	}
+	c.mu.Lock()
+	c.rebaselineLocked()
+	c.mu.Unlock()
+	return short, nil
+}
+
+// rederiveToward asks every shard to re-send the derivations homed at
+// the listed nodes, retrying until all acknowledge the sweep.
+func (c *Coordinator) rederiveToward(nodes []string, deadline time.Time) error {
+	c.mu.Lock()
+	c.reqSeq++
+	req := c.reqSeq
+	epoch := c.epoch
+	c.mu.Unlock()
+	err := c.broadcastUntil(frame{kind: kindRederive, req: req, epoch: epoch, nodes: nodes}, deadline,
+		func(s *shardState) bool { return s.rederivedReq >= req })
+	if err != nil {
+		return fmt.Errorf("rederive toward %d nodes: %w", len(nodes), err)
+	}
+	return nil
+}
+
+// rederiveShard asks one shard to re-send the derivations homed at the
+// listed nodes, retrying until it acknowledges.
+func (c *Coordinator) rederiveShard(shardID int, nodes []string, deadline time.Time) error {
+	c.mu.Lock()
+	c.reqSeq++
+	req := c.reqSeq
+	epoch := c.epoch
+	c.mu.Unlock()
+	payload := encodeFrame(frame{kind: kindRederive, req: req, epoch: epoch, nodes: nodes})
+	retry := newBackoff()
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		st := c.shards[shardID]
+		done := st.rederivedReq >= req
+		addr := st.addr
+		c.mu.Unlock()
+		if done {
+			return nil
+		}
+		if retry.ready() && addr != nil {
+			c.conn.WriteToUDP(payload, addr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("rederive on shard %d timed out", shardID)
+}
+
+// waitStable blocks until every shard has been idle for the window
+// (activity stable, reporting from the current epoch). The ledger is
+// deliberately not consulted: callers use this exactly when it cannot
+// yet balance.
+func (c *Coordinator) waitStable(window time.Duration, deadline time.Time) bool {
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		ok := c.idleForLocked(window)
+		c.mu.Unlock()
+		if ok {
+			return true
+		}
+		time.Sleep(window / 4)
+	}
+	return false
+}
+
+// rebaselineLocked accepts the present imbalance as permanent: the
+// global ledger slack and each shard's recovered-deficit watermark
+// snapshot to the current counters. Callers ensure the fleet is stable
+// (nothing in flight) first.
+func (c *Coordinator) rebaselineLocked() {
+	c.ledgerSlack = c.ledgerImbalanceLocked()
+	expected, recv := c.expectedRecvLocked()
+	for id := range c.shards {
+		c.recovered[id] = 0
+		if d := expected[id] - recv[id]; d > 0 {
+			c.recovered[id] = d
+		}
+	}
+}
+
+// expectedRecvLocked folds every shard's per-destination sent tallies
+// onto the owning shards: expected[x] counts the datagrams the fleet
+// addressed to shard x's nodes, recv[x] the datagrams x actually
+// received — the attribution half of the sent==recv ledger.
+func (c *Coordinator) expectedRecvLocked() (expected, recv map[int]int64) {
+	expected = map[int]int64{}
+	recv = map[int]int64{}
+	for id, s := range c.shards {
+		recv[id] = s.totalStats().RecvMessages
+		for node, n := range s.totalSentTo() {
+			if owner, ok := c.owner[node]; ok {
+				expected[owner] += n
+			}
+		}
+	}
+	return expected, recv
 }
 
 // Migration names one node move of a rebalance plan.
@@ -631,8 +1020,43 @@ func (c *Coordinator) Rebalance(migs []Migration, idle, timeout time.Duration) (
 	}, nil
 }
 
+// Retry pacing for the coordinator's idempotent datagram exchanges.
+// The first resend comes fast (the common case is one lost datagram on
+// loopback/LAN); the interval then doubles to a cap so a dead or
+// wedged worker is probed, not hammered, for the rest of its deadline.
+const (
+	retryStart = 50 * time.Millisecond
+	retryCap   = 800 * time.Millisecond
+	// xferWorkerTimeout bounds any single worker's release/adopt
+	// exchange: one unresponsive worker fails its transfer in bounded
+	// time instead of consuming the whole rebalance deadline.
+	xferWorkerTimeout = 10 * time.Second
+)
+
+// backoff paces a resend loop: ready reports whether to send now, and
+// each send schedules the next one twice as far out, up to the cap.
+type backoff struct {
+	wait time.Duration
+	next time.Time
+}
+
+func newBackoff() *backoff { return &backoff{wait: retryStart} }
+
+func (b *backoff) ready() bool {
+	if time.Now().Before(b.next) {
+		return false
+	}
+	b.next = time.Now().Add(b.wait)
+	if b.wait *= 2; b.wait > retryCap {
+		b.wait = retryCap
+	}
+	return true
+}
+
 // releaseNode asks a shard to export and drop a node, retrying the
-// idempotent release until the chunked state transfer completes.
+// idempotent release (with capped exponential backoff, against the
+// per-worker transfer deadline) until the chunked state transfer
+// completes.
 func (c *Coordinator) releaseNode(node string, fromShard int, deadline time.Time) ([]byte, error) {
 	c.mu.Lock()
 	c.reqSeq++
@@ -648,11 +1072,13 @@ func (c *Coordinator) releaseNode(node string, fromShard int, deadline time.Time
 		c.mu.Unlock()
 	}()
 
-	lastSend := time.Time{}
+	if wd := time.Now().Add(xferWorkerTimeout); wd.Before(deadline) {
+		deadline = wd
+	}
+	retry := newBackoff()
 	for time.Now().Before(deadline) {
-		if time.Since(lastSend) >= 200*time.Millisecond {
+		if retry.ready() {
 			c.conn.WriteToUDP(encodeFrame(frame{kind: kindRelease, req: req, epoch: epoch, node: node}), addr)
-			lastSend = time.Now()
 		}
 		c.mu.Lock()
 		done := x.complete()
@@ -670,7 +1096,9 @@ func (c *Coordinator) releaseNode(node string, fromShard int, deadline time.Time
 }
 
 // adoptNode streams a node's state to its destination shard, retrying
-// until the worker acknowledges with the node's new data address.
+// with capped exponential backoff — against the per-worker transfer
+// deadline — until the worker acknowledges with the node's new data
+// address.
 func (c *Coordinator) adoptNode(node string, toShard int, blob []byte, deadline time.Time) (string, error) {
 	c.mu.Lock()
 	c.reqSeq++
@@ -685,15 +1113,17 @@ func (c *Coordinator) adoptNode(node string, toShard int, blob []byte, deadline 
 		c.mu.Unlock()
 	}()
 
+	if wd := time.Now().Add(xferWorkerTimeout); wd.Before(deadline) {
+		deadline = wd
+	}
 	chunks := blobChunks(blob)
-	lastSend := time.Time{}
+	retry := newBackoff()
 	for time.Now().Before(deadline) {
-		if time.Since(lastSend) >= 200*time.Millisecond {
+		if retry.ready() {
 			for i, ch := range chunks {
 				c.conn.WriteToUDP(encodeFrame(frame{kind: kindAdopt, req: req, epoch: epoch,
 					node: node, chunk: i, nchunks: len(chunks), blob: ch}), addr)
 			}
-			lastSend = time.Now()
 		}
 		c.mu.Lock()
 		got := c.adoptAddr
@@ -709,12 +1139,13 @@ func (c *Coordinator) adoptNode(node string, toShard int, blob []byte, deadline 
 	return "", fmt.Errorf("shard: adoption of %q by shard %d timed out", node, toShard)
 }
 
-// broadcastUntil re-sends a frame to every shard not yet satisfying
-// done, until all do or the deadline lapses.
+// broadcastUntil re-sends a frame (capped exponential backoff) to every
+// shard not yet satisfying done, until all do or the deadline lapses.
 func (c *Coordinator) broadcastUntil(f frame, deadline time.Time, done func(*shardState) bool) error {
 	payload := encodeFrame(f)
-	lastSend := time.Time{}
+	retry := newBackoff()
 	for time.Now().Before(deadline) {
+		send := retry.ready()
 		c.mu.Lock()
 		all := true
 		for _, s := range c.shards {
@@ -722,16 +1153,13 @@ func (c *Coordinator) broadcastUntil(f frame, deadline time.Time, done func(*sha
 				continue
 			}
 			all = false
-			if time.Since(lastSend) >= 200*time.Millisecond && s.addr != nil {
+			if send && s.addr != nil {
 				c.conn.WriteToUDP(payload, s.addr)
 			}
 		}
 		c.mu.Unlock()
 		if all {
 			return nil
-		}
-		if time.Since(lastSend) >= 200*time.Millisecond {
-			lastSend = time.Now()
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -758,10 +1186,10 @@ func (c *Coordinator) Tuples(pred string, timeout time.Duration) ([]val.Tuple, e
 	}()
 
 	deadline := time.Now().Add(timeout)
-	lastSend := time.Time{}
+	retry := newBackoff()
 	for time.Now().Before(deadline) {
 		c.mu.Lock()
-		if time.Since(lastSend) >= 200*time.Millisecond {
+		if retry.ready() {
 			// (Re)query incomplete shards under a fresh request id each,
 			// wiping their partial state: a lost chunk costs one retry of
 			// that shard's whole snapshot.
@@ -774,7 +1202,6 @@ func (c *Coordinator) Tuples(pred string, timeout time.Duration) ([]val.Tuple, e
 				delete(g.chunks, id)
 				c.conn.WriteToUDP(encodeFrame(frame{kind: kindQuery, req: c.reqSeq, pred: pred}), s.addr)
 			}
-			lastSend = time.Now()
 		}
 		done := true
 		for id := range c.shards {
@@ -817,11 +1244,7 @@ func (c *Coordinator) ShardStats() map[int]Stats {
 	defer c.mu.Unlock()
 	out := map[int]Stats{}
 	for id, s := range c.shards {
-		ns := s.stats
-		if s.bye {
-			ns = s.byeStats
-		}
-		out[id] = Stats(ns)
+		out[id] = Stats(s.totalStats())
 	}
 	return out
 }

@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"ndlog/internal/ast"
+	"ndlog/internal/durable"
 	"ndlog/internal/engine"
 	"ndlog/internal/parser"
 )
@@ -51,6 +52,39 @@ type Options struct {
 	// injection for exercising the coordinator's unbalanced-ledger
 	// quiescence fallback and the reseed recovery path. Testing only.
 	LossFirst int `json:"loss_first,omitempty"`
+	// DataDir, when set, makes every worker persist its nodes' state
+	// (WAL + snapshots, internal/durable): shard i keeps one store per
+	// node under <DataDir>/shard-<i>, and a respawned worker recovers
+	// warm from there instead of needing a coordinator reseed. Empty
+	// disables durability. Relative paths resolve against each worker's
+	// cwd, so spawned deployments should use absolute paths.
+	DataDir string `json:"data_dir,omitempty"`
+	// Fsync selects the WAL sync policy: "commit" (default — fsync
+	// before any derived datagram leaves, so a crash cannot have
+	// advertised state it will not remember), "interval" (periodic
+	// background sync), or "none" (OS page cache only).
+	Fsync string `json:"fsync,omitempty"`
+	// SnapshotBytes rolls a node's WAL into a fresh snapshot once the
+	// log outgrows this many bytes. 0 means the durable package default;
+	// negative disables snapshotting (the WAL grows unbounded).
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+}
+
+// Durable converts the manifest's durability stanza to the durable
+// package's options. An empty returned dir means durability is off.
+func (o Options) Durable() (string, durable.Options, error) {
+	d := durable.Options{SnapshotBytes: o.SnapshotBytes}
+	switch o.Fsync {
+	case "", "commit":
+		d.Sync = durable.SyncCommit
+	case "interval":
+		d.Sync = durable.SyncInterval
+	case "none":
+		d.Sync = durable.SyncNone
+	default:
+		return "", durable.Options{}, fmt.Errorf("unknown fsync policy %q (want commit, interval, or none)", o.Fsync)
+	}
+	return o.DataDir, d, nil
 }
 
 // Engine converts the manifest options to engine options.
@@ -73,11 +107,16 @@ type ShardSpec struct {
 	// ID is the shard's identity, unique within the manifest.
 	ID int `json:"id"`
 	// Nodes maps each hosted NDlog node ID to its UDP bind address.
-	// "" binds an ephemeral localhost port, resolved at startup through
-	// the coordinator handshake; a "host:port" string pins the socket
-	// for static multi-machine deployments, where peers can be reached
-	// without a handshake at all.
+	// "" binds an ephemeral port (on Host, or loopback), resolved at
+	// startup through the coordinator handshake; a "host:port" string
+	// pins the socket for static multi-machine deployments, where peers
+	// can be reached without a handshake at all.
 	Nodes map[string]string `json:"nodes"`
+	// Host is the bind host for the shard's ephemeral node sockets (the
+	// "" entries in Nodes): loopback when empty, a LAN interface address
+	// when the shard must be reachable from other machines without
+	// pinning every node's port.
+	Host string `json:"host,omitempty"`
 }
 
 // NodeIDs returns the shard's node IDs, sorted.
@@ -141,6 +180,9 @@ func (m *Manifest) Validate() error {
 	}
 	if m.Source == "" && m.Program == "" {
 		return fmt.Errorf("neither source nor program set")
+	}
+	if _, _, err := m.Options.Durable(); err != nil {
+		return err
 	}
 	ids := map[int]bool{}
 	owner := map[string]int{}

@@ -1,0 +1,328 @@
+package shard
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// gatherKeys collects the deployment's shortestPath keys, sorted.
+func gatherKeys(t *testing.T, coord *Coordinator) []string {
+	t.Helper()
+	tuples, err := coord.Tuples("shortestPath", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(tuples))
+	for _, tu := range tuples {
+		keys = append(keys, tu.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestCrashRecovery is the durability acceptance test: a worker process
+// is kill -9'd mid-deployment and respawned warm from its WAL +
+// snapshot directory; the fleet must detect the death, fence the dead
+// sockets under a new epoch, rebuild the cross-node derived state with
+// targeted rederivation sweeps, and reach the fixpoint byte-identical
+// to the centralized evaluator — with no coordinator reseed anywhere.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash e2e skipped in -short mode")
+	}
+	src := figure2Source()
+	want := centralGroundTruth(t, src)
+
+	dataDir := filepath.Join(t.TempDir(), "data")
+	m := &Manifest{
+		Source:  src,
+		Options: Options{AggSel: true, DataDir: dataDir},
+		Shards:  Partition([]string{"a", "b", "c", "d", "e"}, 3),
+	}
+	manifestPath := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Save(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	build := func(shardID int) *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), WorkerEnv(manifestPath, shardID, coord.ControlAddr())...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+	if err := coord.Spawn(build); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.WaitReady(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Converge once so the WALs hold real state before the crash.
+	var got []string
+	for attempt := 0; attempt < 4; attempt++ {
+		if !coord.WaitQuiescent(400*time.Millisecond, 30*time.Second) {
+			t.Fatal("deployment did not quiesce before crash")
+		}
+		got = gatherKeys(t, coord)
+		if equalStrings(got, want) {
+			break
+		}
+		if _, err := coord.RecoverLoss(400*time.Millisecond, 30*time.Second); err != nil {
+			t.Fatalf("pre-crash loss recovery: %v", err)
+		}
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("no pre-crash fixpoint:\n got %v\nwant %v", got, want)
+	}
+
+	// kill -9 one worker: no bye, no flush beyond what WAL-before-wire
+	// already guaranteed, sockets drop mid-epoch.
+	victim := coord.Owner("c")
+	if err := syscall.Kill(coord.cmds[victim].Process.Pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	// Liveness detection: the victim's idle reports stop.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		dead := coord.DeadWorkers(400 * time.Millisecond)
+		if len(dead) == 1 && dead[0] == victim {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim %d not detected dead (got %v)", victim, dead)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Respawn warm from <dataDir>/shard-<victim>: snapshot + WAL replay,
+	// epoch cutover, rederivation sweeps, ledger rebaseline.
+	if err := coord.Respawn(victim, build, 400*time.Millisecond, 60*time.Second); err != nil {
+		t.Fatalf("respawn: %v", err)
+	}
+	if got := coord.Epoch(); got != 2 {
+		t.Errorf("epoch after respawn = %d, want 2", got)
+	}
+
+	// The fleet must reach the central fixpoint again without a reseed —
+	// the recovery path, not a fleet-wide restart, is under test.
+	for attempt := 0; attempt < 4; attempt++ {
+		if !coord.WaitQuiescent(400*time.Millisecond, 30*time.Second) {
+			t.Fatal("deployment did not quiesce after respawn")
+		}
+		got = gatherKeys(t, coord)
+		if equalStrings(got, want) {
+			break
+		}
+		if _, err := coord.RecoverLoss(400*time.Millisecond, 30*time.Second); err != nil {
+			t.Fatalf("post-crash loss recovery: %v", err)
+		}
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("fixpoint mismatch after crash recovery:\n got %v\nwant %v", got, want)
+	}
+
+	// Ledger-consistent rejoin: with the crash window's loss folded into
+	// the slack, sent==recv accounting balances again.
+	if !coord.LedgerBalanced() {
+		t.Error("ledger not rebaselined after respawn")
+	}
+
+	if err := coord.Shutdown(15 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestLossAdaptiveRecovery covers the loss-adaptive recovery path with
+// goroutine workers: injected datagram loss leaves specific shards'
+// receive ledgers short, RecoverLoss identifies exactly those shards
+// from the per-destination sent tallies, recovers them with a targeted
+// seed + rederivation sweep (no fleet-wide reseed), and folds the
+// measured deficit into the ledger slack — after which, unlike the
+// Reseed path, the ledger balances again.
+func TestLossAdaptiveRecovery(t *testing.T) {
+	src := strings.ReplaceAll(figure2Source(), ", infinity, infinity,", ", 3600, infinity,")
+	if src == figure2Source() {
+		t.Fatal("soft-state rewrite did not apply")
+	}
+	want := centralGroundTruth(t, src)
+
+	m := &Manifest{
+		Source:  src,
+		Options: Options{AggSel: true, LossFirst: 3},
+		Shards:  Partition([]string{"a", "b", "c", "d", "e"}, 2),
+	}
+	coord, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	done := make(chan error, len(m.Shards))
+	for i := range m.Shards {
+		id := m.Shards[i].ID
+		go func() {
+			done <- RunWorker(WorkerConfig{Manifest: m, ShardID: id, Coord: coord.ControlAddr()})
+		}()
+	}
+	if err := coord.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !coord.WaitQuiescent(300*time.Millisecond, 30*time.Second) {
+		t.Fatal("quiescence not reached despite the loss fallback")
+	}
+	if coord.LedgerBalanced() {
+		t.Fatal("ledger balanced despite injected loss")
+	}
+
+	// First recovery must attribute the injected loss to real victims.
+	short, err := coord.RecoverLoss(300*time.Millisecond, 30*time.Second)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(short) == 0 {
+		t.Fatal("no short shards found despite injected loss")
+	}
+	t.Logf("loss attributed to shards %v", short)
+
+	var got []string
+	for attempt := 0; attempt < 6; attempt++ {
+		if !coord.WaitQuiescent(300*time.Millisecond, 20*time.Second) {
+			t.Fatal("re-quiescence failed after recovery")
+		}
+		got = gatherKeys(t, coord)
+		if equalStrings(got, want) {
+			break
+		}
+		if _, err := coord.RecoverLoss(300*time.Millisecond, 30*time.Second); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("targeted recovery did not reach the fixpoint:\n got %v\nwant %v", got, want)
+	}
+	// The rebaseline is the contrast with the Reseed path: the measured
+	// deficit folded into the slack, so the ledger balances again.
+	if !coord.LedgerBalanced() {
+		t.Error("ledger still unbalanced after loss-adaptive recovery")
+	}
+	// A stable fleet with its loss accounted for has nothing to recover.
+	if again, err := coord.RecoverLoss(300*time.Millisecond, 20*time.Second); err != nil || len(again) != 0 {
+		t.Errorf("idempotence: second recovery = %v, %v", again, err)
+	}
+
+	if err := coord.Shutdown(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for range m.Shards {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not exit after stop")
+		}
+	}
+}
+
+// TestDurableRebalanceInProcess drives a live migration on a durable
+// deployment: the moved node's state ships as a snapshot+WAL bundle,
+// both shards' persisted node sets follow the move (so a crashed worker
+// respawns with post-migration ownership), and the fixpoint still
+// matches the centralized ground truth.
+func TestDurableRebalanceInProcess(t *testing.T) {
+	src := figure2Source()
+	want := centralGroundTruth(t, src)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	m := &Manifest{
+		Source:  src,
+		Options: Options{AggSel: true, DataDir: dataDir},
+		Shards:  Partition([]string{"a", "b", "c", "d", "e"}, 2),
+	}
+	coord, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	done := make(chan error, len(m.Shards))
+	for i := range m.Shards {
+		id := m.Shards[i].ID
+		go func() {
+			done <- RunWorker(WorkerConfig{Manifest: m, ShardID: id, Coord: coord.ControlAddr()})
+		}()
+	}
+	if err := coord.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	from := coord.Owner("a")
+	to := 1 - from
+	rep, err := coord.Rebalance([]Migration{{Node: "a", To: to}}, 300*time.Millisecond, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("durable migration a: shard %d -> %d, pause %v, %d state bytes",
+		from, to, rep.Pause, rep.StateBytes)
+	if rep.StateBytes <= 0 {
+		t.Errorf("degenerate report: %+v", rep)
+	}
+
+	var got []string
+	for attempt := 0; attempt < 4; attempt++ {
+		if !coord.WaitQuiescent(300*time.Millisecond, 20*time.Second) {
+			t.Fatal("deployment did not quiesce after migration")
+		}
+		got = gatherKeys(t, coord)
+		if equalStrings(got, want) {
+			break
+		}
+		if _, err := coord.RecoverLoss(300*time.Millisecond, 30*time.Second); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("fixpoint mismatch after durable migration:\n got %v\nwant %v", got, want)
+	}
+
+	// The persisted node sets follow the move: a respawn of either shard
+	// would recover post-migration ownership.
+	fromNodes, err := loadNodeSet(filepath.Join(dataDir, "shard-"+string(rune('0'+from))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	toNodes, err := loadNodeSet(filepath.Join(dataDir, "shard-"+string(rune('0'+to))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, still := fromNodes["a"]; still {
+		t.Errorf("shard %d still persists node a: %v", from, fromNodes)
+	}
+	if _, moved := toNodes["a"]; !moved {
+		t.Errorf("shard %d does not persist node a: %v", to, toNodes)
+	}
+
+	if err := coord.Shutdown(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for range m.Shards {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not exit after stop")
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ndlog/internal/durable"
 	"ndlog/internal/engine"
 	"ndlog/internal/val"
 )
@@ -42,10 +43,11 @@ func TestPartitionDeterministicAndBalanced(t *testing.T) {
 
 func TestManifestRoundTripAndValidate(t *testing.T) {
 	m := &Manifest{
-		Source:  "sp path(...) :- link(...).",
-		Options: Options{Mode: "bsn", AggSel: true, AggSelPeriod: 0.5},
+		Source: "sp path(...) :- link(...).",
+		Options: Options{Mode: "bsn", AggSel: true, AggSelPeriod: 0.5,
+			DataDir: "/var/lib/ndlog", Fsync: "interval", SnapshotBytes: 1 << 20},
 		Shards: []ShardSpec{
-			{ID: 0, Nodes: map[string]string{"a": "", "b": "127.0.0.1:7001"}},
+			{ID: 0, Nodes: map[string]string{"a": "", "b": "127.0.0.1:7001"}, Host: "127.0.0.1"},
 			{ID: 1, Nodes: map[string]string{"c": ""}},
 		},
 	}
@@ -89,6 +91,21 @@ func TestManifestRoundTripAndValidate(t *testing.T) {
 	if _, err := (Options{Mode: "warp"}).Engine(); err == nil {
 		t.Error("bad mode accepted")
 	}
+
+	// Durability stanza: policy names map to durable sync modes, and an
+	// unknown policy is rejected at Validate time, not at worker startup.
+	dir, dopts, err := got.Options.Durable()
+	if err != nil || dir != "/var/lib/ndlog" || dopts.Sync != durable.SyncInterval || dopts.SnapshotBytes != 1<<20 {
+		t.Errorf("durable options: dir=%q opts=%+v err=%v", dir, dopts, err)
+	}
+	if _, d, err := (Options{}).Durable(); err != nil || d.Sync != durable.SyncCommit {
+		t.Errorf("default durable options: %+v err=%v", d, err)
+	}
+	badFsync := &Manifest{Source: "x", Options: Options{Fsync: "eventually"},
+		Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}}}
+	if err := badFsync.Validate(); err == nil {
+		t.Error("bad fsync policy validated")
+	}
 }
 
 func TestControlFrameRoundTrip(t *testing.T) {
@@ -116,6 +133,12 @@ func TestControlFrameRoundTrip(t *testing.T) {
 		{kind: kindAdopted, shard: 2, req: 12, node: "c", addr: "127.0.0.1:9"},
 		{kind: kindResume, epoch: 3, nodes: []string{"c", "d"}},
 		{kind: kindResumed, shard: 2, epoch: 3},
+		{kind: kindIdle, shard: 1, epoch: 4, seq: 3, activity: 8,
+			stats:  netStats{SentMessages: 7, RecvMessages: 7},
+			sentTo: map[string]int64{"a": 3, "b": 4}},
+		{kind: kindRederive, req: 13, epoch: 3, nodes: []string{"b", "c"}},
+		{kind: kindRederive, req: 14, epoch: 3}, // no nodes: a no-op sweep
+		{kind: kindRederived, shard: 1, req: 13},
 	}
 	for _, f := range frames {
 		b := encodeFrame(f)
@@ -137,6 +160,9 @@ func TestControlFrameRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(got.nodes, f.nodes) {
 			t.Errorf("%#x: nodes mismatch: %v vs %v", f.kind, got.nodes, f.nodes)
 		}
+		if !reflect.DeepEqual(got.sentTo, f.sentTo) {
+			t.Errorf("%#x: sentTo mismatch: %v vs %v", f.kind, got.sentTo, f.sentTo)
+		}
 		if len(got.blob) != len(f.blob) || (len(f.blob) > 0 && !reflect.DeepEqual(got.blob, f.blob)) {
 			t.Errorf("%#x: blob mismatch: %v vs %v", f.kind, got.blob, f.blob)
 		}
@@ -157,6 +183,21 @@ func TestControlFrameCorrupt(t *testing.T) {
 		// No proper prefix of a hello frame is itself a valid frame.
 		if _, err := decodeFrame(good[:cut]); err == nil {
 			t.Errorf("truncated frame at %d decoded", cut)
+		}
+	}
+	// Same for an idle frame carrying the per-destination tally block.
+	idle := encodeFrame(frame{kind: kindIdle, shard: 1, seq: 2, activity: 3,
+		sentTo: map[string]int64{"a": 1, "b": 2}})
+	for cut := 0; cut < len(idle); cut++ {
+		if _, err := decodeFrame(idle[:cut]); err == nil {
+			t.Errorf("truncated idle frame at %d decoded", cut)
+		}
+	}
+	// And a rederive frame whose node list is cut short.
+	red := encodeFrame(frame{kind: kindRederive, req: 1, epoch: 1, nodes: []string{"long-node-name"}})
+	for cut := 0; cut < len(red); cut++ {
+		if _, err := decodeFrame(red[:cut]); err == nil {
+			t.Errorf("truncated rederive frame at %d decoded", cut)
 		}
 	}
 	if _, err := decodeFrame([]byte{0x7f}); err == nil {

@@ -1,9 +1,11 @@
 package shard
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -71,11 +73,47 @@ func RunWorker(cfg WorkerConfig) error {
 	if err != nil {
 		return err
 	}
-	r, err := netrun.NewSharded(prog, spec.Nodes, opts)
+	dataDir, durOpts, err := m.Options.Durable()
+	if err != nil {
+		return err
+	}
+	shardDir := ""
+	// A copy: adopt/release mutate the worker's node set, and the
+	// manifest is shared (read-only after Validate).
+	nodes := make(map[string]string, len(spec.Nodes))
+	for id, addr := range spec.Nodes {
+		nodes[id] = addr
+	}
+	if dataDir != "" {
+		shardDir = filepath.Join(dataDir, fmt.Sprintf("shard-%d", spec.ID))
+		saved, err := loadNodeSet(shardDir)
+		if err != nil {
+			return err
+		}
+		if saved != nil {
+			// A previous incarnation ran here: its persisted node set —
+			// not the manifest's partition, stale after any rebalance —
+			// names the durable stores to recover.
+			nodes = saved
+		}
+	}
+	r, err := netrun.NewShardedHost(prog, nodes, spec.Host, opts)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
+	if shardDir != "" {
+		warm, err := r.EnableDurability(shardDir, durOpts)
+		if err != nil {
+			return err
+		}
+		if err := saveNodeSet(shardDir, nodes); err != nil {
+			return err
+		}
+		if warm > 0 {
+			cfg.logf("shard %d: recovered %d warm nodes from %s", spec.ID, warm, shardDir)
+		}
+	}
 	if m.Options.LossFirst > 0 {
 		r.InjectLoss(int64(m.Options.LossFirst))
 	}
@@ -133,13 +171,48 @@ func RunWorker(cfg WorkerConfig) error {
 
 	w := &worker{
 		cfg: cfg, spec: spec, runner: r, ctl: ctl, coord: coordAddr,
+		shardDir:     shardDir,
+		nodes:        nodes,
 		releaseCache: map[uint64][]byte{},
 		lastExport:   map[string][]byte{},
 		adoptBuf:     map[uint64][][]byte{},
 		adoptDone:    map[uint64]string{},
 		stash:        map[string][]byte{},
+		rederived:    map[uint64]bool{},
 	}
 	return w.run()
+}
+
+// loadNodeSet reads the node set a previous incarnation of this shard
+// persisted next to its durable stores; nil when none exists yet.
+func loadNodeSet(dir string) (map[string]string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "nodes.json"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var nodes map[string]string
+	if err := json.Unmarshal(b, &nodes); err != nil {
+		return nil, fmt.Errorf("shard: corrupt node set %s: %w", filepath.Join(dir, "nodes.json"), err)
+	}
+	return nodes, nil
+}
+
+// saveNodeSet atomically persists the shard's current node → bind-addr
+// map, so a respawn after a rebalance rebinds the nodes this shard
+// actually hosts.
+func saveNodeSet(dir string, nodes map[string]string) error {
+	b, err := json.MarshalIndent(nodes, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "nodes.json.tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "nodes.json"))
 }
 
 // worker is the control-plane state of one shard process.
@@ -152,6 +225,13 @@ type worker struct {
 
 	seq   uint64 // idle report sequence
 	epoch uint64 // membership epoch of the installed book
+
+	// shardDir is the shard's durable data directory ("" without
+	// durability); nodes is the current node → bind-addr set, persisted
+	// there as nodes.json on every adopt/release so a respawn rebinds
+	// what this shard actually hosts.
+	shardDir string
+	nodes    map[string]string
 
 	// Rebalance state. releaseCache holds exported node states by
 	// release request id, so a retried release (our state frames were
@@ -170,6 +250,10 @@ type worker struct {
 	adoptBuf     map[uint64][][]byte
 	adoptDone    map[uint64]string
 	stash        map[string][]byte
+	// rederived remembers completed rederivation sweeps by request id,
+	// so a retried rederive re-acks instead of re-inflating counts.
+	// Pruned at epoch cutover like the other request-keyed maps.
+	rederived map[uint64]bool
 }
 
 func (w *worker) send(f frame) {
@@ -191,12 +275,29 @@ func (w *worker) read(buf []byte) (frame, bool) {
 	return f, true
 }
 
+// localBook maps this worker's hosted nodes to their data addresses —
+// from the runner, not the manifest: after a rebalance or a durable
+// respawn the hosted set is the persisted one, and every respawn binds
+// fresh ephemeral ports.
 func (w *worker) localBook() map[string]string {
 	book := map[string]string{}
-	for _, id := range w.spec.NodeIDs() {
+	for _, id := range w.runner.LocalIDs() {
 		book[id] = w.runner.Addr(id).String()
 	}
 	return book
+}
+
+// saveNodes persists the current node set; a failure is logged, not
+// fatal — the data path keeps serving, and the stale file costs at
+// worst a failed recovery that the coordinator handles like any dead
+// worker.
+func (w *worker) saveNodes() {
+	if w.shardDir == "" {
+		return
+	}
+	if err := saveNodeSet(w.shardDir, w.nodes); err != nil {
+		w.cfg.logf("shard %d: persist node set: %v", w.spec.ID, err)
+	}
 }
 
 func (w *worker) run() error {
@@ -327,6 +428,33 @@ func (w *worker) run() error {
 			// counts inflate on retries, like any reseed.
 			w.runner.RederiveFor(f.nodes)
 			w.send(frame{kind: kindResumed, shard: w.spec.ID, epoch: w.epoch})
+		case kindRederive:
+			// Crash/loss recovery: re-send the derivations homed at the
+			// listed nodes. Epoch-fenced (the coordinator issues these
+			// after a cutover) and deduplicated by request id — a retry
+			// whose ack was lost re-acks without re-inflating counts.
+			if f.epoch != w.epoch {
+				break
+			}
+			if !w.rederived[f.req] {
+				w.rederived[f.req] = true
+				w.runner.RederiveFor(f.nodes)
+				// A fleet-wide sweep skips sources that are themselves
+				// targets, which silences exactly the co-resident sweeps a
+				// crashed shard needs (all its nodes are targets at once).
+				// Sweep locally hosted targets one by one so siblings
+				// rebuild each other's inbound views.
+				local := map[string]bool{}
+				for _, id := range w.runner.LocalIDs() {
+					local[id] = true
+				}
+				for _, n := range f.nodes {
+					if local[n] {
+						w.runner.RederiveFor([]string{n})
+					}
+				}
+			}
+			w.send(frame{kind: kindRederived, shard: w.spec.ID, req: f.req})
 		case kindStop:
 			s := w.runner.Stats()
 			w.send(frame{kind: kindBye, shard: w.spec.ID, stats: netStats(s)})
@@ -361,6 +489,7 @@ func (w *worker) installBook(f frame) error {
 		w.releaseCache = map[uint64][]byte{}
 		w.adoptBuf = map[uint64][][]byte{}
 		w.adoptDone = map[uint64]string{}
+		w.rederived = map[uint64]bool{}
 	}
 	w.runner.SetEpoch(f.epoch)
 	w.epoch = f.epoch
@@ -383,13 +512,19 @@ func (w *worker) handleRelease(f frame) {
 	}
 	blob, ok := w.releaseCache[f.req]
 	if !ok {
-		if exported, err := w.runner.ExportNode(f.node); err == nil {
+		// ExportBundle ships the durable snapshot + WAL tail when the
+		// node has a store (no full state re-encode on the pause path)
+		// and falls back to a bare state export without one; ImportNode
+		// on the adopting side accepts either.
+		if exported, err := w.runner.ExportBundle(f.node); err == nil {
 			if err := w.runner.RemoveNode(f.node); err != nil {
 				w.cfg.logf("shard %d: release %s: %v", w.spec.ID, f.node, err)
 				return
 			}
 			blob = exported
 			w.lastExport[f.node] = exported
+			delete(w.nodes, f.node)
+			w.saveNodes()
 			w.cfg.logf("shard %d: released node %s (%d bytes of state)", w.spec.ID, f.node, len(blob))
 		} else if prev, held := w.lastExport[f.node]; held {
 			blob = prev // already released; serve the retained snapshot
@@ -448,6 +583,8 @@ func (w *worker) handleAdopt(f frame) error {
 		// The node is back (or new) here: any snapshot retained from a
 		// past release of it is superseded.
 		delete(w.lastExport, f.node)
+		w.nodes[f.node] = ""
+		w.saveNodes()
 		w.cfg.logf("shard %d: adopted node %s (%d bytes of state)", w.spec.ID, f.node, len(blob))
 	}
 	// AddNode error means the node is already hosted (a duplicate adopt
@@ -485,6 +622,7 @@ func (w *worker) sendIdle() {
 		seq:      w.seq,
 		activity: w.runner.Activity(),
 		stats:    netStats(w.runner.Stats()),
+		sentTo:   w.runner.SentTo(),
 	})
 }
 
