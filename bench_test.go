@@ -6,6 +6,7 @@
 package ndlog_test
 
 import (
+	"fmt"
 	"testing"
 
 	"ndlog/internal/engine"
@@ -260,6 +261,68 @@ r2 reach(@S,@D) :- #edge(@S,@Z), reach(@Z,@D).
 					if j+3 < 30 {
 						c.Insert(tupleEdge(j, j+3))
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCentralEvalParallelism measures the centralized evaluator's
+// intra-node worker pool: the same batched transitive-closure fixpoint
+// at Parallelism 1 (sequential semi-naïve rounds) and 4 (rule strands
+// over each round's inserts fan out across workers sharing a
+// concurrent interner). Run with -cpu 1,4 to vary GOMAXPROCS; on a
+// single-core host the p4 row documents coordination overhead, which
+// is the honest number there.
+func BenchmarkCentralEvalParallelism(b *testing.B) {
+	src := `
+materialize(edge, infinity, infinity, keys(1,2)).
+r1 reach(@S,@D) :- #edge(@S,@D).
+r2 reach(@S,@D) :- #edge(@S,@Z), reach(@Z,@D).
+`
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prog, err := parser.Parse(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := engine.NewCentral(prog, engine.Options{Mode: engine.SN, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// One batched fixpoint over a 60-node DAG chain with
+				// shortcuts: big rounds, so the pool has work per round.
+				for j := 0; j < 59; j++ {
+					c.Node().Push(engine.Insert(tupleEdge(j, j+1)))
+					if j+3 < 60 {
+						c.Node().Push(engine.Insert(tupleEdge(j, j+3)))
+					}
+				}
+				c.Fixpoint()
+				if n := len(c.Tuples("reach")); n == 0 {
+					b.Fatal("empty fixpoint")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExecutor measures wall-clock convergence of the
+// in-process parallel executor on the Figure 7 workload (all-pairs
+// shortest path over the small overlay) at 1 and 4 workers. Run with
+// -cpu 1,4 to vary GOMAXPROCS alongside the pool size.
+func BenchmarkParallelExecutor(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunParallel(experiments.Small(), []int{w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows[0].Missing != 0 || rows[0].Wrong != 0 || rows[0].Undelivers != 0 {
+					b.Fatalf("row %+v", rows[0])
 				}
 			}
 		})

@@ -11,12 +11,15 @@
 //	ndbench -fig 12
 //	ndbench -fig 13 -fig 14
 //	ndbench -all -small       # everything, scaled-down topology
+//	ndbench -parallel 1,2,4   # multi-core scaling rows (wall-clock)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"ndlog/internal/experiments"
 )
@@ -47,6 +50,7 @@ func main() {
 	horizon := flag.Float64("horizon", 100, "update-run horizon (s), figures 13/14")
 	hybrid := flag.Bool("hybrid", false, "run the Section 5.3 TD/BU/hybrid cost analysis")
 	hybridPairs := flag.Int("hybrid-pairs", 200, "pair sample size for -hybrid")
+	parallel := flag.String("parallel", "", "run the multi-core scaling rows at these comma-separated worker counts, e.g. 1,2,4 (wall-clock, real cores)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -64,7 +68,7 @@ func main() {
 			want[f] = true
 		}
 	}
-	if len(want) == 0 && !*hybrid {
+	if len(want) == 0 && !*hybrid && *parallel == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -130,6 +134,22 @@ func main() {
 	}
 	if *hybrid {
 		fmt.Print(experiments.FormatHybrid(experiments.RunHybrid(cfg, *hybridPairs)))
+		fmt.Println()
+	}
+	if *parallel != "" {
+		var workers []int
+		for _, part := range strings.Split(*parallel, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fail(fmt.Errorf("bad -parallel worker count %q", part))
+			}
+			workers = append(workers, n)
+		}
+		rows, err := experiments.RunParallel(cfg, workers)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatParallel(rows))
 		fmt.Println()
 	}
 }

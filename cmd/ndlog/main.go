@@ -2,13 +2,16 @@
 // program at a single site (centralized); with -dist it deploys one
 // runtime per address mentioned in the program's facts over the
 // discrete-event simulator, connecting nodes according to the link
-// facts; with -shards N it deploys the same population as N real OS
-// processes exchanging tuples over loopback UDP (internal/shard).
+// facts; with -parallel N it runs the same population inside one
+// process with independent nodes drained concurrently by N workers;
+// with -shards N it deploys the population as N real OS processes
+// exchanging tuples over loopback UDP (internal/shard).
 //
 // Usage:
 //
 //	ndlog program.ndl                 # centralized evaluation
 //	ndlog -dist -latency 10ms prog.ndl
+//	ndlog -parallel 4 prog.ndl        # one runtime per node, 4 workers
 //	ndlog -shards 3 prog.ndl          # 3 worker processes over UDP
 //	ndlog -shards 3 -data ./state prog.ndl   # durable workers (WAL + snapshots)
 //	ndlog -dump path,shortestPath prog.ndl
@@ -43,6 +46,7 @@ func main() {
 	}
 
 	dist := flag.Bool("dist", false, "distributed execution over the simulator")
+	parallel := flag.Int("parallel", 0, "in-process parallel execution: one runtime per node address, drained concurrently by N workers (0: off; negative: GOMAXPROCS workers); with -shards, bounds each worker's per-node pool instead")
 	shards := flag.Int("shards", 0, "deploy as N OS processes over loopback UDP (0: off)")
 	migrate := flag.String("migrate", "", "with -shards: migrate nodes mid-run, e.g. 'c@1' or 'c@1,d@2' (node@target-shard)")
 	data := flag.String("data", "", "with -shards: persist worker state (WAL + snapshots) under this directory; workers respawn warm from it")
@@ -97,10 +101,32 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		results, cleanup, err = runSharded(string(src), prog, *shards, migs, *data, *aggsel, *arena, *idle, *timeout)
+		results, cleanup, err = runSharded(string(src), prog, *shards, migs, *data, *aggsel, *arena, max(*parallel, 0), *idle, *timeout)
 		if err != nil {
 			fail(err)
 		}
+	} else if *parallel != 0 {
+		// In-process parallel executor: one runtime per node address,
+		// independent nodes drained concurrently on a bounded worker pool
+		// sharing a concurrent interner. Real concurrency, no modeled
+		// latency — the multi-core counterpart of -dist.
+		if *parallel > 0 {
+			opts.Parallelism = *parallel
+		} // negative: leave 0, which resolves to GOMAXPROCS
+		p, err := engine.NewParallel(prog, opts)
+		if err != nil {
+			fail(err)
+		}
+		for _, id := range factAddresses(prog) {
+			p.AddNode(id)
+		}
+		start := time.Now()
+		if err := p.Run(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("// parallel: %d nodes, %d workers, %d undeliverable, converged in %.3fs\n",
+			len(p.Nodes()), p.Workers(), p.Undeliverable(), time.Since(start).Seconds())
+		results = p.Tuples
 	} else if *dist {
 		sim := simnet.New(1)
 		cl, err := engine.NewCluster(sim, prog, opts, engine.ClusterConfig{ProcDelay: 0.001})
@@ -181,7 +207,7 @@ func parseMigrations(spec string) ([]shard.Migration, error) {
 // waits for convergence, and returns a live gather function plus the
 // teardown. The manifest carries the program source inline so every
 // worker parses identical text.
-func runSharded(src string, prog *ast.Program, shards int, migs []shard.Migration, dataDir string, aggsel, arena bool, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
+func runSharded(src string, prog *ast.Program, shards int, migs []shard.Migration, dataDir string, aggsel, arena bool, parallel int, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
 	ids := factAddresses(prog)
 	if len(ids) == 0 {
 		return nil, nil, fmt.Errorf("no node addresses in program facts")
@@ -196,7 +222,7 @@ func runSharded(src string, prog *ast.Program, shards int, migs []shard.Migratio
 	}
 	m := &shard.Manifest{
 		Source:  src,
-		Options: shard.Options{AggSel: aggsel, ArenaIntern: arena, DataDir: dataDir},
+		Options: shard.Options{AggSel: aggsel, ArenaIntern: arena, DataDir: dataDir, Parallelism: parallel},
 		Shards:  shard.Partition(ids, shards),
 	}
 	dir, err := os.MkdirTemp("", "ndlog-shards-")

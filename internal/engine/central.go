@@ -18,12 +18,26 @@ type Central struct {
 // keeps one interner shared by every predicate and every evaluation
 // round: all derived, decoded, and stored tuples of the whole run
 // resolve to single canonical copies.
+//
+// With Options.Parallelism resolving above 1 (the default tracks
+// GOMAXPROCS), the node evaluates semi-naïve rounds and rederivation
+// sweeps on an intra-node worker pool — rule strands over the round's
+// accepted inserts run concurrently against a sharded concurrent
+// interner, with a barrier between rounds and derivations merged in
+// insert order, so the fixpoint is identical to a sequential run's.
+// PSN drains stay tuple-at-a-time (nothing to fan out); per-derivation
+// hooks (StrandFilter, OnDerive) or ArenaIntern force sequential
+// evaluation.
 func NewCentral(prog *ast.Program, opts Options) (*Central, error) {
 	p, err := compile(prog)
 	if err != nil {
 		return nil, err
 	}
-	n := newNode("central", p, opts)
+	var cfg nodeCfg
+	if w := opts.parallelism(); w > 1 && !opts.ArenaIntern {
+		cfg = nodeCfg{shared: val.NewConcurrentInterner(), innerPar: w}
+	}
+	n := newNodeCfg("central", p, opts, cfg)
 	n.central = true
 	return &Central{node: n, prog: p}, nil
 }

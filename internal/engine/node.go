@@ -2,7 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ndlog/internal/ast"
 	"ndlog/internal/funcs"
@@ -96,6 +99,36 @@ type Options struct {
 	// bounded anyway, and cross-drain sharing is worth more on most
 	// workloads.
 	ArenaIntern bool
+	// Parallelism bounds the evaluator's worker pool: the number of
+	// nodes the in-process Parallel executor drains concurrently, and
+	// the number of workers Central uses inside a semi-naïve round
+	// (per-insert rule strands run concurrently, with a barrier between
+	// rounds) and inside DRed/rederivation sweeps. 0 means GOMAXPROCS;
+	// 1 forces fully sequential evaluation. Per-node ownership is
+	// preserved at every setting: a node is owned by exactly one worker
+	// at a time, so Push/Drain need no locks of their own. The simnet
+	// Cluster ignores this knob — virtual time is single-threaded by
+	// construction.
+	Parallelism int
+}
+
+// Workers resolves the Parallelism option to the worker-pool size it
+// implies: 0 defaults to GOMAXPROCS, anything below 1 clamps to 1.
+// Exported for drivers (netrun, shard) that bound their own per-node
+// fan-out by the same knob.
+func (o Options) Workers() int { return o.parallelism() }
+
+// parallelism resolves the Parallelism option: 0 defaults to
+// GOMAXPROCS, anything below 1 clamps to 1.
+func (o Options) parallelism() int {
+	p := o.Parallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // Node is one NDlog runtime instance: the tables, aggregate state, and
@@ -145,9 +178,53 @@ type Node struct {
 	// downstream. arena, when ArenaIntern is set, replaces it as the
 	// tuple pool for decode, heads, and store pooling; Drain resets it
 	// (aggregate group keys still intern into in — they are long-lived
-	// regardless).
+	// regardless). Under the Parallel executor, in is a concurrent
+	// sharded interner shared by every node of the process.
 	in    *val.Interner
 	arena *val.Interner
+
+	// par, when non-nil, enables intra-node parallel evaluation: the
+	// normal (non-aggregate) strands of a semi-naïve round's accepted
+	// inserts run on a worker pool with per-worker join contexts, their
+	// derivations merged back in job order so the result is identical to
+	// the sequential walk; rederivation sweeps chunk the same way. Set
+	// only when the node's interner is concurrent (head resolution is
+	// the shared hot path) and no per-derivation hooks are installed.
+	par *nodePar
+}
+
+// nodeCfg carries the construction knobs newNode's callers thread in:
+// a process-shared concurrent interner, and the intra-node worker count.
+type nodeCfg struct {
+	// shared, when non-nil, becomes the node's interner instead of a
+	// private one. Sharing requires a concurrent interner (see
+	// val.NewConcurrentInterner).
+	shared *val.Interner
+	// innerPar > 1 enables parallel semi-naïve rounds and rederivation
+	// sweeps inside this node, with that many workers.
+	innerPar int
+}
+
+// nodePar is the intra-node worker-pool state: one join context per
+// worker (environment, trail, head buffer — everything a strand run
+// mutates), sharing the node's catalog, resolved handles, and
+// concurrent interner.
+type nodePar struct {
+	workers int
+	ctxs    []joinCtx
+	jobs    []parJob // reusable per-round job buffer
+}
+
+// parJob is one unit of a parallel round: the trigger tuple plus the
+// job-local derivation buffers the worker fills. Buffers are merged
+// into the node's queue/out in job order after the round's barrier, so
+// the queue a parallel round produces is a deterministic function of
+// the job list, independent of worker scheduling.
+type parJob struct {
+	t     val.Tuple
+	queue []Delta
+	out   []OutDelta
+	err   error
 }
 
 // OutDelta is a derived delta bound for another node, returned by
@@ -203,6 +280,11 @@ func projectVals(t val.Tuple, cols []int) []val.Value {
 
 // newNode builds a node for a compiled program.
 func newNode(id string, prog *program, opts Options) *Node {
+	return newNodeCfg(id, prog, opts, nodeCfg{})
+}
+
+// newNodeCfg is newNode with the executor-level construction knobs.
+func newNodeCfg(id string, prog *program, opts Options, cfg nodeCfg) *Node {
 	n := &Node{
 		id:   id,
 		prog: prog,
@@ -210,7 +292,10 @@ func newNode(id string, prog *program, opts Options) *Node {
 		cat:  table.NewCatalog(),
 		aggs: map[*ast.Rule]*aggState{},
 		sels: map[string][]*selControl{},
-		in:   val.NewInterner(),
+		in:   cfg.shared,
+	}
+	if n.in == nil {
+		n.in = val.NewInterner()
 	}
 	if opts.ArenaIntern {
 		n.arena = val.NewInterner()
@@ -281,6 +366,19 @@ func newNode(id string, prog *program, opts Options) *Node {
 				pending: map[uint64][][]val.Value{},
 			}
 			n.sels[sel.SrcPred] = append(n.sels[sel.SrcPred], ctrl)
+		}
+	}
+	if cfg.innerPar > 1 && n.in.Concurrent() && !opts.ArenaIntern {
+		// Per-derivation hooks observe evaluation order and run user
+		// code; a node with hooks stays sequential. The arena interner
+		// is single-owner, so arena mode stays sequential too.
+		if opts.StrandFilter == nil && opts.OnDerive == nil {
+			p := &nodePar{workers: cfg.innerPar, ctxs: make([]joinCtx, cfg.innerPar)}
+			for i := range p.ctxs {
+				p.ctxs[i] = joinCtx{cat: n.cat, res: n.res, in: n.in,
+					env: funcs.NewSlotEnv(prog.maxSlots)}
+			}
+			n.par = p
 		}
 	}
 	return n
@@ -368,6 +466,14 @@ func (n *Node) Drain() []OutDelta {
 	}
 	out := n.out
 	n.out = nil
+	// Stable-sort by destination: one drain's outbound batch becomes a
+	// deterministic function of the derivations alone (per-destination
+	// relative order preserved), so parallel executions that merge
+	// job-ordered derivation buffers produce byte-identical batches and
+	// drivers can group contiguous runs per destination without a map.
+	if len(out) > 1 {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+	}
 	if n.arena != nil {
 		// Per-drain arena mode: the pool from this drain is no longer
 		// needed once the queue is empty — stored rows own their tuples,
@@ -395,23 +501,97 @@ func (n *Node) drainSN() {
 		batch := n.queue
 		n.queue = nil
 
-		type accepted struct {
-			t     val.Tuple
-			stamp uint64
-		}
-		var inserts []accepted
+		var inserts []val.Tuple
 		for _, d := range batch {
 			n.journalDelta(d)
 			if d.Sign > 0 {
 				if t, ok := n.storeInsert(d.Tuple, n.iter); ok {
-					inserts = append(inserts, accepted{t: t, stamp: n.iter})
+					inserts = append(inserts, t)
 				}
 			} else {
 				n.processDelete(d.Tuple)
 			}
 		}
-		for _, in := range inserts {
-			n.afterInsert(in.t, in.stamp, int64(n.iter), int64(n.iter))
+		bound := int64(n.iter)
+		if n.par != nil && len(inserts) > 1 {
+			n.roundPar(inserts, bound)
+			continue
+		}
+		for _, t := range inserts {
+			n.afterInsert(t, n.iter, bound, bound)
+		}
+	}
+}
+
+// roundPar runs one semi-naïve round's post-insert work on the
+// intra-node worker pool. The mutating half stays sequential —
+// aggregate maintenance, advertisement decisions, Adv marking all
+// touch shared per-node state — then the advertised inserts' normal
+// strands (pure reads over tables frozen for the round) run
+// concurrently into job-local buffers. The round barrier (wg.Wait) and
+// the job-order merge make the resulting queue identical to the
+// sequential walk's up to the interleaving of derivations between
+// inserts, which the next round consumes as an unordered batch.
+func (n *Node) roundPar(inserts []val.Tuple, bound int64) {
+	jobs := n.par.jobs[:0]
+	for _, t := range inserts {
+		if n.afterInsertPre(t, bound, bound) {
+			n.markAdv(t)
+			jobs = append(jobs, parJob{t: t})
+		}
+	}
+	n.par.jobs = jobs
+	if len(jobs) == 0 {
+		return
+	}
+	workers := min(n.par.workers, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(ctx *joinCtx) {
+			defer wg.Done()
+			ctx.ltBefore, ctx.leAfter = bound, bound
+			ctx.deleted, ctx.deletedPred = nil, ""
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(jobs) {
+					return
+				}
+				n.runJob(ctx, &jobs[j])
+			}
+		}(&n.par.ctxs[i])
+	}
+	wg.Wait()
+	for i := range jobs {
+		jb := &jobs[i]
+		if jb.err != nil {
+			panic(fmt.Sprintf("engine: %v", jb.err))
+		}
+		n.queue = append(n.queue, jb.queue...)
+		n.out = append(n.out, jb.out...)
+	}
+}
+
+// runJob executes the non-aggregate trigger strands of one parallel
+// job into the job's buffers — the parallel counterpart of
+// runNormalStrands for insertions, hookless by the par gate.
+func (n *Node) runJob(ctx *joinCtx, jb *parJob) {
+	for _, st := range n.prog.strands[jb.t.Pred] {
+		if st.isAgg {
+			continue
+		}
+		err := st.run(ctx, jb.t, func(dr derived) {
+			d := Delta{Sign: +1, Tuple: dr.tuple}
+			if n.central || dr.loc == n.id {
+				jb.queue = append(jb.queue, d)
+			} else {
+				jb.out = append(jb.out, OutDelta{Dst: dr.loc, Delta: d})
+			}
+		})
+		if err != nil {
+			jb.err = fmt.Errorf("rule %s: %v", st.rule.Label, err)
+			return
 		}
 	}
 }
@@ -493,6 +673,19 @@ func (n *Node) processInsert(t val.Tuple) {
 // aggregate selections) the trigger strands for a newly stored tuple.
 // ltBefore/leAfter are the join stamp bounds (see joinCtx).
 func (n *Node) afterInsert(t val.Tuple, stamp uint64, ltBefore, leAfter int64) {
+	_ = stamp
+	if !n.afterInsertPre(t, ltBefore, leAfter) {
+		return
+	}
+	n.markAdv(t)
+	n.runNormalStrands(+1, t, ltBefore, leAfter, nil)
+}
+
+// afterInsertPre is the sequential half of post-insert processing:
+// store observation, aggregate maintenance, and the aggregate-selection
+// advertisement decision. It reports whether the tuple's normal trigger
+// strands should run (and be marked advertised).
+func (n *Node) afterInsertPre(t val.Tuple, ltBefore, leAfter int64) bool {
 	if n.opts.OnStore != nil {
 		n.opts.OnStore(n.id, Insert(t), n.now)
 	}
@@ -511,11 +704,7 @@ func (n *Node) afterInsert(t val.Tuple, stamp uint64, ltBefore, leAfter int64) {
 			advertise = improving
 		}
 	}
-	if !advertise {
-		return
-	}
-	n.markAdv(t)
-	n.runNormalStrands(+1, t, ltBefore, leAfter, nil)
+	return advertise
 }
 
 // refreshAdvertise re-runs the trigger strands of a refreshed

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/parser"
+	"ndlog/internal/programs"
+	"ndlog/internal/topology"
+)
+
+// ParallelRow is one worker-count's outcome in the multi-core scaling
+// experiment: the all-pairs shortest-path query on the experiment
+// overlay, run to fixpoint on the in-process parallel executor.
+type ParallelRow struct {
+	Workers    int
+	WallSec    float64
+	Speedup    float64 // vs the Workers=1 row
+	Tuples     int     // fixpoint size (shortestPath), identical across rows
+	Missing    int     // oracle pairs never answered (0 expected)
+	Wrong      int     // oracle pairs answered with a wrong cost
+	Undelivers int     // deltas routed to unknown nodes (0 expected)
+}
+
+// RunParallel measures wall-clock convergence of the in-process
+// parallel executor at each worker count, on the latency-metric
+// all-pairs shortest-path workload. Unlike the simulator figures this
+// is real time on real cores: on a single-core host the rows document
+// overhead rather than speedup, which is still the honest number.
+func RunParallel(cfg Config, workers []int) ([]ParallelRow, error) {
+	o := BuildOverlay(cfg)
+	m := topology.Latency
+	want := oracle(o, m)
+	var out []ParallelRow
+	for _, w := range workers {
+		prog, err := parser.Parse(programs.ShortestPath(""))
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range o.Links {
+			cost := l.Cost[m]
+			prog.Facts = append(prog.Facts,
+				programs.LinkFact(linkPred(""), string(l.A), string(l.B), cost),
+				programs.LinkFact(linkPred(""), string(l.B), string(l.A), cost))
+		}
+		p, err := engine.NewParallel(prog, engine.Options{AggSel: true, Parallelism: w})
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range o.Nodes {
+			p.AddNode(string(n))
+		}
+		start := time.Now()
+		if err := p.Run(); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+
+		got := map[string]float64{}
+		results := p.QueryResults()
+		for _, t := range results {
+			key := t.Fields[0].Addr() + "," + t.Fields[1].Addr()
+			got[key] = t.Fields[len(t.Fields)-1].Float()
+		}
+		missing, wrong := 0, 0
+		for k, wv := range want {
+			g, ok := got[k]
+			switch {
+			case !ok:
+				missing++
+			case g-wv > 1e-6 || wv-g > 1e-6:
+				wrong++
+			}
+		}
+		row := ParallelRow{
+			Workers:    p.Workers(),
+			WallSec:    wall,
+			Tuples:     len(results),
+			Missing:    missing,
+			Wrong:      wrong,
+			Undelivers: p.Undeliverable(),
+		}
+		if len(out) > 0 && wall > 0 {
+			row.Speedup = out[0].WallSec / wall
+		} else {
+			row.Speedup = 1
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatParallel renders the multi-core scaling table.
+func FormatParallel(rows []ParallelRow) string {
+	var b strings.Builder
+	b.WriteString("== Multi-core scaling: in-process parallel executor ==\n\n")
+	fmt.Fprintf(&b, "%8s %10s %8s %8s %8s %8s\n",
+		"workers", "wall(s)", "speedup", "tuples", "missing", "wrong")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %10.3f %7.2fx %8d %8d %8d\n",
+			r.Workers, r.WallSec, r.Speedup, r.Tuples, r.Missing, r.Wrong)
+	}
+	return b.String()
+}

@@ -17,6 +17,13 @@ import (
 type SlotEnv struct {
 	vals  []val.Value
 	bound []uint64
+	// args is the builtin-call argument arena: compiled calls push their
+	// evaluated arguments here (stack discipline, so nested calls
+	// compose) instead of keeping scratch on the shared compiled
+	// expression. Compiled programs are shared by every node — and, under
+	// parallel drains, by every worker — so the only per-evaluation
+	// mutable state lives in the environment, which is per-worker.
+	args []val.Value
 }
 
 // NewSlotEnv returns an environment with capacity for n slots, all
@@ -168,11 +175,6 @@ type cCall struct {
 	name string
 	fn   Builtin // resolved at compile time; nil falls back to Lookup
 	args []cexpr
-	// scratch backs the argument slice between calls; compiled
-	// expressions are evaluated by one single-threaded strand at a
-	// time, and builtins must not retain the args slice (the library's
-	// own builtins copy what they keep).
-	scratch []val.Value
 }
 
 func (c *cCall) eval(env *SlotEnv) (val.Value, error) {
@@ -187,16 +189,21 @@ func (c *cCall) eval(env *SlotEnv) (val.Value, error) {
 			return val.Nil, fmt.Errorf("%w: %s", ErrUnknownFunc, c.name)
 		}
 	}
-	args := c.scratch[:0]
+	// Arguments are evaluated into the environment's arena with stack
+	// discipline: nested calls grow past this call's mark and truncate
+	// back before fn sees its slice. Builtins must not retain the args
+	// slice (the library's own builtins copy what they keep).
+	mark := len(env.args)
 	for _, a := range c.args {
 		v, err := a.eval(env)
 		if err != nil {
+			env.args = env.args[:mark]
 			return val.Nil, err
 		}
-		args = append(args, v)
+		env.args = append(env.args, v)
 	}
-	c.scratch = args[:0]
-	v, err := fn(args)
+	v, err := fn(env.args[mark:])
+	env.args = env.args[:mark]
 	if err != nil {
 		return val.Nil, fmt.Errorf("%s: %w", c.name, err)
 	}
@@ -246,8 +253,7 @@ func compileExpr(e ast.Expr, slotOf func(string) (int, bool)) (cexpr, error) {
 		}
 		// Calls are never folded: Register may replace a builtin between
 		// compilation and evaluation.
-		return &cCall{name: x.Name, fn: fn, args: args,
-			scratch: make([]val.Value, 0, len(args))}, nil
+		return &cCall{name: x.Name, fn: fn, args: args}, nil
 	case *ast.Agg:
 		return nil, fmt.Errorf("%w: aggregate %s in scalar position", ErrType, x)
 	}

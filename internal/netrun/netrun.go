@@ -364,9 +364,9 @@ func (r *Runner) RederiveFor(migrated []string) {
 	for _, id := range migrated {
 		dsts[id] = true
 	}
-	for _, nn := range r.localNodes() {
+	r.forEachLocal(func(nn *netNode) {
 		if dsts[nn.id] {
-			continue
+			return
 		}
 		nn.mu.Lock()
 		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
@@ -374,11 +374,11 @@ func (r *Runner) RederiveFor(migrated []string) {
 		r.commitDurable(nn)
 		nn.mu.Unlock()
 		if len(outs) == 0 {
-			continue
+			return
 		}
 		r.activity.Add(1)
 		r.dispatch(nn, outs)
-	}
+	})
 }
 
 // SetEpoch installs the membership epoch stamped on outbound data
@@ -412,6 +412,43 @@ func (r *Runner) localNodes() []*netNode {
 		out = append(out, nn)
 	}
 	return out
+}
+
+// forEachLocal applies fn to every local node, fanning the walk out
+// across a bounded worker pool when Options.Parallelism resolves above
+// 1. Nodes are independent here: each has its own mutex, the address
+// book has its own lock, every traffic counter is atomic, and UDPConn
+// writes are safe concurrently — so fn bodies that lock the node,
+// drain, commit the WAL, and dispatch preserve WAL-before-wire per
+// node exactly as the sequential walk did.
+func (r *Runner) forEachLocal(fn func(*netNode)) {
+	nns := r.localNodes()
+	workers := r.opts.Workers()
+	if workers > len(nns) {
+		workers = len(nns)
+	}
+	if workers <= 1 {
+		for _, nn := range nns {
+			fn(nn)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(nns) {
+					return
+				}
+				fn(nns[j])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // SetRemote installs (or replaces) an address-book entry for a node
@@ -488,9 +525,10 @@ func (r *Runner) Start() {
 // again re-advertises the facts — the soft-state refresh story, and the
 // recovery path a control plane uses when datagrams were lost. Seeding
 // counts as activity, so an in-progress recovery holds off quiescence
-// detection.
+// detection. The per-node seed drains run on the runner's worker pool
+// (Options.Parallelism) — each node still drains under its own lock.
 func (r *Runner) Seed() {
-	for _, nn := range r.localNodes() {
+	r.forEachLocal(func(nn *netNode) {
 		nn.mu.Lock()
 		nn.node.SetNow(float64(time.Now().UnixNano()) / 1e9)
 		for _, f := range engine.HomeFacts(r.prog, nn.id) {
@@ -501,7 +539,7 @@ func (r *Runner) Seed() {
 		nn.mu.Unlock()
 		r.activity.Add(1)
 		r.dispatch(nn, outs)
-	}
+	})
 }
 
 // envMagic opens every data datagram: envelope := 0x7E epoch(uvarint)

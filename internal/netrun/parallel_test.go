@@ -1,0 +1,146 @@
+package netrun
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/engine"
+	"ndlog/internal/parser"
+	"ndlog/internal/programs"
+)
+
+// mustProg parses the shortest-path program with the Figure 2 links as
+// base facts.
+func mustProg(t *testing.T) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(programs.ShortestPath(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range figure2 {
+		prog.Facts = append(prog.Facts,
+			programs.LinkFact("link", l.a, l.b, l.cost),
+			programs.LinkFact("link", l.b, l.a, l.cost))
+	}
+	return prog
+}
+
+// TestParallelSeed runs the Figure 2 deployment with the parallelism
+// knob wide open: Seed drains every local node on a worker pool
+// instead of walking them sequentially. The fixpoint must be the same.
+func TestParallelSeed(t *testing.T) {
+	prog := mustProg(t)
+	r, err := New(prog, []string{"a", "b", "c", "d", "e"},
+		engine.Options{AggSel: true, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Start()
+	if !r.WaitQuiescent(300*time.Millisecond, 15*time.Second) {
+		t.Fatal("cluster did not go idle")
+	}
+	want := map[string]bool{
+		"shortestPath(a,b,[a,c,b],2)":     true,
+		"shortestPath(a,c,[a,c],1)":       true,
+		"shortestPath(e,d,[e,a,c,b,d],4)": true,
+	}
+	check := func() int {
+		got := map[string]bool{}
+		for _, k := range r.Tuples("shortestPath") {
+			got[k] = true
+		}
+		missing := 0
+		for k := range want {
+			if !got[k] {
+				missing++
+			}
+		}
+		return missing
+	}
+	for attempt := 0; attempt < 3 && check() > 0; attempt++ {
+		r.Seed() // datagram loss: refresh and retry
+		r.WaitQuiescent(300*time.Millisecond, 10*time.Second)
+	}
+	if n := check(); n > 0 {
+		t.Fatalf("%d known routes missing: %v", n, r.Tuples("shortestPath"))
+	}
+}
+
+// TestStatsHammer hammers the runner's observable counters — Stats,
+// SentTo, Activity, Bytes, Messages, LocalIDs, Tuples — from many
+// goroutines while parallel seeds, injections, and a migration-style
+// rederivation sweep generate traffic. Run under -race this proves the
+// recv/dropped/fenced counters and the per-destination sent ledger are
+// safe to read at any moment, which is what the shard control plane
+// does from its own goroutines.
+func TestStatsHammer(t *testing.T) {
+	prog := mustProg(t)
+	r, err := New(prog, []string{"a", "b", "c", "d", "e"},
+		engine.Options{AggSel: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Stats()
+				if s.SentMessages < 0 || s.RecvMessages < 0 {
+					t.Error("negative counter snapshot")
+					return
+				}
+				var total int64
+				for _, n := range r.SentTo() {
+					total += n
+				}
+				if total > s.SentMessages {
+					t.Errorf("per-destination tallies (%d) exceed total sent (%d)",
+						total, s.SentMessages)
+					return
+				}
+				_ = r.Activity()
+				_ = r.Bytes()
+				_ = r.Messages()
+				_ = r.LocalIDs()
+				_ = r.Tuples("shortestPath")
+			}
+		}()
+	}
+	// Writers: re-seed (parallel walk), inject link updates, and sweep
+	// rederivations while the readers spin.
+	for i := 0; i < 3; i++ {
+		r.Seed()
+		r.Inject("a", engine.Insert(programs.LinkFact("link", "a", "b", float64(2+i))))
+		r.RederiveFor([]string{"d"})
+	}
+	r.WaitQuiescent(200*time.Millisecond, 10*time.Second)
+	close(stop)
+	wg.Wait()
+
+	s := r.Stats()
+	if s.SentMessages == 0 || s.RecvMessages == 0 {
+		t.Errorf("expected traffic, got %+v", s)
+	}
+	var total int64
+	for _, n := range r.SentTo() {
+		total += n
+	}
+	if total != s.SentMessages {
+		t.Errorf("quiescent ledger mismatch: per-destination %d, total %d",
+			total, s.SentMessages)
+	}
+}

@@ -68,6 +68,11 @@ type Options struct {
 	// log outgrows this many bytes. 0 means the durable package default;
 	// negative disables snapshotting (the WAL grows unbounded).
 	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	// Parallelism bounds each worker's evaluation pool: how many of its
+	// local nodes seed and rederive concurrently (receive loops are
+	// already one goroutine per node). 0 means GOMAXPROCS, 1 forces
+	// sequential walks; negative values are rejected at validation.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Durable converts the manifest's durability stanza to the durable
@@ -99,6 +104,7 @@ func (o Options) Engine() (engine.Options, error) {
 		AggSelPreds:  o.AggSelPreds,
 		AggSelPeriod: o.AggSelPeriod,
 		ArenaIntern:  o.ArenaIntern,
+		Parallelism:  o.Parallelism,
 	}, nil
 }
 
@@ -183,6 +189,9 @@ func (m *Manifest) Validate() error {
 	}
 	if _, _, err := m.Options.Durable(); err != nil {
 		return err
+	}
+	if m.Options.Parallelism < 0 {
+		return fmt.Errorf("negative parallelism %d", m.Options.Parallelism)
 	}
 	ids := map[int]bool{}
 	owner := map[string]int{}

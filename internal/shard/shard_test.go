@@ -45,7 +45,8 @@ func TestManifestRoundTripAndValidate(t *testing.T) {
 	m := &Manifest{
 		Source: "sp path(...) :- link(...).",
 		Options: Options{Mode: "bsn", AggSel: true, AggSelPeriod: 0.5,
-			DataDir: "/var/lib/ndlog", Fsync: "interval", SnapshotBytes: 1 << 20},
+			DataDir: "/var/lib/ndlog", Fsync: "interval", SnapshotBytes: 1 << 20,
+			Parallelism: 4},
 		Shards: []ShardSpec{
 			{ID: 0, Nodes: map[string]string{"a": "", "b": "127.0.0.1:7001"}, Host: "127.0.0.1"},
 			{ID: 1, Nodes: map[string]string{"c": ""}},
@@ -75,6 +76,9 @@ func TestManifestRoundTripAndValidate(t *testing.T) {
 	if opts.Mode != engine.BSN || !opts.AggSel || opts.AggSelPeriod != 0.5 {
 		t.Errorf("engine options: %+v", opts)
 	}
+	if opts.Parallelism != 4 || opts.Workers() != 4 {
+		t.Errorf("parallelism not threaded through: %+v", opts)
+	}
 
 	bad := []*Manifest{
 		{Source: "x"}, // no shards
@@ -82,6 +86,8 @@ func TestManifestRoundTripAndValidate(t *testing.T) {
 		{Source: "x", Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}, {ID: 0, Nodes: map[string]string{"b": ""}}}}, // dup id
 		{Source: "x", Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}, {ID: 1, Nodes: map[string]string{"a": ""}}}}, // dup node
 		{Source: "x", Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{}}}},                                                    // empty shard
+		{Source: "x", Options: Options{Parallelism: -2},
+			Shards: []ShardSpec{{ID: 0, Nodes: map[string]string{"a": ""}}}}, // negative parallelism
 	}
 	for i, b := range bad {
 		if err := b.Validate(); err == nil {

@@ -63,6 +63,27 @@ func (h Hash64) AddString(s string) Hash64 {
 	return h
 }
 
+// AddBytes folds a byte slice exactly as AddString folds the equal
+// string, so routing and bucketing computed over wire views agree with
+// hashes computed over the retained strings.
+func (h Hash64) AddBytes(b []byte) Hash64 {
+	h = h.addUint64(uint64(len(b)))
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		x := uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 | uint64(b[i+3])<<24 |
+			uint64(b[i+4])<<32 | uint64(b[i+5])<<40 | uint64(b[i+6])<<48 | uint64(b[i+7])<<56
+		h = h.addUint64(x)
+	}
+	if i < len(b) {
+		var x uint64
+		for j := 0; i < len(b); i, j = i+1, j+8 {
+			x |= uint64(b[i]) << j
+		}
+		h = h.addUint64(x)
+	}
+	return h
+}
+
 // AddValue folds one value: kind tag, then the payload in its native
 // binary form (no decimal formatting).
 func (h Hash64) AddValue(v Value) Hash64 {

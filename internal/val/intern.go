@@ -1,5 +1,10 @@
 package val
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Interner resolves structurally-equal tuples (and the strings and list
 // values inside them) to single canonical objects, so that the same
 // logical fact materialized many times — decoded from successive wire
@@ -34,8 +39,11 @@ package val
 // the interner without bound, and an expired tuple's canonical row ages
 // out instead of dangling.
 //
-// An Interner is not safe for concurrent use; the engine keeps one per
-// node (nodes are single-threaded).
+// A plain Interner (NewInterner) is not safe for concurrent use; the
+// engine keeps one per node (each node is owned by one worker at a
+// time). NewConcurrentInterner returns a sharded variant whose
+// intern/resolve operations are safe from any number of goroutines —
+// see its doc for the sharding scheme and the decode-path caveat.
 type Interner struct {
 	limit int
 	cur   internGen
@@ -50,6 +58,18 @@ type Interner struct {
 	post func(uint64) uint64
 	// epoch counts generation flips (see Epoch).
 	epoch int
+	// conc, when non-nil, marks this interner as a concurrent façade:
+	// every intern/resolve operation routes — whole — into the shard
+	// selected by the operation's primary hash, under that shard's lock.
+	// The façade's own generations stay empty; its memo and post hook are
+	// never written, so computing routing keys through the façade is a
+	// read-only operation.
+	conc []concShard
+	// concEpoch aggregates generation flips across shards (façade only).
+	concEpoch atomic.Int64
+	// sharedEpoch points a shard at its façade's concEpoch so flips
+	// anywhere surface through the façade's Epoch().
+	sharedEpoch *atomic.Int64
 	// One-entry memo of the last list hashed by the list pool: tuple-key
 	// folds over the same canonical slice reuse the hash instead of
 	// re-folding every element (a decoded path vector is hashed once,
@@ -149,6 +169,65 @@ const DefaultInternLimit = 1 << 17
 // NewInterner returns an empty interner with the default size bound.
 func NewInterner() *Interner { return newInterner(DefaultInternLimit, nil) }
 
+// concShard is one lock-protected slice of a concurrent interner: a
+// plain Interner guarded by a mutex. Operations route by the top bits
+// of their primary hash, so independent keys contend only 1/nshards of
+// the time and the pointer-equality invariant holds globally — a tuple
+// key always lands in the same shard, so structurally-equal tuples
+// resolve to one canonical object no matter which worker interns them.
+type concShard struct {
+	mu sync.Mutex
+	in *Interner
+	// Pad each shard to a cache line (mutex 8B + pointer 8B + 48B) so
+	// uncontended locks on neighboring shards do not false-share.
+	_ [48]byte
+}
+
+// concShardBits sizes the shard array: 1<<concShardBits shards, routed
+// by the top concShardBits bits of the primary hash.
+const concShardBits = 5
+
+// NewConcurrentInterner returns an interner safe for concurrent
+// intern/resolve calls from any number of goroutines. It shards the
+// pool by hash: each operation computes its primary hash lock-free,
+// then executes entirely inside one mutex-guarded shard, so two workers
+// interning unrelated tuples almost never contend while two workers
+// interning the same tuple serialize and receive the same canonical
+// object (pointer equality survives concurrency).
+//
+// Lists referenced by tuples may be pooled in the tuple's shard rather
+// than the list hash's shard, so an identical list can hold canonical
+// copies in more than one shard; that duplicates a little memory but
+// never identity — tuple canonicalization is what equality fast paths
+// rely on, and tuples are globally unique.
+//
+// Caveat: the wire-decode entry points (DecodeTupleIn and friends) use
+// the receiver's scratch arena, which the façade owns unsynchronized.
+// Decoding through a concurrent interner is safe only when the decode
+// calls themselves are externally serialized (in-tree they are: netrun
+// decodes under per-node locks, and the in-process parallel executor
+// passes tuples by reference without re-encoding). Intern/Resolve/
+// InternValues/InternString need no external synchronization.
+func NewConcurrentInterner() *Interner {
+	const nshards = 1 << concShardBits
+	f := &Interner{conc: make([]concShard, nshards)}
+	for i := range f.conc {
+		s := newInterner(DefaultInternLimit/nshards, nil)
+		s.sharedEpoch = &f.concEpoch
+		f.conc[i].in = s
+	}
+	return f
+}
+
+// Concurrent reports whether in is a sharded façade safe for concurrent
+// intern/resolve use.
+func (in *Interner) Concurrent() bool { return in.conc != nil }
+
+// shard picks the shard owning primary hash h.
+func (in *Interner) shard(h uint64) *concShard {
+	return &in.conc[h>>(64-concShardBits)]
+}
+
 // newInterner exists so tests can shrink the bound and truncate the key
 // hash to force collision buckets.
 func newInterner(limit int, post func(uint64) uint64) *Interner {
@@ -234,12 +313,32 @@ func (in *Interner) listKey(raw uint64) uint64 {
 // Len returns the number of retained entries (tuples, list values and
 // strings) across both generations. Promoted entries appear in both, so
 // this is exact only while the interner has never flipped a generation.
-func (in *Interner) Len() int { return in.cur.n + in.old.n }
+func (in *Interner) Len() int {
+	if in.conc != nil {
+		n := 0
+		for i := range in.conc {
+			s := &in.conc[i]
+			s.mu.Lock()
+			n += s.in.Len()
+			s.mu.Unlock()
+		}
+		return n
+	}
+	return in.cur.n + in.old.n
+}
 
 // Reset drops every retained entry and the scratch arena. Safe at any
 // time: canonical objects referenced elsewhere stay alive, and future
 // interns mint fresh canonicals.
 func (in *Interner) Reset() {
+	if in.conc != nil {
+		for i := range in.conc {
+			s := &in.conc[i]
+			s.mu.Lock()
+			s.in.Reset()
+			s.mu.Unlock()
+		}
+	}
 	in.cur = internGen{}
 	in.old = internGen{}
 	in.scratch = in.scratch[:0]
@@ -253,13 +352,25 @@ func (in *Interner) flipIfFull() {
 		in.old = in.cur
 		in.cur = internGen{}
 		in.epoch++
+		if in.sharedEpoch != nil {
+			in.sharedEpoch.Add(1)
+		}
 	}
 }
 
-// Epoch counts generation flips. An entry interned two or more epochs
-// ago may have been evicted; callers caching "already pooled" state
-// (table rows) re-intern when the epoch has advanced that far.
-func (in *Interner) Epoch() int { return in.epoch }
+// Epoch counts generation flips — on a concurrent façade, across every
+// shard. An entry interned two or more epochs ago may have been
+// evicted; callers caching "already pooled" state (table rows)
+// re-intern when the epoch has advanced that far. (A concurrent façade
+// flips per shard, so one façade epoch evicts only 1/nshards of the
+// pool; the "two epochs ⇒ maybe evicted" contract still holds — it is
+// conservative in the sharded case.)
+func (in *Interner) Epoch() int {
+	if in.conc != nil {
+		return int(in.concEpoch.Load())
+	}
+	return in.epoch
+}
 
 // findTuple looks h up in both generations, promoting old-generation
 // hits so they survive the next flip.
@@ -295,6 +406,19 @@ func (in *Interner) Intern(t Tuple) Tuple {
 // HashPredicate), skipping the per-call predicate fold.
 func (in *Interner) InternH(ph Hash64, t Tuple) Tuple {
 	h := in.tupleKey(ph, t.Fields)
+	if in.conc != nil {
+		s := in.shard(h)
+		s.mu.Lock()
+		c := s.in.internKeyed(h, t)
+		s.mu.Unlock()
+		return c
+	}
+	return in.internKeyed(h, t)
+}
+
+// internKeyed is the InternH core under a precomputed tuple key; on a
+// concurrent interner it runs inside the owning shard's lock.
+func (in *Interner) internKeyed(h uint64, t Tuple) Tuple {
 	if c, ok := in.findTuple(h, t.Pred, t.Fields); ok {
 		return c
 	}
@@ -331,6 +455,17 @@ func (in *Interner) InternH(ph Hash64, t Tuple) Tuple {
 // pay an allocation for tuples never seen before.
 func (in *Interner) InternFields(pred string, fields []Value) Tuple {
 	h := in.tupleKey(HashPredicate(pred), fields)
+	if in.conc != nil {
+		s := in.shard(h)
+		s.mu.Lock()
+		c := s.in.internFieldsKeyed(h, pred, fields)
+		s.mu.Unlock()
+		return c
+	}
+	return in.internFieldsKeyed(h, pred, fields)
+}
+
+func (in *Interner) internFieldsKeyed(h uint64, pred string, fields []Value) Tuple {
 	if c, ok := in.findTuple(h, pred, fields); ok {
 		return c
 	}
@@ -360,6 +495,18 @@ func (in *Interner) Resolve(pred string, fields []Value) Tuple {
 // head-instantiation hot path uses (rule compilation caches the hash).
 func (in *Interner) ResolveH(ph Hash64, pred string, fields []Value) Tuple {
 	h := in.tupleKey(ph, fields)
+	if in.conc != nil {
+		s := in.shard(h)
+		s.mu.Lock()
+		c, ok := s.in.findTuple(h, pred, fields)
+		s.mu.Unlock()
+		if ok {
+			return c
+		}
+		fs := make([]Value, len(fields))
+		copy(fs, fields)
+		return Tuple{Pred: pred, Fields: fs}
+	}
 	if c, ok := in.findTuple(h, pred, fields); ok {
 		return c
 	}
@@ -372,6 +519,16 @@ func (in *Interner) ResolveH(ph Hash64, pred string, fields []Value) Tuple {
 // interned, t itself otherwise (no copy, no retention).
 func (in *Interner) ResolveTuple(t Tuple) Tuple {
 	h := in.tupleKey(HashPredicate(t.Pred), t.Fields)
+	if in.conc != nil {
+		s := in.shard(h)
+		s.mu.Lock()
+		c, ok := s.in.findTuple(h, t.Pred, t.Fields)
+		s.mu.Unlock()
+		if ok {
+			return c
+		}
+		return t
+	}
 	if c, ok := in.findTuple(h, t.Pred, t.Fields); ok {
 		return c
 	}
@@ -382,7 +539,18 @@ func (in *Interner) ResolveTuple(t Tuple) Tuple {
 // vs, copying on miss (vs may be scratch). Callers must treat the result
 // as immutable. Used for list payloads and retained aggregate group keys.
 func (in *Interner) InternValues(vs []Value) []Value {
-	raw := in.hashList(vs)
+	if in.conc != nil {
+		raw := HashValues(vs)
+		s := in.shard(raw)
+		s.mu.Lock()
+		c := s.in.internValuesKeyed(raw, vs)
+		s.mu.Unlock()
+		return c
+	}
+	return in.internValuesKeyed(in.hashList(vs), vs)
+}
+
+func (in *Interner) internValuesKeyed(raw uint64, vs []Value) []Value {
 	h := in.listKey(raw)
 	if c, ok := in.findListH(h, vs); ok {
 		in.memoize(c, raw)
@@ -419,7 +587,21 @@ func (in *Interner) putList(h uint64, vs []Value) {
 // for callers whose slice is already immutable, like a stored tuple's
 // list field.
 func (in *Interner) adoptValues(vs []Value) []Value {
-	raw := in.hashList(vs)
+	if in.conc != nil {
+		// Reached only via a direct façade call; internKeyed's nested
+		// adoption already runs on a shard. Adopt into the list hash's
+		// own shard.
+		raw := HashValues(vs)
+		s := in.shard(raw)
+		s.mu.Lock()
+		c := s.in.adoptKeyed(raw, vs)
+		s.mu.Unlock()
+		return c
+	}
+	return in.adoptKeyed(in.hashList(vs), vs)
+}
+
+func (in *Interner) adoptKeyed(raw uint64, vs []Value) []Value {
 	h := in.listKey(raw)
 	if c, ok := in.findListH(h, vs); ok {
 		in.memoize(c, raw)
@@ -435,6 +617,18 @@ func (in *Interner) adoptValues(vs []Value) []Value {
 // read-only sibling of adoptValues for the decode path (vs is scratch).
 func (in *Interner) resolveList(vs []Value) Value {
 	raw := HashValues(vs)
+	if in.conc != nil {
+		s := in.shard(raw)
+		s.mu.Lock()
+		c, ok := s.in.findListH(in.listKey(raw), vs)
+		s.mu.Unlock()
+		if ok {
+			return Value{kind: KindList, l: c}
+		}
+		cp := make([]Value, len(vs))
+		copy(cp, vs)
+		return Value{kind: KindList, l: cp}
+	}
 	h := in.listKey(raw)
 	if c, ok := in.findListH(h, vs); ok {
 		in.memoize(c, raw)
@@ -448,6 +642,13 @@ func (in *Interner) resolveList(vs []Value) Value {
 
 // InternString returns the canonical copy of s.
 func (in *Interner) InternString(s string) string {
+	if in.conc != nil {
+		sh := in.shard(NewHash().AddString(s).Sum())
+		sh.mu.Lock()
+		c := sh.in.InternString(s)
+		sh.mu.Unlock()
+		return c
+	}
 	if c, ok := in.cur.strs[s]; ok {
 		return c
 	}
@@ -466,6 +667,15 @@ func (in *Interner) InternString(s string) string {
 // copied into a fresh string, so the result never aliases b — wire
 // decoders may pass views of a reused read buffer.
 func (in *Interner) internBytes(b []byte) string {
+	if in.conc != nil {
+		// AddBytes folds exactly like AddString on the equal string, so
+		// byte views and retained strings route to the same shard.
+		sh := in.shard(NewHash().AddBytes(b).Sum())
+		sh.mu.Lock()
+		c := sh.in.internBytes(b)
+		sh.mu.Unlock()
+		return c
+	}
 	if c, ok := in.cur.strs[string(b)]; ok {
 		return c
 	}

@@ -1,0 +1,144 @@
+package val
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInternerIdentity runs the sequential canonical-identity
+// contract against the sharded interner: same behavior, different
+// routing.
+func TestConcurrentInternerIdentity(t *testing.T) {
+	in := NewConcurrentInterner()
+	if !in.Concurrent() {
+		t.Fatal("NewConcurrentInterner must report Concurrent()")
+	}
+	if NewInterner().Concurrent() {
+		t.Fatal("NewInterner must not report Concurrent()")
+	}
+	for _, tp := range internTuples() {
+		c1 := in.Intern(tp)
+		c2 := in.Intern(tp.Clone())
+		if !sameStorage(c1, c2) {
+			t.Errorf("Intern(%v): clones did not unify onto one canonical tuple", tp)
+		}
+		c3 := in.InternFields(tp.Pred, append([]Value(nil), tp.Fields...))
+		if !sameStorage(c1, c3) {
+			t.Errorf("InternFields(%v): did not resolve to the canonical tuple", tp)
+		}
+		if r := in.Resolve(tp.Pred, tp.Fields); !sameStorage(c1, r) {
+			t.Errorf("Resolve(%v): did not resolve to the canonical tuple", tp)
+		}
+		if r := in.ResolveTuple(tp.Clone()); !sameStorage(c1, r) {
+			t.Errorf("ResolveTuple(%v): did not resolve to the canonical tuple", tp)
+		}
+	}
+	// Tuples plus their pooled list fields: Len counts both, and must
+	// match what the plain interner retains for the same population.
+	plain := NewInterner()
+	for _, tp := range internTuples() {
+		plain.Intern(tp)
+	}
+	if in.Len() != plain.Len() {
+		t.Errorf("Len = %d, want %d (plain interner parity)", in.Len(), plain.Len())
+	}
+	in.Reset()
+	if in.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", in.Len())
+	}
+}
+
+// TestConcurrentInternerContention hammers one sharded interner from
+// many goroutines interning overlapping populations with fresh storage
+// each time, then asserts the pointer-equality invariant held globally:
+// every worker resolved each logical tuple (and list, and string) to
+// the same canonical object. Run under -race this is also the data-race
+// proof for the shard routing.
+func TestConcurrentInternerContention(t *testing.T) {
+	const (
+		workers = 8
+		tuples  = 200
+		rounds  = 5
+	)
+	in := NewConcurrentInterner()
+
+	// mk builds tuple i with fresh storage on every call, list-bearing so
+	// the list pool and string pool are exercised too.
+	mk := func(i int) Tuple {
+		return NewTuple("path",
+			NewAddr(fmt.Sprintf("src-%d", i%17)),
+			NewAddr(fmt.Sprintf("dst-%d", i)),
+			NewList(NewAddr(fmt.Sprintf("hop-%d", i)), NewAddr("mid"), NewInt(int64(i))),
+			NewInt(int64(i%7)),
+		)
+	}
+
+	got := make([][]Tuple, workers) // got[w][i] = worker w's canonical for tuple i
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]Tuple, tuples)
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < tuples; i++ {
+					c := in.Intern(mk(i))
+					if r == 0 && w%2 == 0 {
+						// Half the workers double-check the read path too.
+						c = in.ResolveTuple(mk(i))
+					}
+					mine[i] = c
+					// Strings and lists canonicalize independently of tuples.
+					s1 := in.InternString(fmt.Sprintf("str-%d", i%31))
+					s2 := in.InternString(fmt.Sprintf("str-%d", i%31))
+					if s1 != s2 {
+						t.Errorf("worker %d: InternString not canonical", w)
+						return
+					}
+					l1 := in.InternValues([]Value{NewInt(int64(i % 13)), NewAddr("x")})
+					l2 := in.InternValues([]Value{NewInt(int64(i % 13)), NewAddr("x")})
+					if len(l1) > 0 && &l1[0] != &l2[0] {
+						t.Errorf("worker %d: InternValues not canonical", w)
+						return
+					}
+				}
+			}
+			got[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for i := 0; i < tuples; i++ {
+		c0 := got[0][i]
+		if !c0.Equal(mk(i)) {
+			t.Fatalf("tuple %d: canonical %v is not structurally equal to source", i, c0)
+		}
+		for w := 1; w < workers; w++ {
+			if !sameStorage(c0, got[w][i]) {
+				t.Fatalf("tuple %d: workers 0 and %d resolved different canonical objects", i, w)
+			}
+		}
+	}
+}
+
+// TestConcurrentInternerEpoch checks that shard generation flips
+// surface through the façade's atomic epoch counter.
+func TestConcurrentInternerEpoch(t *testing.T) {
+	in := NewConcurrentInterner()
+	if in.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d, want 0", in.Epoch())
+	}
+	// Each shard is bounded at DefaultInternLimit/nshards; interning
+	// well past the total bound must flip at least one shard.
+	n := DefaultInternLimit + DefaultInternLimit/4
+	for i := 0; i < n; i++ {
+		in.InternString(fmt.Sprintf("k-%d", i))
+	}
+	if in.Epoch() == 0 {
+		t.Fatal("epoch did not advance after overflowing the pool bound")
+	}
+}
