@@ -29,19 +29,19 @@ materialize(reach, infinity, infinity, keys(1,2,3)).
 materialize(reachPair, infinity, infinity, keys(1,2)).
 
 // Local aggregate: node degree.
-d1 degree(@N, count<D>) :- #link(@N,@D,C).
+d1 degree(@N, count<D>) :- #link(@N,@D,_C).
 
 // Distributed recursion: reachability with the hop vector for loop
 // avoidance.
-r1 reach(@S,@D,P) :- #link(@S,@D,C), P := f_concatPath(S, [D]).
-r2 reach(@S,@D,P) :- #link(@S,@Z,C), reach(@Z,@D,P2),
+r1 reach(@S,@D,P) :- #link(@S,@D,_C), P := f_concatPath(S, [D]).
+r2 reach(@S,@D,P) :- #link(@S,@Z,_C), reach(@Z,@D,P2),
 	f_member(P2, S) == false, f_size(P2) < 6, P := f_concatPath(S, P2).
 
 // Membership monitor: how many distinct nodes can I reach? reach holds
 // one tuple per discovered path, so project the (src,dst) pair first —
 // the reachPair table's primary key deduplicates, and its derivation
 // count keeps deletions exact.
-p1 reachPair(@S,@D) :- reach(@S,@D,P).
+p1 reachPair(@S,@D) :- reach(@S,@D,_P).
 m1 reachCnt(@S, count<D>) :- reachPair(@S,@D).
 
 // Alert: a known route longer than 4 hops.

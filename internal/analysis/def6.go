@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"ndlog/internal/ast"
+	"ndlog/internal/val"
+)
+
+// definition6 checks the four NDlog constraints of Definition 6 plus
+// the planner's historical well-formedness rules, reporting every
+// violation instead of stopping at the first:
+//
+//  1. Location specificity: every predicate's first attribute is a
+//     location specifier (an "@" variable or address constant).
+//  2. Address type safety: a variable used as an address type is not
+//     used elsewhere in the same rule as a non-address type.
+//  3. Stored link relations: link relations never appear in rule heads.
+//  4. Link restriction: every non-local rule has exactly one link
+//     literal, and all other predicates are located at one of the
+//     link's two endpoints.
+//
+// Well-formedness: head variables bound, selections and assignments
+// over bound variables, assignments binding fresh variables, at most
+// one aggregate per head.
+func (c *collector) definition6(prog *ast.Program) {
+	links := linkRelations(prog)
+	for _, r := range prog.Rules {
+		c.checkRuleDef6(r, links)
+	}
+	for i, f := range prog.Facts {
+		if len(f.Fields) == 0 || f.Fields[0].Kind() != val.KindAddr {
+			c.errorf(prog.FactAt(i), CheckLocSpec, "", "fact %s: first field must be an address", f)
+		}
+	}
+	if prog.Query != nil && len(prog.Query.Args) == 0 {
+		c.errorf(prog.Query.Pos, CheckLocSpec, "", "query predicate has no location specifier")
+	}
+}
+
+// linkRelations returns the set of relation names used as link literals
+// ("#pred") anywhere in the program.
+func linkRelations(p *ast.Program) map[string]bool {
+	links := map[string]bool{}
+	for _, r := range p.Rules {
+		for _, a := range r.Atoms() {
+			if a.Link {
+				links[a.Pred] = true
+			}
+		}
+	}
+	return links
+}
+
+func (c *collector) checkRuleDef6(r *ast.Rule, links map[string]bool) {
+	name := ruleName(r)
+	atoms := append([]*ast.Atom{&r.Head}, r.Atoms()...)
+
+	// (1) Location specificity.
+	for _, a := range atoms {
+		if len(a.Args) == 0 {
+			c.errorf(a.Pos, CheckLocSpec, name, "predicate %s has no location specifier", a.Pred)
+			continue
+		}
+		switch arg := a.Args[0].(type) {
+		case *ast.Var:
+			// Parsed "@X" has Loc=true; a bare variable in the first
+			// position is rejected to keep data placement explicit.
+			if !arg.Loc {
+				c.errorf(arg.Pos, CheckLocSpec, name, "predicate %s: first attribute %s must be a location specifier (@%s)", a.Pred, arg.Name, arg.Name)
+			}
+		case *ast.Const:
+			if arg.Value.Kind() != val.KindAddr {
+				c.errorf(arg.Pos, CheckLocSpec, name, "predicate %s: first attribute must be an address, got %s", a.Pred, arg.Value.Kind())
+			}
+		default:
+			c.errorf(ast.ExprPos(a.Args[0]), CheckLocSpec, name, "predicate %s: first attribute must be a variable or address constant", a.Pred)
+		}
+	}
+
+	// (2) Address type safety: across atom argument positions, a variable
+	// is used consistently as address or non-address.
+	addrVars := map[string]bool{}
+	plainVars := map[string]ast.Pos{}
+	for _, a := range atoms {
+		for _, arg := range a.Args {
+			v, ok := arg.(*ast.Var)
+			if !ok {
+				continue
+			}
+			if v.Loc {
+				addrVars[v.Name] = true
+			} else if _, seen := plainVars[v.Name]; !seen {
+				plainVars[v.Name] = v.Pos
+			}
+		}
+	}
+	for vname, vpos := range plainVars {
+		if addrVars[vname] {
+			c.errorf(vpos, CheckAddrType, name, "variable %s used both as address (@%s) and non-address type", vname, vname)
+		}
+	}
+
+	// (3) Stored link relations.
+	if links[r.Head.Pred] && len(r.Body) > 0 {
+		c.errorf(r.Head.Pos, CheckLinkHead, name, "link relation %s must not be derived (appears in rule head)", r.Head.Pred)
+	}
+
+	// (4) Link restriction.
+	if !r.IsLocal() {
+		var linkAtoms []*ast.Atom
+		for _, a := range r.Atoms() {
+			if a.Link {
+				linkAtoms = append(linkAtoms, a)
+			}
+		}
+		if len(linkAtoms) != 1 {
+			c.errorf(r.Pos, CheckLinkRestrict, name, "non-local rule must have exactly one link literal, found %d", len(linkAtoms))
+		} else {
+			link := linkAtoms[0]
+			if len(link.Args) < 2 {
+				c.errorf(link.Pos, CheckLinkRestrict, name, "link literal #%s needs source and destination fields", link.Pred)
+			} else {
+				src, dst := link.LocVar(), ""
+				if v, ok := link.Args[1].(*ast.Var); ok {
+					dst = v.Name
+				}
+				if src == "" || dst == "" {
+					c.errorf(link.Pos, CheckLinkRestrict, name, "link literal #%s endpoints must be variables", link.Pred)
+				} else {
+					for _, a := range atoms {
+						if a == link || len(a.Args) == 0 {
+							continue
+						}
+						loc := a.LocVar()
+						if loc != src && loc != dst {
+							c.errorf(a.Pos, CheckLinkRestrict, name, "predicate %s located at @%s, not at link endpoint @%s or @%s", a.Pred, loc, src, dst)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Well-formedness: head variables must be bound by body atoms or
+	// assignments.
+	bound := map[string]bool{}
+	for _, a := range r.Atoms() {
+		for _, arg := range a.Args {
+			if v, ok := arg.(*ast.Var); ok {
+				bound[v.Name] = true
+			}
+		}
+	}
+	for _, t := range r.Body {
+		asn, ok := t.(*ast.Assign)
+		if !ok {
+			continue
+		}
+		if bound[asn.Var] {
+			c.errorf(asn.Pos, CheckRebind, name, "assignment rebinds variable %s", asn.Var)
+		}
+		for vname := range ast.Vars(asn.Expr) {
+			if !bound[vname] {
+				c.errorf(asn.Pos, CheckUnbound, name, "assignment to %s uses unbound variable %s", asn.Var, vname)
+			}
+		}
+		bound[asn.Var] = true
+	}
+	for _, t := range r.Body {
+		sel, ok := t.(*ast.Select)
+		if !ok {
+			continue
+		}
+		for vname := range ast.Vars(sel.Cond) {
+			if !bound[vname] {
+				c.errorf(sel.Pos, CheckUnbound, name, "selection uses unbound variable %s", vname)
+			}
+		}
+	}
+	aggs := 0
+	for _, arg := range r.Head.Args {
+		switch x := arg.(type) {
+		case *ast.Agg:
+			aggs++
+			if !bound[x.Var] {
+				c.errorf(x.Pos, CheckUnbound, name, "aggregate over unbound variable %s", x.Var)
+			}
+		default:
+			for vname := range ast.Vars(arg) {
+				if !bound[vname] {
+					c.errorf(ast.ExprPos(arg), CheckUnbound, name, "head variable %s is unbound", vname)
+				}
+			}
+		}
+	}
+	if aggs > 1 {
+		c.errorf(r.Head.Pos, CheckAggMulti, name, "at most one aggregate per head, found %d", aggs)
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"ndlog/internal/ast"
+)
+
+// checkLifetime runs the soft/hard lifetime dataflow over the predicate
+// dependency graph. The lattice has two points, hard < soft ("soft"
+// taints); a predicate's derived contents are soft if any rule deriving
+// it reads a soft predicate, transitively. Deriving a declared
+// hard-state table (materialize lifetime "infinity") from soft state is
+// the PR 5 bug class — when the soft tuple expires, nothing retracts
+// the hard derivation, so refreshes inflate derivation counts past
+// retractability. Every rule with a hard head and a soft-tainted body
+// is an error.
+func (c *collector) checkLifetime(prog *ast.Program) {
+	life := map[string]float64{}
+	for _, m := range prog.Materialized {
+		life[m.Name] = m.Lifetime
+	}
+	isSoft := func(p string) bool { l, ok := life[p]; return ok && l >= 0 }
+	isHard := func(p string) bool { l, ok := life[p]; return ok && l < 0 }
+
+	// tainted maps a predicate to the soft-state origin it (transitively)
+	// depends on.
+	tainted := map[string]string{}
+	for p := range life {
+		if isSoft(p) {
+			tainted[p] = p
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range prog.Rules {
+			if _, done := tainted[r.Head.Pred]; done {
+				continue
+			}
+			for _, a := range r.Atoms() {
+				if origin, ok := tainted[a.Pred]; ok {
+					tainted[r.Head.Pred] = origin
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, r := range prog.Rules {
+		if !isHard(r.Head.Pred) {
+			continue
+		}
+		for _, a := range r.Atoms() {
+			origin, ok := tainted[a.Pred]
+			if !ok {
+				continue
+			}
+			if origin == a.Pred {
+				c.errorf(r.Pos, CheckLifetime, ruleName(r),
+					"hard-state predicate %s derived from soft-state predicate %s (lifetime %gs); state downstream of soft state must be soft",
+					r.Head.Pred, a.Pred, life[origin])
+			} else {
+				c.errorf(r.Pos, CheckLifetime, ruleName(r),
+					"hard-state predicate %s derived from %s, which depends on soft-state predicate %s (lifetime %gs); state downstream of soft state must be soft",
+					r.Head.Pred, a.Pred, origin, life[origin])
+			}
+			break // one report per rule
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"strings"
+
+	"ndlog/internal/ast"
+)
+
+// checkAggArgs enforces aggregate argument hygiene beyond the "at most
+// one aggregate" rule: aggregates live only in rule heads, never in the
+// location-specifier position, and must not range over one of the
+// head's own group-by attributes (grouping by a column and aggregating
+// it yields the column itself, which always indicates a miswritten
+// rule).
+func (c *collector) checkAggArgs(prog *ast.Program) {
+	for _, r := range prog.Rules {
+		name := ruleName(r)
+		for _, a := range r.Atoms() {
+			for _, arg := range a.Args {
+				if g, ok := arg.(*ast.Agg); ok {
+					c.errorf(g.Pos, CheckAggArg, name,
+						"aggregate %s<%s> not allowed in a rule body", g.Func, g.Var)
+				}
+			}
+		}
+		for i, arg := range r.Head.Args {
+			g, ok := arg.(*ast.Agg)
+			if !ok {
+				continue
+			}
+			if i == 0 {
+				c.errorf(g.Pos, CheckAggArg, name,
+					"aggregate %s<%s> cannot be the location specifier", g.Func, g.Var)
+			}
+			for j, other := range r.Head.Args {
+				if j == i {
+					continue
+				}
+				if v, ok := other.(*ast.Var); ok && v.Name == g.Var {
+					c.errorf(g.Pos, CheckAggArg, name,
+						"aggregate %s<%s> ranges over group-by attribute %s", g.Func, g.Var, g.Var)
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkVarLints reports assigned-but-never-used variables and singleton
+// variables (a variable occurring exactly once in a rule is usually a
+// typo for a join variable). A leading underscore marks a variable as
+// intentionally unused and silences both lints.
+func (c *collector) checkVarLints(prog *ast.Program) {
+	for _, r := range prog.Rules {
+		name := ruleName(r)
+
+		type occ struct {
+			n     int
+			first ast.Pos
+		}
+		occs := map[string]*occ{}
+		note := func(v *ast.Var) {
+			o := occs[v.Name]
+			if o == nil {
+				o = &occ{first: v.Pos}
+				occs[v.Name] = o
+			}
+			o.n++
+		}
+		for _, arg := range r.Head.Args {
+			walkVars(arg, note)
+		}
+		var asns []*ast.Assign
+		for _, t := range r.Body {
+			switch x := t.(type) {
+			case *ast.Atom:
+				for _, arg := range x.Args {
+					walkVars(arg, note)
+				}
+			case *ast.Assign:
+				asns = append(asns, x)
+				note(&ast.Var{Name: x.Var, Pos: x.Pos})
+				walkVars(x.Expr, note)
+			case *ast.Select:
+				walkVars(x.Cond, note)
+			}
+		}
+
+		assigned := map[string]bool{}
+		for _, asn := range asns {
+			assigned[asn.Var] = true
+			if strings.HasPrefix(asn.Var, "_") {
+				continue
+			}
+			if o := occs[asn.Var]; o != nil && o.n == 1 {
+				c.warnf(asn.Pos, CheckUnusedVar, name,
+					"variable %s is assigned but never used", asn.Var)
+			}
+		}
+		for vname, o := range occs {
+			if o.n != 1 || assigned[vname] || strings.HasPrefix(vname, "_") {
+				continue
+			}
+			c.warnf(o.first, CheckSingleton, name,
+				"variable %s occurs only once in this rule; rename to _%s if intentional", vname, vname)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"ndlog/internal/ast"
+)
+
+// checkReachability detects rules that can never fire and predicates
+// that are never seeded nor derived, computing the least fixpoint of
+// derivability from the program's seeded EDB set (its ground facts).
+//
+// Programs with no facts at all are skipped: most generated programs
+// (internal/programs, shard manifests) are seeded externally after
+// parsing, so an empty EDB says nothing about reachability.
+func (c *collector) checkReachability(prog *ast.Program) {
+	if len(prog.Facts) == 0 {
+		return
+	}
+	derivable := map[string]bool{}
+	for _, f := range prog.Facts {
+		derivable[f.Pred] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range prog.Rules {
+			if derivable[r.Head.Pred] {
+				continue
+			}
+			ok := true
+			for _, a := range r.Atoms() {
+				if !derivable[a.Pred] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derivable[r.Head.Pred] = true
+				changed = true
+			}
+		}
+	}
+
+	// Dead rules: some body predicate can never hold.
+	reportedPred := map[string]bool{}
+	for _, r := range prog.Rules {
+		for _, a := range r.Atoms() {
+			if derivable[a.Pred] {
+				continue
+			}
+			c.warnf(r.Pos, CheckDeadRule, ruleName(r),
+				"rule can never fire: predicate %s is never seeded or derived", a.Pred)
+			if !reportedPred[a.Pred] {
+				reportedPred[a.Pred] = true
+				c.warnf(a.Pos, CheckUnreachable, ruleName(r),
+					"predicate %s is unreachable from the seeded EDB set", a.Pred)
+			}
+			break // one report per rule
+		}
+	}
+
+	// Query and watches over predicates that can never hold.
+	if q := prog.Query; q != nil && !derivable[q.Pred] {
+		c.warnf(q.Pos, CheckUnreachable, "",
+			"query predicate %s is never seeded or derived", q.Pred)
+	}
+	for _, w := range prog.Watches {
+		if !derivable[w] {
+			c.warnf(ast.Pos{}, CheckUnreachable, "",
+				"watched predicate %s is never seeded or derived", w)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package analysis
+
+import (
+	"strings"
+
+	"ndlog/internal/ast"
+	"ndlog/internal/funcs"
+	"ndlog/internal/val"
+)
+
+// Column and variable types are sets of observed value kinds. Int and
+// float share the "num" group (the evaluator promotes freely between
+// them); every other kind is its own group, and a set spanning two
+// groups is a type conflict.
+type typeMask uint8
+
+const (
+	tAddr typeMask = 1 << iota
+	tInt
+	tFloat
+	tString
+	tBool
+	tList
+
+	tNum = tInt | tFloat
+	tAny = tAddr | tNum | tString | tBool | tList
+)
+
+func maskOfKind(k val.Kind) typeMask {
+	switch k {
+	case val.KindAddr:
+		return tAddr
+	case val.KindInt:
+		return tInt
+	case val.KindFloat:
+		return tFloat
+	case val.KindString:
+		return tString
+	case val.KindBool:
+		return tBool
+	case val.KindList:
+		return tList
+	}
+	return 0
+}
+
+var maskGroups = []struct {
+	bits typeMask
+	name string
+}{
+	{tAddr, "addr"}, {tNum, "num"}, {tString, "string"}, {tBool, "bool"}, {tList, "list"},
+}
+
+// conflicting reports whether m spans more than one type group.
+func conflicting(m typeMask) bool {
+	n := 0
+	for _, g := range maskGroups {
+		if m&g.bits != 0 {
+			n++
+		}
+	}
+	return n > 1
+}
+
+func (m typeMask) String() string {
+	var parts []string
+	for _, g := range maskGroups {
+		if m&g.bits != 0 {
+			parts = append(parts, g.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "unknown"
+	}
+	return strings.Join(parts, "|")
+}
+
+// builtinSig declares the argument and result types of an f_* builtin.
+// Arity is checked for every known builtin; unknown f_* names are
+// errors (they would fail at evaluation time).
+type builtinSig struct {
+	params   []typeMask
+	ret      typeMask
+	variadic bool // f_list takes any number of arguments
+}
+
+var builtinSigs = map[string]builtinSig{
+	"f_concatPath": {params: []typeMask{tAny, tList}, ret: tList},
+	"f_append":     {params: []typeMask{tList, tAny}, ret: tList},
+	"f_member":     {params: []typeMask{tList, tAny}, ret: tBool},
+	"f_size":       {params: []typeMask{tList}, ret: tInt},
+	"f_first":      {params: []typeMask{tList}, ret: tAny},
+	"f_last":       {params: []typeMask{tList}, ret: tAny},
+	"f_reverse":    {params: []typeMask{tList}, ret: tList},
+	"f_list":       {ret: tList, variadic: true},
+	"f_min":        {params: []typeMask{tAny, tAny}, ret: tAny},
+	"f_max":        {params: []typeMask{tAny, tAny}, ret: tAny},
+	"f_abs":        {params: []typeMask{tNum}, ret: tNum},
+	"f_prevHop":    {params: []typeMask{tList, tAny}, ret: tAny},
+	"f_nth":        {params: []typeMask{tList, tInt}, ret: tAny},
+}
+
+// predSig is the inferred shape of one predicate: its canonical arity
+// (fixed by the first use in program order) and per-column type sets.
+type predSig struct {
+	arity    int
+	at       ast.Pos // first use, named in arity-conflict messages
+	cols     []typeMask
+	reported []bool // conflict already reported for this column
+}
+
+// checkTypes infers per-predicate arity and column types across rules,
+// facts, the query, and builtin signatures, reporting arity conflicts,
+// type conflicts, and builtin misuse. It returns the signature table so
+// the safety pass can discount bindings from arity-mismatched atoms.
+func (c *collector) checkTypes(prog *ast.Program) map[string]*predSig {
+	sigs := map[string]*predSig{}
+	sigOf := func(pred string, arity int, pos ast.Pos) *predSig {
+		s := sigs[pred]
+		if s == nil {
+			s = &predSig{arity: arity, at: pos, cols: make([]typeMask, arity), reported: make([]bool, arity)}
+			// The first attribute is always a location specifier.
+			if arity > 0 {
+				s.cols[0] = tAddr
+			}
+			sigs[pred] = s
+		}
+		return s
+	}
+
+	// Fix canonical arities in program order: rule atoms first (head,
+	// then body), then facts, then the query.
+	arityConflicts := map[*ast.Atom]bool{}
+	for _, r := range prog.Rules {
+		name := ruleName(r)
+		for _, a := range append([]*ast.Atom{&r.Head}, r.Atoms()...) {
+			s := sigOf(a.Pred, len(a.Args), a.Pos)
+			if s.arity != len(a.Args) {
+				arityConflicts[a] = true
+				c.errorf(a.Pos, CheckArity, name,
+					"predicate %s used with %d arguments, but has %d (first use at %s)",
+					a.Pred, len(a.Args), s.arity, s.at)
+			}
+		}
+	}
+	for i, f := range prog.Facts {
+		s := sigOf(f.Pred, len(f.Fields), prog.FactAt(i))
+		if s.arity != len(f.Fields) {
+			c.errorf(prog.FactAt(i), CheckArity, "",
+				"fact %s has %d fields, but predicate has %d (first use at %s)",
+				f.Pred, len(f.Fields), s.arity, s.at)
+			continue
+		}
+		for j, fv := range f.Fields {
+			c.unifyCol(s, f.Pred, j, maskOfKind(fv.Kind()), prog.FactAt(i))
+		}
+	}
+	if q := prog.Query; q != nil {
+		if s, ok := sigs[q.Pred]; ok && s.arity != len(q.Args) {
+			c.errorf(q.Pos, CheckArity, "",
+				"query %s has %d arguments, but predicate has %d (first use at %s)",
+				q.Pred, len(q.Args), s.arity, s.at)
+		}
+	}
+
+	// Declared key positions must fall inside the predicate's arity.
+	for _, m := range prog.Materialized {
+		s, ok := sigs[m.Name]
+		if !ok {
+			continue
+		}
+		for _, k := range m.Keys {
+			if k >= s.arity {
+				c.errorf(m.Pos, CheckArity, "",
+					"materialize(%s): key position %d exceeds the predicate's arity %d",
+					m.Name, k+1, s.arity)
+			}
+		}
+	}
+
+	// Iterate rule-local inference to a fixpoint: column types flow
+	// through shared variables from rule to rule in both directions. The
+	// per-rule environment persists across passes so each conflict is
+	// reported exactly once.
+	rts := make([]*ruleTypes, len(prog.Rules))
+	for i, r := range prog.Rules {
+		rts[i] = &ruleTypes{c: c, rule: ruleName(r), vars: map[string]typeMask{}, reported: map[string]bool{}}
+	}
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		for i, r := range prog.Rules {
+			if rts[i].infer(r, sigs, arityConflicts) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sigs
+}
+
+// unifyCol merges an observation into a predicate column, reporting the
+// first conflict per column. An observation that is itself already
+// conflicted was reported where the conflict arose, so propagating it
+// merges silently instead of cascading.
+func (c *collector) unifyCol(s *predSig, pred string, col int, m typeMask, pos ast.Pos) typeMask {
+	if col >= len(s.cols) || m == 0 || m == tAny {
+		return m
+	}
+	old := s.cols[col]
+	merged := old | m
+	if merged != old {
+		s.cols[col] = merged
+		if conflicting(merged) && !conflicting(m) && !s.reported[col] {
+			s.reported[col] = true
+			c.errorf(pos, CheckType, "",
+				"predicate %s argument %d used as %s here, but as %s elsewhere",
+				pred, col+1, m, old)
+		}
+	}
+	return merged
+}
+
+// ruleTypes is the per-rule variable typing environment.
+type ruleTypes struct {
+	c        *collector
+	rule     string
+	vars     map[string]typeMask
+	reported map[string]bool
+	changed  bool
+}
+
+// observe merges an observation into a variable's type set, reporting
+// the first conflict per (rule, variable). Like unifyCol, an already
+// conflicted observation merges silently.
+func (rt *ruleTypes) observe(v *ast.Var, m typeMask) typeMask {
+	if m == 0 || m == tAny {
+		return rt.vars[v.Name]
+	}
+	old := rt.vars[v.Name]
+	merged := old | m
+	if merged != old {
+		rt.vars[v.Name] = merged
+		rt.changed = true
+		if conflicting(merged) && !conflicting(m) && !rt.reported[v.Name] {
+			rt.reported[v.Name] = true
+			rt.c.errorf(v.Pos, CheckType, rt.rule,
+				"variable %s used as %s here, but as %s elsewhere in the rule",
+				v.Name, m, old)
+		}
+	}
+	return merged
+}
+
+// infer runs one round of type inference over a rule, flowing types
+// between predicate columns, variables, expressions, and builtin
+// signatures. It reports whether any type set grew.
+func (rt *ruleTypes) infer(r *ast.Rule, sigs map[string]*predSig, arityConflicts map[*ast.Atom]bool) bool {
+	c := rt.c
+	// Location-specifier variables are addresses by construction.
+	seed := func(a *ast.Atom) {
+		for _, arg := range a.Args {
+			if v, ok := arg.(*ast.Var); ok && v.Loc {
+				rt.observe(v, tAddr)
+			}
+		}
+	}
+	seed(&r.Head)
+	for _, a := range r.Atoms() {
+		seed(a)
+	}
+
+	// A couple of local rounds lets types flow assignment→atom→head
+	// within the rule regardless of body order.
+	grewCols := false
+	for local := 0; local < 3; local++ {
+		rt.changed = false
+		for _, a := range append([]*ast.Atom{&r.Head}, r.Atoms()...) {
+			s := sigs[a.Pred]
+			if s == nil || arityConflicts[a] || s.arity != len(a.Args) {
+				continue
+			}
+			for i, arg := range a.Args {
+				before := s.cols[i]
+				switch x := arg.(type) {
+				case *ast.Var:
+					merged := rt.observe(x, s.cols[i])
+					c.unifyCol(s, a.Pred, i, merged, x.Pos)
+				case *ast.Agg:
+					switch x.Func {
+					case ast.AggCount:
+						c.unifyCol(s, a.Pred, i, tInt, x.Pos)
+					case ast.AggSum:
+						rt.observe(&ast.Var{Name: x.Var, Pos: x.Pos}, tNum)
+						c.unifyCol(s, a.Pred, i, tNum, x.Pos)
+					default: // min/max carry the ranged variable's type
+						merged := rt.observe(&ast.Var{Name: x.Var, Pos: x.Pos}, s.cols[i])
+						c.unifyCol(s, a.Pred, i, merged, x.Pos)
+					}
+				default:
+					m := rt.exprType(arg)
+					c.unifyCol(s, a.Pred, i, m, ast.ExprPos(arg))
+				}
+				if s.cols[i] != before {
+					grewCols = true
+				}
+			}
+		}
+		for _, t := range r.Body {
+			switch x := t.(type) {
+			case *ast.Assign:
+				m := rt.exprType(x.Expr)
+				rt.observe(&ast.Var{Name: x.Var, Pos: x.Pos}, m)
+			case *ast.Select:
+				rt.exprType(x.Cond)
+			}
+		}
+		if !rt.changed {
+			break
+		}
+		grewCols = grewCols || rt.changed
+	}
+	return grewCols
+}
+
+// exprType computes an expression's type set, pushing constraints into
+// the variables it mentions (arithmetic operands are numeric, compared
+// operands share a type, builtin parameters follow their signature).
+func (rt *ruleTypes) exprType(e ast.Expr) typeMask {
+	switch x := e.(type) {
+	case *ast.Var:
+		return rt.vars[x.Name]
+	case *ast.Const:
+		return maskOfKind(x.Value.Kind())
+	case *ast.BinOp:
+		l := rt.exprType(x.L)
+		r := rt.exprType(x.R)
+		switch x.Op {
+		case ast.OpAnd, ast.OpOr:
+			rt.constrain(x.L, tBool)
+			rt.constrain(x.R, tBool)
+			return tBool
+		case ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+			// Compared operands must share a type: push each side's
+			// observed type onto the other.
+			rt.constrain(x.L, r)
+			rt.constrain(x.R, l)
+			return tBool
+		default: // arithmetic
+			rt.constrain(x.L, tNum)
+			rt.constrain(x.R, tNum)
+			return tNum
+		}
+	case *ast.Call:
+		sig, known := builtinSigs[x.Name]
+		if !known {
+			if _, ok := funcs.Lookup(x.Name); !ok {
+				if !rt.reported["call:"+x.Name] {
+					rt.reported["call:"+x.Name] = true
+					rt.c.errorf(x.Pos, CheckBuiltin, rt.rule, "unknown builtin function %s", x.Name)
+				}
+				return 0
+			}
+			// Registered via funcs.Register but unknown here: no
+			// signature to check against.
+			for _, a := range x.Args {
+				rt.exprType(a)
+			}
+			return tAny
+		}
+		if !sig.variadic && len(x.Args) != len(sig.params) {
+			if !rt.reported["call:"+x.Name] {
+				rt.reported["call:"+x.Name] = true
+				rt.c.errorf(x.Pos, CheckBuiltin, rt.rule,
+					"builtin %s takes %d arguments, called with %d", x.Name, len(sig.params), len(x.Args))
+			}
+			return sig.ret
+		}
+		for i, a := range x.Args {
+			rt.exprType(a)
+			if i < len(sig.params) {
+				rt.constrain(a, sig.params[i])
+			}
+		}
+		return sig.ret
+	case *ast.Agg:
+		return rt.vars[x.Var]
+	}
+	return 0
+}
+
+// constrain pushes a required type onto an expression when the
+// expression is a plain variable (the only place a requirement can
+// narrow anything).
+func (rt *ruleTypes) constrain(e ast.Expr, m typeMask) {
+	if v, ok := e.(*ast.Var); ok {
+		rt.observe(v, m)
+	}
+}

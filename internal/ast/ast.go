@@ -23,14 +23,36 @@ import (
 	"ndlog/internal/val"
 )
 
+// Pos is a 1-based line/column source position. The zero Pos means
+// "unknown" — nodes built programmatically (planner rewrites, tests)
+// carry it, and diagnostics render it as 0:0.
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether p names a real source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
 // Program is a parsed NDlog program: table declarations, rules, watches,
 // base facts, and an optional query.
 type Program struct {
 	Materialized []*TableDecl
 	Rules        []*Rule
 	Facts        []val.Tuple
+	FactPos      []Pos // source position per fact; may be shorter than Facts
 	Query        *Atom
 	Watches      []string // predicates whose derivations should be traced
+}
+
+// FactAt returns the source position of fact i, or the zero Pos for
+// facts appended programmatically after parsing.
+func (p *Program) FactAt(i int) Pos {
+	if i < len(p.FactPos) {
+		return p.FactPos[i]
+	}
+	return Pos{}
 }
 
 // TableDecl declares a materialized (stored) relation, following P2's
@@ -42,6 +64,7 @@ type TableDecl struct {
 	Lifetime float64 // seconds; <0 means infinite
 	MaxSize  int     // 0 means unbounded
 	Keys     []int   // 0-based primary-key positions; empty means all fields
+	Pos      Pos
 }
 
 // Rule is "Head :- Body." with an optional label (e.g. "SP2"). Delete
@@ -52,6 +75,7 @@ type Rule struct {
 	Label string
 	Head  Atom
 	Body  []Term
+	Pos   Pos
 }
 
 // Term is one element of a rule body: a predicate Atom, an Assign
@@ -68,6 +92,7 @@ type Atom struct {
 	Pred string
 	Args []Expr
 	Link bool
+	Pos  Pos
 }
 
 func (*Atom) term() {}
@@ -149,6 +174,7 @@ func (a *Atom) String() string {
 type Assign struct {
 	Var  string
 	Expr Expr
+	Pos  Pos
 }
 
 func (*Assign) term() {}
@@ -158,6 +184,7 @@ func (a *Assign) String() string { return a.Var + " := " + a.Expr.String() }
 // Select is a boolean filter condition over bound variables.
 type Select struct {
 	Cond Expr
+	Pos  Pos
 }
 
 func (*Select) term() {}
@@ -176,6 +203,7 @@ type Expr interface {
 type Var struct {
 	Name string
 	Loc  bool
+	Pos  Pos
 }
 
 func (*Var) expr() {}
@@ -190,6 +218,7 @@ func (v *Var) String() string {
 // Const is a literal value.
 type Const struct {
 	Value val.Value
+	Pos   Pos
 }
 
 func (*Const) expr() {}
@@ -200,6 +229,7 @@ func (c *Const) String() string { return c.Value.String() }
 type BinOp struct {
 	Op   Op
 	L, R Expr
+	Pos  Pos // position of the operator
 }
 
 func (*BinOp) expr() {}
@@ -254,6 +284,7 @@ func (o Op) IsComparison() bool {
 type Call struct {
 	Name string
 	Args []Expr
+	Pos  Pos
 }
 
 func (*Call) expr() {}
@@ -276,6 +307,7 @@ func (c *Call) String() string {
 type Agg struct {
 	Func AggFunc
 	Var  string
+	Pos  Pos
 }
 
 func (*Agg) expr() {}
@@ -371,6 +403,36 @@ func (r *Rule) IsLocal() bool {
 	return true
 }
 
+// ExprPos returns the source position of an expression node.
+func ExprPos(e Expr) Pos {
+	switch x := e.(type) {
+	case *Var:
+		return x.Pos
+	case *Const:
+		return x.Pos
+	case *BinOp:
+		return x.Pos
+	case *Call:
+		return x.Pos
+	case *Agg:
+		return x.Pos
+	}
+	return Pos{}
+}
+
+// TermPos returns the source position of a body term.
+func TermPos(t Term) Pos {
+	switch x := t.(type) {
+	case *Atom:
+		return x.Pos
+	case *Assign:
+		return x.Pos
+	case *Select:
+		return x.Pos
+	}
+	return Pos{}
+}
+
 // Vars returns the set of variable names appearing in an expression tree.
 func Vars(e Expr) map[string]bool {
 	out := map[string]bool{}
@@ -397,7 +459,7 @@ func collectVars(e Expr, out map[string]bool) {
 // Clone returns a deep copy of the rule. Rewrites in the planner mutate
 // copies rather than the parsed program.
 func (r *Rule) Clone() *Rule {
-	nr := &Rule{Label: r.Label, Head: *cloneAtom(&r.Head)}
+	nr := &Rule{Label: r.Label, Head: *cloneAtom(&r.Head), Pos: r.Pos}
 	for _, t := range r.Body {
 		nr.Body = append(nr.Body, cloneTerm(t))
 	}
@@ -409,15 +471,15 @@ func cloneTerm(t Term) Term {
 	case *Atom:
 		return cloneAtom(x)
 	case *Assign:
-		return &Assign{Var: x.Var, Expr: cloneExpr(x.Expr)}
+		return &Assign{Var: x.Var, Expr: cloneExpr(x.Expr), Pos: x.Pos}
 	case *Select:
-		return &Select{Cond: cloneExpr(x.Cond)}
+		return &Select{Cond: cloneExpr(x.Cond), Pos: x.Pos}
 	}
 	panic(fmt.Sprintf("ast: unknown term %T", t))
 }
 
 func cloneAtom(a *Atom) *Atom {
-	na := &Atom{Pred: a.Pred, Link: a.Link, Args: make([]Expr, len(a.Args))}
+	na := &Atom{Pred: a.Pred, Link: a.Link, Args: make([]Expr, len(a.Args)), Pos: a.Pos}
 	for i, e := range a.Args {
 		na.Args[i] = cloneExpr(e)
 	}
@@ -427,19 +489,19 @@ func cloneAtom(a *Atom) *Atom {
 func cloneExpr(e Expr) Expr {
 	switch x := e.(type) {
 	case *Var:
-		return &Var{Name: x.Name, Loc: x.Loc}
+		return &Var{Name: x.Name, Loc: x.Loc, Pos: x.Pos}
 	case *Const:
-		return &Const{Value: x.Value}
+		return &Const{Value: x.Value, Pos: x.Pos}
 	case *BinOp:
-		return &BinOp{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R)}
+		return &BinOp{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R), Pos: x.Pos}
 	case *Call:
-		nc := &Call{Name: x.Name, Args: make([]Expr, len(x.Args))}
+		nc := &Call{Name: x.Name, Args: make([]Expr, len(x.Args)), Pos: x.Pos}
 		for i, a := range x.Args {
 			nc.Args[i] = cloneExpr(a)
 		}
 		return nc
 	case *Agg:
-		return &Agg{Func: x.Func, Var: x.Var}
+		return &Agg{Func: x.Func, Var: x.Var, Pos: x.Pos}
 	}
 	panic(fmt.Sprintf("ast: unknown expr %T", e))
 }
@@ -519,6 +581,7 @@ func (p *Program) Clone() *Program {
 		np.Rules = append(np.Rules, r.Clone())
 	}
 	np.Facts = append(np.Facts, p.Facts...)
+	np.FactPos = append(np.FactPos, p.FactPos...)
 	if p.Query != nil {
 		np.Query = cloneAtom(p.Query)
 	}

@@ -295,10 +295,15 @@ func newNodeCfg(id string, prog *program, opts Options, cfg nodeCfg) *Node {
 		in:   cfg.shared,
 	}
 	if n.in == nil {
-		n.in = val.NewInterner()
+		// Single-node fallback: Parallel always passes its shared
+		// concurrent interner via cfg.shared, so this branch only runs
+		// for standalone nodes owned by one goroutine.
+		n.in = val.NewInterner() //ndvet:ok nil-guard for non-parallel construction
 	}
 	if opts.ArenaIntern {
-		n.arena = val.NewInterner()
+		// The arena is per-node scratch drained under the node's own
+		// lock; it is never shared across workers.
+		n.arena = val.NewInterner() //ndvet:ok per-node scratch, drained under node lock
 	}
 	for name, d := range prog.decls {
 		n.cat.Declare(name, d.Keys, d.Lifetime, d.MaxSize)

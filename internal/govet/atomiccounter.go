@@ -1,0 +1,149 @@
+package govet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicCounter enforces the repo's counter discipline: once a struct
+// opts into atomic counters (it has at least one sync/atomic field),
+// every counter-named integer field in that struct must be atomic too,
+// and flagged fields must not be written with plain assignments or ++.
+// Mixed-discipline structs are exactly how the pre-PR 7 stats races
+// happened — one goroutine bumping a plain int next to an atomic one.
+//
+// The analysis is syntactic. A field is a "counter" when its type is a
+// plain integer and its name contains a counting word (count, pending,
+// sent, recv, dropped, ...). Structs with no atomic fields are never
+// flagged: a single-goroutine struct full of plain ints is fine.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "flag plain integer counter fields and writes in structs that also use sync/atomic",
+	Run:  runAtomicCounter,
+}
+
+var counterWords = []string{
+	"count", "counter", "pending", "total", "sent", "recv", "received",
+	"drop", "seen", "hit", "miss", "inflight", "undeliv", "fenced", "acked",
+}
+
+func isCounterName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range counterWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+var plainIntTypes = map[string]bool{
+	"int": true, "int32": true, "int64": true,
+	"uint": true, "uint32": true, "uint64": true, "uintptr": true,
+}
+
+// isAtomicType reports whether a field type is atomic.X or *atomic.X.
+func isAtomicType(t ast.Expr) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "atomic"
+}
+
+func runAtomicCounter(p *Pass) {
+	for _, pkg := range p.Pkgs {
+		// flagged maps counter field names declared in mixed-discipline
+		// structs of this package, for the write-site scan.
+		flagged := map[string]string{} // field name -> struct name
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				hasAtomic := false
+				for _, field := range st.Fields.List {
+					if isAtomicType(field.Type) {
+						hasAtomic = true
+						break
+					}
+				}
+				if !hasAtomic {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					id, ok := field.Type.(*ast.Ident)
+					if !ok || !plainIntTypes[id.Name] {
+						continue
+					}
+					for _, name := range field.Names {
+						if !isCounterName(name.Name) {
+							continue
+						}
+						flagged[name.Name] = ts.Name.Name
+						p.Reportf(name.Pos(),
+							"field %s of %s is a plain %s counter in a struct with atomic fields; use atomic.%s",
+							name.Name, ts.Name.Name, id.Name, atomicTypeFor(id.Name))
+					}
+				}
+				return true
+			})
+		}
+		if len(flagged) == 0 {
+			continue
+		}
+		// Write sites: x.field++ / x.field += v / x.field = v on a
+		// flagged field name. Name-based, scoped to this package.
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.IncDecStmt:
+					if name, ok := selField(x.X, flagged); ok {
+						p.Reportf(x.Pos(), "plain %s of counter field %s (struct %s); use atomic Add",
+							x.Tok, name, flagged[name])
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						if name, ok := selField(lhs, flagged); ok {
+							p.Reportf(lhs.Pos(), "plain write to counter field %s (struct %s); use atomic Store/Add",
+								name, flagged[name])
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// selField matches expr against "anything.field" for a flagged field.
+func selField(e ast.Expr, flagged map[string]string) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	_, isFlagged := flagged[sel.Sel.Name]
+	return sel.Sel.Name, isFlagged
+}
+
+func atomicTypeFor(goType string) string {
+	switch goType {
+	case "int", "int64":
+		return "Int64"
+	case "int32":
+		return "Int32"
+	case "uint32":
+		return "Uint32"
+	default:
+		return "Uint64"
+	}
+}

@@ -1,0 +1,183 @@
+package govet
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// loadSrc builds a Package from in-memory fixture files.
+func loadSrc(t *testing.T, fset *token.FileSet, pkgDir string, files map[string]string) *Package {
+	t.Helper()
+	pkg := &Package{Dir: pkgDir}
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, pkgDir+"/"+name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Name = f.Name.Name
+	}
+	return pkg
+}
+
+// TestAtomicCounterCatchesPlantedPlainCounter: a struct mixing atomic
+// and plain counters is flagged at the declaration and at every plain
+// write site.
+func TestAtomicCounterCatchesPlantedPlainCounter(t *testing.T) {
+	const fixture = `package stats
+
+import "sync/atomic"
+
+type collector struct {
+	sent    atomic.Int64
+	dropped int64 // deliberately planted plain counter
+	name    string
+	limit   int // not counter-named: must not be flagged
+}
+
+func (c *collector) note() {
+	c.dropped++
+	c.dropped += 2
+	c.sent.Add(1)
+}
+`
+	fset := token.NewFileSet()
+	pkg := loadSrc(t, fset, "stats", map[string]string{"stats.go": fixture})
+	diags := Run(fset, []*Package{pkg}, []*Analyzer{AtomicCounter})
+	if len(diags) != 3 {
+		t.Fatalf("want 3 findings (1 decl + 2 writes), got %d: %v", len(diags), diags)
+	}
+	wantLines := []int{7, 13, 14}
+	for i, d := range diags {
+		if d.Pos.Line != wantLines[i] {
+			t.Errorf("finding %d at line %d, want %d: %s", i, d.Pos.Line, wantLines[i], d)
+		}
+		if !strings.Contains(d.Message, "dropped") {
+			t.Errorf("finding should name the field: %s", d)
+		}
+	}
+}
+
+// TestAtomicCounterIgnoresPureStructs: with no atomic field the struct
+// never opted into the discipline.
+func TestAtomicCounterIgnoresPureStructs(t *testing.T) {
+	const fixture = `package stats
+
+type tally struct {
+	count int
+	total int64
+}
+
+func (t *tally) bump() { t.count++ }
+`
+	fset := token.NewFileSet()
+	pkg := loadSrc(t, fset, "stats", map[string]string{"stats.go": fixture})
+	if diags := Run(fset, []*Package{pkg}, []*Analyzer{AtomicCounter}); len(diags) != 0 {
+		t.Errorf("plain struct should not be flagged: %v", diags)
+	}
+}
+
+// TestAtomicCounterSuppression: //ndvet:ok silences a finding on its
+// line or the line below.
+func TestAtomicCounterSuppression(t *testing.T) {
+	const fixture = `package stats
+
+import "sync/atomic"
+
+type collector struct {
+	sent atomic.Int64
+	//ndvet:ok snapshot copy, only read after workers stop
+	dropped int64
+}
+`
+	fset := token.NewFileSet()
+	pkg := loadSrc(t, fset, "stats", map[string]string{"stats.go": fixture})
+	if diags := Run(fset, []*Package{pkg}, []*Analyzer{AtomicCounter}); len(diags) != 0 {
+		t.Errorf("suppressed finding should not be reported: %v", diags)
+	}
+}
+
+// TestInternerCaptureFlagsReachableConstruction: a val.NewInterner
+// call is flagged when a parallel*.go function in package engine
+// reaches it through the call graph — including across packages and
+// through method calls — and not flagged otherwise.
+func TestInternerCaptureFlagsReachableConstruction(t *testing.T) {
+	fset := token.NewFileSet()
+	engine := loadSrc(t, fset, "engine", map[string]string{
+		"parallel.go": `package engine
+
+func runWorkers() {
+	n := &node{}
+	n.setup()
+}
+`,
+		"node.go": `package engine
+
+type node struct{}
+
+func (n *node) setup() { helperMake() }
+
+func helperMake() {
+	_ = val.NewInterner()
+}
+
+func coldPath() {
+	_ = val.NewInterner() // unreachable from parallel.go: must not be flagged
+}
+`,
+	})
+	diags := Run(fset, []*Package{engine}, []*Analyzer{InternerCapture})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Pos.Filename, "node.go") || d.Pos.Line != 8 {
+		t.Errorf("finding at %s:%d, want node.go:8", d.Pos.Filename, d.Pos.Line)
+	}
+	for _, via := range []string{"engine.runWorkers", "engine.helperMake"} {
+		if !strings.Contains(d.Message, via) {
+			t.Errorf("witness chain should mention %s: %s", via, d.Message)
+		}
+	}
+}
+
+// TestExpandPatterns: dir/... walks recursively and skips testdata.
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"../../internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, d := range dirs {
+		want[d] = true
+	}
+	for _, need := range []string{"../../internal/govet", "../../internal/engine", "../../internal/analysis"} {
+		if !want[strings.TrimPrefix(need, "")] {
+			t.Errorf("pattern expansion missing %s (got %v)", need, dirs)
+		}
+	}
+	for d := range want {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata should be skipped: %s", d)
+		}
+	}
+}
+
+// TestRepoIsVetClean pins the invariant the CI job enforces: the
+// repo's own internal packages carry no unsuppressed findings.
+func TestRepoIsVetClean(t *testing.T) {
+	dirs, err := ExpandPatterns([]string{"../../internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(fset, pkgs, []*Analyzer{AtomicCounter, InternerCapture}) {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}

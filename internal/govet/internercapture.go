@@ -1,0 +1,140 @@
+package govet
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// InternerCapture guards the PR 7 invariant that made multi-core
+// evaluation sound: code running on parallel worker goroutines must
+// never construct (and thereby capture) a non-concurrent
+// val.Interner — workers share one val.NewConcurrentInterner, and a
+// plain interner reached from a worker is a data race waiting for
+// load.
+//
+// The pass builds a name-based over-approximate call graph across all
+// loaded packages: free functions resolve by package, method calls
+// resolve to every method with that name anywhere. Roots are the
+// functions declared in the engine package's parallel*.go files. Every
+// reachable val.NewInterner() call is flagged with one call chain that
+// reaches it; intentional nil-guard fallbacks are suppressed with
+// //ndvet:ok and a reason.
+var InternerCapture = &Analyzer{
+	Name: "internercapture",
+	Doc:  "flag non-concurrent val.NewInterner construction reachable from engine parallel workers",
+	Run:  runInternerCapture,
+}
+
+type vetFunc struct {
+	pkg  string
+	name string
+	decl *ast.FuncDecl
+	file string // basename of the declaring file
+}
+
+func runInternerCapture(p *Pass) {
+	pkgNames := map[string]bool{}
+	for _, pkg := range p.Pkgs {
+		pkgNames[pkg.Name] = true
+	}
+
+	// Index declarations. Free functions key as "pkg.Name"; methods
+	// additionally key as "method:Name" so x.m(...) calls resolve
+	// without type information.
+	byKey := map[string][]*vetFunc{}
+	var all []*vetFunc
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			file := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := &vetFunc{pkg: pkg.Name, name: fd.Name.Name, decl: fd, file: file}
+				all = append(all, fn)
+				if fd.Recv != nil {
+					byKey["method:"+fd.Name.Name] = append(byKey["method:"+fd.Name.Name], fn)
+				} else {
+					byKey[pkg.Name+"."+fd.Name.Name] = append(byKey[pkg.Name+"."+fd.Name.Name], fn)
+				}
+			}
+		}
+	}
+
+	// callees lists the resolution keys a function's body can call.
+	callees := func(fn *vetFunc) []string {
+		var out []string
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch callee := call.Fun.(type) {
+			case *ast.Ident:
+				out = append(out, fn.pkg+"."+callee.Name)
+			case *ast.SelectorExpr:
+				if id, ok := callee.X.(*ast.Ident); ok && pkgNames[id.Name] {
+					out = append(out, id.Name+"."+callee.Sel.Name)
+				}
+				out = append(out, "method:"+callee.Sel.Name)
+			}
+			return true
+		})
+		return out
+	}
+
+	// BFS from the parallel worker roots, remembering one predecessor
+	// per function so findings can print a witness chain.
+	pred := map[*vetFunc]*vetFunc{}
+	var queue []*vetFunc
+	seen := map[*vetFunc]bool{}
+	for _, fn := range all {
+		if fn.pkg == "engine" && strings.HasPrefix(fn.file, "parallel") {
+			seen[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, key := range callees(fn) {
+			for _, next := range byKey[key] {
+				if !seen[next] {
+					seen[next] = true
+					pred[next] = fn
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+
+	chain := func(fn *vetFunc) string {
+		parts := []string{fn.pkg + "." + fn.name}
+		for cur := pred[fn]; cur != nil && len(parts) < 8; cur = pred[cur] {
+			parts = append([]string{cur.pkg + "." + cur.name}, parts...)
+		}
+		return strings.Join(parts, " -> ")
+	}
+
+	for fn := range seen {
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "NewInterner" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "val" {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"non-concurrent val.NewInterner() reachable from parallel workers (%s); use val.NewConcurrentInterner",
+				chain(fn))
+			return true
+		})
+	}
+}

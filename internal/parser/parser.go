@@ -95,6 +95,8 @@ func (p *parser) errorf(t token, format string, args ...any) error {
 	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
 }
 
+func pos(t token) ast.Pos { return ast.Pos{Line: t.line, Col: t.col} }
+
 func (p *parser) parseProgram() (*ast.Program, error) {
 	prog := &ast.Program{}
 	for p.peek(0).kind != tokEOF {
@@ -137,6 +139,7 @@ func (p *parser) parseStatement(prog *ast.Program) error {
 }
 
 func (p *parser) parseMaterialize(prog *ast.Program) error {
+	declPos := pos(p.peek(0))
 	if err := p.advance(); err != nil { // "materialize"
 		return err
 	}
@@ -200,7 +203,7 @@ func (p *parser) parseMaterialize(prog *ast.Program) error {
 	if _, err := p.expect(tokDot); err != nil {
 		return err
 	}
-	decl := &ast.TableDecl{Name: name.text, Keys: keys}
+	decl := &ast.TableDecl{Name: name.text, Keys: keys, Pos: declPos}
 	decl.Lifetime = lifetime
 	if size >= 0 {
 		decl.MaxSize = int(size)
@@ -282,6 +285,7 @@ func (p *parser) finishQuery(prog *ast.Program) error {
 func (p *parser) parseRuleOrFact(prog *ast.Program) error {
 	label := ""
 	t := p.peek(0)
+	stmtPos := pos(t)
 	if t.kind == tokIdent || t.kind == tokVar {
 		next := p.peek(1)
 		switch {
@@ -310,7 +314,7 @@ func (p *parser) parseRuleOrFact(prog *ast.Program) error {
 		if err := p.advance(); err != nil {
 			return err
 		}
-		rule := &ast.Rule{Label: label, Head: *head}
+		rule := &ast.Rule{Label: label, Head: *head, Pos: stmtPos}
 		for {
 			term, err := p.parseTerm()
 			if err != nil {
@@ -342,6 +346,7 @@ func (p *parser) parseRuleOrFact(prog *ast.Program) error {
 			return err
 		}
 		prog.Facts = append(prog.Facts, tuple)
+		prog.FactPos = append(prog.FactPos, stmtPos)
 		return nil
 	}
 	return p.errorf(p.peek(0), "expected :- or . after %s", head.Pred)
@@ -384,6 +389,7 @@ func constEval(e ast.Expr) (val.Value, error) {
 // aggregate arguments like "min<C>".
 func (p *parser) parseAtom(head bool) (*ast.Atom, error) {
 	link := false
+	atomPos := pos(p.peek(0))
 	if p.peek(0).kind == tokHash {
 		link = true
 		if err := p.advance(); err != nil {
@@ -397,7 +403,7 @@ func (p *parser) parseAtom(head bool) (*ast.Atom, error) {
 	if _, err := p.expect(tokLParen); err != nil {
 		return nil, err
 	}
-	atom := &ast.Atom{Pred: name.text, Link: link}
+	atom := &ast.Atom{Pred: name.text, Link: link, Pos: atomPos}
 	for p.peek(0).kind != tokRParen {
 		arg, err := p.parseAtomArg(head)
 		if err != nil {
@@ -436,7 +442,7 @@ func (p *parser) parseAtomArg(head bool) (ast.Expr, error) {
 			if _, err := p.expect(tokGt); err != nil {
 				return nil, err
 			}
-			return &ast.Agg{Func: f, Var: v.text}, nil
+			return &ast.Agg{Func: f, Var: v.text, Pos: pos(t)}, nil
 		}
 	}
 	return p.parseExpr()
@@ -475,13 +481,13 @@ func (p *parser) parseTerm() (ast.Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Assign{Var: name, Expr: e}, nil
+		return &ast.Assign{Var: name, Expr: e, Pos: pos(t)}, nil
 	}
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
 	}
-	return &ast.Select{Cond: e}, nil
+	return &ast.Select{Cond: e, Pos: pos(t)}, nil
 }
 
 func isFuncName(s string) bool { return len(s) > 2 && s[0] == 'f' && s[1] == '_' }
@@ -500,6 +506,7 @@ func (p *parser) parseExpr() (ast.Expr, error) {
 		return nil, err
 	}
 	for p.peek(0).kind == tokOrOr {
+		opPos := pos(p.peek(0))
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -507,7 +514,7 @@ func (p *parser) parseExpr() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &ast.BinOp{Op: ast.OpOr, L: l, R: r}
+		l = &ast.BinOp{Op: ast.OpOr, L: l, R: r, Pos: opPos}
 	}
 	return l, nil
 }
@@ -518,6 +525,7 @@ func (p *parser) parseAnd() (ast.Expr, error) {
 		return nil, err
 	}
 	for p.peek(0).kind == tokAndAnd {
+		opPos := pos(p.peek(0))
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -525,7 +533,7 @@ func (p *parser) parseAnd() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &ast.BinOp{Op: ast.OpAnd, L: l, R: r}
+		l = &ast.BinOp{Op: ast.OpAnd, L: l, R: r, Pos: opPos}
 	}
 	return l, nil
 }
@@ -541,6 +549,7 @@ func (p *parser) parseCmp() (ast.Expr, error) {
 		return nil, err
 	}
 	if op, ok := relops[p.peek(0).kind]; ok {
+		opPos := pos(p.peek(0))
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -548,7 +557,7 @@ func (p *parser) parseCmp() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.BinOp{Op: op, L: l, R: r}, nil
+		return &ast.BinOp{Op: op, L: l, R: r, Pos: opPos}, nil
 	}
 	return l, nil
 }
@@ -568,6 +577,7 @@ func (p *parser) parseAdd() (ast.Expr, error) {
 		default:
 			return l, nil
 		}
+		opPos := pos(p.peek(0))
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -575,7 +585,7 @@ func (p *parser) parseAdd() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &ast.BinOp{Op: op, L: l, R: r}
+		l = &ast.BinOp{Op: op, L: l, R: r, Pos: opPos}
 	}
 }
 
@@ -596,6 +606,7 @@ func (p *parser) parseMul() (ast.Expr, error) {
 		default:
 			return l, nil
 		}
+		opPos := pos(p.peek(0))
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -603,12 +614,13 @@ func (p *parser) parseMul() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &ast.BinOp{Op: op, L: l, R: r}
+		l = &ast.BinOp{Op: op, L: l, R: r, Pos: opPos}
 	}
 }
 
 func (p *parser) parseUnary() (ast.Expr, error) {
 	if p.peek(0).kind == tokMinus {
+		minusPos := pos(p.peek(0))
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -619,12 +631,12 @@ func (p *parser) parseUnary() (ast.Expr, error) {
 		if c, ok := e.(*ast.Const); ok {
 			switch c.Value.Kind() {
 			case val.KindInt:
-				return &ast.Const{Value: val.NewInt(-c.Value.Int())}, nil
+				return &ast.Const{Value: val.NewInt(-c.Value.Int()), Pos: minusPos}, nil
 			case val.KindFloat:
-				return &ast.Const{Value: val.NewFloat(-c.Value.Float())}, nil
+				return &ast.Const{Value: val.NewFloat(-c.Value.Float()), Pos: minusPos}, nil
 			}
 		}
-		return &ast.BinOp{Op: ast.OpSub, L: &ast.Const{Value: val.NewInt(0)}, R: e}, nil
+		return &ast.BinOp{Op: ast.OpSub, L: &ast.Const{Value: val.NewInt(0), Pos: minusPos}, R: e, Pos: minusPos}, nil
 	}
 	return p.parsePrimary()
 }
@@ -637,17 +649,17 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 		if err != nil {
 			return nil, p.errorf(t, "bad integer %q", t.text)
 		}
-		return &ast.Const{Value: val.NewInt(n)}, p.advance()
+		return &ast.Const{Value: val.NewInt(n), Pos: pos(t)}, p.advance()
 	case tokFloat:
 		f, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
 			return nil, p.errorf(t, "bad float %q", t.text)
 		}
-		return &ast.Const{Value: val.NewFloat(f)}, p.advance()
+		return &ast.Const{Value: val.NewFloat(f), Pos: pos(t)}, p.advance()
 	case tokString:
-		return &ast.Const{Value: val.NewString(t.text)}, p.advance()
+		return &ast.Const{Value: val.NewString(t.text), Pos: pos(t)}, p.advance()
 	case tokVar:
-		return &ast.Var{Name: t.text}, p.advance()
+		return &ast.Var{Name: t.text, Pos: pos(t)}, p.advance()
 	case tokAt:
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -655,9 +667,9 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 		n := p.peek(0)
 		switch n.kind {
 		case tokVar:
-			return &ast.Var{Name: n.text, Loc: true}, p.advance()
+			return &ast.Var{Name: n.text, Loc: true, Pos: pos(t)}, p.advance()
 		case tokIdent:
-			return &ast.Const{Value: val.NewAddr(n.text)}, p.advance()
+			return &ast.Const{Value: val.NewAddr(n.text), Pos: pos(t)}, p.advance()
 		}
 		return nil, p.errorf(n, "expected variable or address after @, found %s", n)
 	case tokLBracket:
@@ -693,9 +705,9 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 			vs = append(vs, c.Value)
 		}
 		if allConst {
-			return &ast.Const{Value: val.NewList(vs...)}, nil
+			return &ast.Const{Value: val.NewList(vs...), Pos: pos(t)}, nil
 		}
-		return &ast.Call{Name: "f_list", Args: elems}, nil
+		return &ast.Call{Name: "f_list", Args: elems, Pos: pos(t)}, nil
 	case tokLParen:
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -715,19 +727,19 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 		}
 		switch name {
 		case "nil":
-			return &ast.Const{Value: val.NewList()}, nil
+			return &ast.Const{Value: val.NewList(), Pos: pos(t)}, nil
 		case "true":
-			return &ast.Const{Value: val.NewBool(true)}, nil
+			return &ast.Const{Value: val.NewBool(true), Pos: pos(t)}, nil
 		case "false":
-			return &ast.Const{Value: val.NewBool(false)}, nil
+			return &ast.Const{Value: val.NewBool(false), Pos: pos(t)}, nil
 		case "infinity":
-			return &ast.Const{Value: val.NewFloat(1e18)}, nil
+			return &ast.Const{Value: val.NewFloat(1e18), Pos: pos(t)}, nil
 		}
 		if p.peek(0).kind == tokLParen {
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
-			call := &ast.Call{Name: name}
+			call := &ast.Call{Name: name, Pos: pos(t)}
 			for p.peek(0).kind != tokRParen {
 				a, err := p.parseExpr()
 				if err != nil {
@@ -746,7 +758,7 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 			return call, nil
 		}
 		// Bare lower-case identifier: address constant (paper convention).
-		return &ast.Const{Value: val.NewAddr(name)}, nil
+		return &ast.Const{Value: val.NewAddr(name), Pos: pos(t)}, nil
 	}
 	return nil, p.errorf(t, "unexpected token %s in expression", t)
 }

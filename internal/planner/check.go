@@ -11,10 +11,11 @@
 package planner
 
 import (
+	"errors"
 	"fmt"
 
+	"ndlog/internal/analysis"
 	"ndlog/internal/ast"
-	"ndlog/internal/val"
 )
 
 // CheckError reports an NDlog validity violation.
@@ -65,178 +66,22 @@ func IDBPredicates(p *ast.Program) map[string]bool {
 	return idb
 }
 
-// Check validates the four NDlog constraints of Definition 6:
-//
-//  1. Location specificity: every predicate's first attribute is a
-//     location specifier (an "@" variable or address constant).
-//  2. Address type safety: a variable used as an address type is not
-//     used elsewhere in the same rule as a non-address type.
-//  3. Stored link relations: link relations never appear in rule heads.
-//  4. Link restriction: every non-local rule has exactly one link
-//     literal, and all other predicates are located at one of the link's
-//     two endpoints.
-//
-// Check also enforces basic well-formedness: bounded variables in heads,
-// at most one aggregate per head, and assignments binding fresh
-// variables.
+// Check validates the four NDlog constraints of Definition 6 plus the
+// planner's well-formedness rules (bound variables, fresh assignments,
+// at most one aggregate per head). It is a compatibility shim over
+// analysis.Definition6: every violation in the program is collected and
+// the result is an errors.Join of one *CheckError per violation, so
+// errors.As still surfaces a *CheckError and error strings still
+// contain each individual message. Callers wanting positions, warnings,
+// or the stricter whole-program passes should use analysis.Analyze.
 func Check(p *ast.Program) error {
-	links := LinkRelations(p)
-	for _, r := range p.Rules {
-		if err := checkRule(r, links); err != nil {
-			return err
-		}
-	}
-	for _, f := range p.Facts {
-		if len(f.Fields) == 0 || f.Fields[0].Kind() != val.KindAddr {
-			return &CheckError{Msg: fmt.Sprintf("fact %s: first field must be an address", f)}
-		}
-	}
-	if p.Query != nil {
-		if len(p.Query.Args) == 0 {
-			return &CheckError{Msg: "query predicate has no location specifier"}
-		}
-	}
-	return nil
-}
-
-func checkRule(r *ast.Rule, links map[string]bool) error {
-	atoms := append([]*ast.Atom{&r.Head}, r.Atoms()...)
-
-	// (1) Location specificity.
-	for _, a := range atoms {
-		if len(a.Args) == 0 {
-			return checkErrf(r, "predicate %s has no location specifier", a.Pred)
-		}
-		switch arg := a.Args[0].(type) {
-		case *ast.Var:
-			// Parsed "@X" has Loc=true; a bare variable in the first
-			// position is rejected to keep data placement explicit.
-			if !arg.Loc {
-				return checkErrf(r, "predicate %s: first attribute %s must be a location specifier (@%s)", a.Pred, arg.Name, arg.Name)
-			}
-		case *ast.Const:
-			if arg.Value.Kind() != val.KindAddr {
-				return checkErrf(r, "predicate %s: first attribute must be an address, got %s", a.Pred, arg.Value.Kind())
-			}
-		default:
-			return checkErrf(r, "predicate %s: first attribute must be a variable or address constant", a.Pred)
-		}
-	}
-
-	// (2) Address type safety: across atom argument positions, a variable
-	// is used consistently as address or non-address.
-	addrVars := map[string]bool{}
-	plainVars := map[string]bool{}
-	for _, a := range atoms {
-		for _, arg := range a.Args {
-			v, ok := arg.(*ast.Var)
-			if !ok {
-				continue
-			}
-			if v.Loc {
-				addrVars[v.Name] = true
-			} else {
-				plainVars[v.Name] = true
-			}
-		}
-	}
-	for name := range addrVars {
-		if plainVars[name] {
-			return checkErrf(r, "variable %s used both as address (@%s) and non-address type", name, name)
-		}
-	}
-
-	// (3) Stored link relations.
-	if links[r.Head.Pred] && len(r.Body) > 0 {
-		return checkErrf(r, "link relation %s must not be derived (appears in rule head)", r.Head.Pred)
-	}
-
-	// (4) Link restriction.
-	if !r.IsLocal() {
-		var linkAtoms []*ast.Atom
-		for _, a := range r.Atoms() {
-			if a.Link {
-				linkAtoms = append(linkAtoms, a)
-			}
-		}
-		if len(linkAtoms) != 1 {
-			return checkErrf(r, "non-local rule must have exactly one link literal, found %d", len(linkAtoms))
-		}
-		link := linkAtoms[0]
-		if len(link.Args) < 2 {
-			return checkErrf(r, "link literal #%s needs source and destination fields", link.Pred)
-		}
-		src, dst := link.LocVar(), ""
-		if v, ok := link.Args[1].(*ast.Var); ok {
-			dst = v.Name
-		}
-		if src == "" || dst == "" {
-			return checkErrf(r, "link literal #%s endpoints must be variables", link.Pred)
-		}
-		for _, a := range atoms {
-			if a == link {
-				continue
-			}
-			loc := a.LocVar()
-			if loc != src && loc != dst {
-				return checkErrf(r, "predicate %s located at @%s, not at link endpoint @%s or @%s", a.Pred, loc, src, dst)
-			}
-		}
-	}
-
-	// Safety: head variables must be bound by body atoms or assignments.
-	bound := map[string]bool{}
-	for _, a := range r.Atoms() {
-		for _, arg := range a.Args {
-			if v, ok := arg.(*ast.Var); ok {
-				bound[v.Name] = true
-			}
-		}
-	}
-	for _, t := range r.Body {
-		asn, ok := t.(*ast.Assign)
-		if !ok {
+	diags := analysis.Definition6(p)
+	var errs []error
+	for _, d := range diags {
+		if d.Severity != analysis.Error {
 			continue
 		}
-		if bound[asn.Var] {
-			return checkErrf(r, "assignment rebinds variable %s", asn.Var)
-		}
-		for name := range ast.Vars(asn.Expr) {
-			if !bound[name] {
-				return checkErrf(r, "assignment to %s uses unbound variable %s", asn.Var, name)
-			}
-		}
-		bound[asn.Var] = true
+		errs = append(errs, &CheckError{Rule: d.Rule, Msg: d.Msg})
 	}
-	for _, t := range r.Body {
-		sel, ok := t.(*ast.Select)
-		if !ok {
-			continue
-		}
-		for name := range ast.Vars(sel.Cond) {
-			if !bound[name] {
-				return checkErrf(r, "selection uses unbound variable %s", name)
-			}
-		}
-	}
-	aggs := 0
-	for _, arg := range r.Head.Args {
-		switch x := arg.(type) {
-		case *ast.Agg:
-			aggs++
-			if !bound[x.Var] {
-				return checkErrf(r, "aggregate over unbound variable %s", x.Var)
-			}
-		default:
-			for name := range ast.Vars(arg) {
-				if !bound[name] {
-					return checkErrf(r, "head variable %s is unbound", name)
-				}
-			}
-		}
-	}
-	if aggs > 1 {
-		return checkErrf(r, "at most one aggregate per head, found %d", aggs)
-	}
-	return nil
+	return errors.Join(errs...)
 }

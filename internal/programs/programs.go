@@ -52,8 +52,8 @@ materialize(%[4]s, infinity, infinity, keys(1,2,3,4)).
 dv1%[5]s %[2]s(@S,@D,@D,P,C) :- #%[1]s(@S,@D,C), P := f_concatPath(S, [D]).
 dv2%[5]s %[2]s(@S,@D,@Z,P,C) :- #%[1]s(@S,@Z,C1), %[4]s(@Z,@D,P2,C2),
 	f_member(P2, S) == false, C := C1 + C2, P := f_concatPath(S, P2).
-dv3%[5]s %[3]s(@S,@D,min<C>) :- %[2]s(@S,@D,@Z,P,C).
-dv4%[5]s %[4]s(@S,@D,P,C) :- %[3]s(@S,@D,C), %[2]s(@S,@D,@Z,P,C).
+dv3%[5]s %[3]s(@S,@D,min<C>) :- %[2]s(@S,@D,@_Z,_P,C).
+dv4%[5]s %[4]s(@S,@D,P,C) :- %[3]s(@S,@D,C), %[2]s(@S,@D,@_Z,P,C).
 
 query %[4]s(@S,@D,P,C).
 `, r("link"), r("path"), r("spCost"), r("shortestPath"), sfx)
@@ -68,10 +68,10 @@ materialize(%[3]s, infinity, infinity, keys(1,2)).
 materialize(%[4]s, infinity, infinity, keys(1,2,3,4)).
 
 sp1%[5]s %[2]s(@S,@D,@D,P,C) :- #%[1]s(@S,@D,C), P := f_concatPath(S, [D]).
-sp2%[5]s %[2]s(@S,@D,@Z,P,C) :- #%[1]s(@S,@Z,C1), %[2]s(@Z,@D,@Z2,P2,C2),
+sp2%[5]s %[2]s(@S,@D,@Z,P,C) :- #%[1]s(@S,@Z,C1), %[2]s(@Z,@D,@_Z2,P2,C2),
 	f_member(P2, S) == false, C := C1 + C2, P := f_concatPath(S, P2).
-sp3%[5]s %[3]s(@S,@D,min<C>) :- %[2]s(@S,@D,@Z,P,C).
-sp4%[5]s %[4]s(@S,@D,P,C) :- %[3]s(@S,@D,C), %[2]s(@S,@D,@Z,P,C).
+sp3%[5]s %[3]s(@S,@D,min<C>) :- %[2]s(@S,@D,@_Z,_P,C).
+sp4%[5]s %[4]s(@S,@D,P,C) :- %[3]s(@S,@D,C), %[2]s(@S,@D,@_Z,P,C).
 
 query %[4]s(@S,@D,P,C).
 `, r("link"), r("path"), r("spCost"), r("shortestPath"), sfx, pathKeys)
@@ -125,10 +125,10 @@ materialize(cache, infinity, infinity, keys(1,2)).
 
 sd1 pathDst(@D,@S,@S,P,C) :- magicSrc(@S), #link(@S,@D,C),
 	P := f_concatPath(S, [D]).
-sd2 pathDst(@D,@S,@Z,P,C) :- pathDst(@Z,@S,@Z1,P1,C1), #link(@Z,@D,C2),
+sd2 pathDst(@D,@S,@Z,P,C) :- pathDst(@Z,@S,@_Z1,P1,C1), #link(@Z,@D,C2),
 	f_member(P1, D) == false, C := C1 + C2, P := f_append(P1, D).
-sd3 spCostD(@D,@S,min<C>) :- magicDst(@D), pathDst(@D,@S,@Z,P,C).
-sd4 shortestPathD(@D,@S,P,C) :- spCostD(@D,@S,C), pathDst(@D,@S,@Z,P,C).
+sd3 spCostD(@D,@S,min<C>) :- magicDst(@D), pathDst(@D,@S,@_Z,_P,C).
+sd4 shortestPathD(@D,@S,P,C) :- spCostD(@D,@S,C), pathDst(@D,@S,@_Z,P,C).
 
 // Answer return: hop backwards along the path vector toward the source.
 // SC accumulates the suffix cost from the current node to the
@@ -137,7 +137,7 @@ sd4 shortestPathD(@D,@S,P,C) :- spCostD(@D,@S,C), pathDst(@D,@S,@Z,P,C).
 an1 answer(@D,@S,@D,P,C,SC) :- shortestPathD(@D,@S,P,C), SC := 0.
 an2 answer(@Z,@S,@D,P,C,SC2) :- answer(@N,@S,@D,P,C,SC), #link(@N,@Z,C1),
 	Z == f_prevHop(P, N), SC2 := SC + C1.
-ca1 cache(@N,@D,SC) :- answer(@N,@S,@D,P,C,SC).
+ca1 cache(@N,@D,SC) :- answer(@N,@_S,@D,_P,_C,SC).
 
 query answer(@S2,@S2,@D,P,C,SC).
 `
@@ -173,14 +173,14 @@ cs1 pathDst(@D,@S,@QD,P,C) :- magicQuery(@S,@QD), #link(@S,@D,C),
 	P := f_concatPath(S, [D]).
 cs2 pathDst(@D,@S,@QD,P,C) :- pathDst(@Z,@S,@QD,P1,C1), #link(@Z,@D,C2),
 	f_member(P1, D) == false, C := C1 + C2, P := f_append(P1, D).
-cs3 localBest(@N,@S,@QD,min<C>) :- pathDst(@N,@S,@QD,P,C).
-cs4 spCostD(@D,@S,min<C>) :- pathDst(@D,@S,@D,P,C).
+cs3 localBest(@N,@S,@QD,min<C>) :- pathDst(@N,@S,@QD,_P,C).
+cs4 spCostD(@D,@S,min<C>) :- pathDst(@D,@S,@D,_P,C).
 cs5 shortestPathD(@D,@S,P,C) :- spCostD(@D,@S,C), pathDst(@D,@S,@D,P,C).
 
 an1 answer(@D,@S,@D,P,C,SC) :- shortestPathD(@D,@S,P,C), SC := 0.
 an2 answer(@Z,@S,@D,P,C,SC2) :- answer(@N,@S,@D,P,C,SC), #link(@N,@Z,C1),
 	Z == f_prevHop(P, N), SC2 := SC + C1.
-ca1 cache(@N,@D,min<SC>) :- answer(@N,@S,@D,P,C,SC).
+ca1 cache(@N,@D,min<SC>) :- answer(@N,@_S,@D,_P,_C,SC).
 hit1 answer(@N,@S,@QD,P,C2,SC) :- pathDst(@N,@S,@QD,P,C), cache(@N,@QD,SC),
 	C2 := C + SC.
 
@@ -205,17 +205,17 @@ materialize(child, infinity, infinity, keys(1,2,3)).
 
 // A member's parent toward the root R is the next hop of its shortest
 // path to R.
-mc1 parent(@N,@R,@Z) :- member(@N,@R), shortestPath(@N,@R,P,C),
+mc1 parent(@N,@R,@Z) :- member(@N,@R), shortestPath(@N,@R,P,_C),
 	Z := f_nth(P, 1).
 
 // Parents learn their children. The parent is by construction a
 // neighbor, so the rule is link-restricted: the parent tuple joins the
 // link whose far end is the parent.
-mc2 child(@Z,@R,@N) :- #link(@N,@Z,C), parent(@N,@R,@Z).
+mc2 child(@Z,@R,@N) :- #link(@N,@Z,_C), parent(@N,@R,@Z).
 
 // Interior nodes of the tree are members too: grafting propagates
 // toward the root so forwarding state exists along the whole branch.
-mc3 member(@N,@R) :- child(@N,@R,@C2).
+mc3 member(@N,@R) :- child(@N,@R,@_C2).
 
 // Fan-out per tree node.
 mc4 fanout(@N,@R,count<C>) :- child(@N,@R,@C).

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"ndlog/internal/analysis"
 	"ndlog/internal/parser"
 	"ndlog/internal/planner"
 )
@@ -34,6 +35,29 @@ func TestAllProgramsParseAndCheck(t *testing.T) {
 		}
 		if _, err := planner.Localize(prog); err != nil {
 			t.Errorf("%s: localize: %v", name, err)
+		}
+	}
+}
+
+// TestProgramsAnalyzerClean holds every shipped program to the full
+// analyzer bar, warnings included: generator output must stay free of
+// singleton variables, dead rules, type conflicts, and lifetime
+// violations, not just Definition 6 errors.
+func TestProgramsAnalyzerClean(t *testing.T) {
+	srcs := map[string]string{
+		"ShortestPath":      ShortestPath(""),
+		"ShortestPathDV":    ShortestPathDV(""),
+		"MagicShortestPath": MagicShortestPath(),
+		"CachedSourceRoute": CachedSourceRoute(),
+		"Multicast+DV":      Combine(ShortestPathDV(""), Multicast()),
+	}
+	for name, src := range srcs {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		for _, d := range analysis.Analyze(prog) {
+			t.Errorf("%s: %s", name, d.Format("<"+name+">"))
 		}
 	}
 }
