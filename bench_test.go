@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ndlog/internal/conform"
 	"ndlog/internal/engine"
 	"ndlog/internal/experiments"
 	"ndlog/internal/parser"
@@ -348,6 +349,80 @@ func BenchmarkHybridSplit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o.HybridSplit(o.Nodes[0], o.Nodes[len(o.Nodes)-1])
+	}
+}
+
+// --- Protocol suite benchmarks (internal/conform harnesses) ---
+
+// BenchmarkChordRing forms a 24-node Chord ring from a single landmark
+// and drives it to the oracle-checked ring invariant, reporting virtual
+// seconds to stability.
+func BenchmarkChordRing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := conform.DefaultChordOpts(int64(11 + i))
+		o.Nodes, o.Reserve = 24, 2
+		r, err := conform.NewChordRun(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.RunUntil(10)
+		for len(r.CheckRing()) > 0 {
+			if r.Net.Sim.Now() >= 200 {
+				b.Fatalf("ring never converged by t=%.1f", r.Net.Sim.Now())
+			}
+			r.RunUntil(r.Net.Sim.Now() + o.StabEvery)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.Net.Sim.Now(), "vsec-converge")
+		}
+	}
+}
+
+// BenchmarkLinkStateRoutes floods LSAs over the small ring-plus-chords
+// topology until every node's routes match the Dijkstra oracle.
+func BenchmarkLinkStateRoutes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := conform.DefaultLinkStateOpts(int64(11 + i))
+		o.Nodes, o.Chords = 10, 4
+		r, err := conform.NewLinkStateRun(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for len(r.CheckRoutes()) > 0 {
+			if r.Net.Sim.Now() >= 30 {
+				b.Fatalf("routes never converged by t=%.1f", r.Net.Sim.Now())
+			}
+			r.RunUntil(r.Net.Sim.Now() + 1)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.Net.Sim.Now(), "vsec-converge")
+		}
+	}
+}
+
+// BenchmarkGossipCoverage runs the epidemic failure detector until
+// every node's view of every other node is fresh, reporting rounds
+// taken against the O(log n) infection bound.
+func BenchmarkGossipCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := conform.DefaultGossipOpts(int64(11 + i))
+		o.Nodes = 24
+		r, err := conform.NewGossipRun(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds := r.ConvergeRounds()
+		r.RunRounds(rounds)
+		for len(r.CheckFresh(nil)) > 0 {
+			if rounds++; rounds > r.ConvergeRounds()+5 {
+				b.Fatalf("view not fresh after %d rounds", rounds)
+			}
+			r.RunRounds(1)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rounds), "rounds-fresh")
+			b.ReportMetric(float64(r.ConvergeRounds()), "rounds-bound")
+		}
 	}
 }
 

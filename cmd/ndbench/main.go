@@ -51,6 +51,7 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "run the Section 5.3 TD/BU/hybrid cost analysis")
 	hybridPairs := flag.Int("hybrid-pairs", 200, "pair sample size for -hybrid")
 	parallel := flag.String("parallel", "", "run the multi-core scaling rows at these comma-separated worker counts, e.g. 1,2,4 (wall-clock, real cores)")
+	protocols := flag.Bool("protocols", false, "run the protocol conformance rows (chord, link-state, gossip)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -68,7 +69,7 @@ func main() {
 			want[f] = true
 		}
 	}
-	if len(want) == 0 && !*hybrid && *parallel == "" {
+	if len(want) == 0 && !*hybrid && *parallel == "" && !*protocols {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -150,6 +151,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatParallel(rows))
+		fmt.Println()
+	}
+	if *protocols {
+		if err := runProtocols(os.Stdout, *seed, *small); err != nil {
+			fail(err)
+		}
 		fmt.Println()
 	}
 }

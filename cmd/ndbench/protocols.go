@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ndlog/internal/conform"
+)
+
+// runProtocols prints one measurement row per protocol of the
+// conformance suite: virtual seconds to the oracle-clean fixpoint
+// (and to re-convergence after one churn event where that applies),
+// plus wall-clock cost. Rows are deterministic under -seed; -small
+// shrinks the topologies the way the figure experiments do.
+func runProtocols(w io.Writer, seed int64, small bool) error {
+	fmt.Fprintf(w, "Protocol conformance rows (seed %d)\n", seed)
+
+	if err := chordRow(w, seed, small); err != nil {
+		return err
+	}
+	if err := linkStateRow(w, seed, small); err != nil {
+		return err
+	}
+	return gossipRow(w, seed, small)
+}
+
+// settle advances time in 1-vsec steps until check is clean, returning
+// the virtual time reached, or an error at the deadline.
+func settle(run func(float64), now func() float64, deadline float64, check func() []string) (float64, error) {
+	for {
+		errs := check()
+		if len(errs) == 0 {
+			return now(), nil
+		}
+		if now() >= deadline {
+			return 0, fmt.Errorf("not converged by t=%.1f: %s (+%d more)",
+				now(), errs[0], len(errs)-1)
+		}
+		run(now() + 1)
+	}
+}
+
+func chordRow(w io.Writer, seed int64, small bool) error {
+	o := conform.DefaultChordOpts(seed)
+	o.Nodes, o.Reserve = 32, 2
+	deadline := 240.0
+	if small {
+		o.Nodes = 16
+		deadline = 120
+	}
+	start := time.Now()
+	r, err := conform.NewChordRun(o)
+	if err != nil {
+		return err
+	}
+	// Skip past the staggered bring-up joins before polling the ring
+	// invariant; at t=0 the landmark alone is (vacuously) a valid ring.
+	r.RunUntil(10)
+	conv, err := settle(r.RunUntil, r.Net.Sim.Now, deadline, r.CheckRing)
+	if err != nil {
+		return fmt.Errorf("chord: %w", err)
+	}
+	samples := r.InjectLookups(24)
+	total, ok := len(samples), 0
+	for attempt := 0; len(samples) > 0 && attempt < 5; attempt++ {
+		r.RunUntil(r.Net.Sim.Now() + 2)
+		failed, errs := r.CheckLookups(samples)
+		if len(errs) > 0 {
+			return fmt.Errorf("chord: wrong lookup: %s", errs[0])
+		}
+		ok = total - len(failed)
+		samples = samples[:0]
+		for _, s := range failed {
+			samples = append(samples, r.Reinject(s))
+		}
+	}
+	fmt.Fprintf(w, "chord      nodes=%-3d ring-stable=%.1f vsec  lookups=%d/%d ok  wall=%.2fs\n",
+		o.Nodes, conv, ok, total, time.Since(start).Seconds())
+	return nil
+}
+
+func linkStateRow(w io.Writer, seed int64, small bool) error {
+	o := conform.DefaultLinkStateOpts(seed)
+	if small {
+		o.Nodes, o.Chords = 10, 4
+	}
+	start := time.Now()
+	r, err := conform.NewLinkStateRun(o)
+	if err != nil {
+		return err
+	}
+	conv, err := settle(r.RunUntil, r.Net.Sim.Now, 30, r.CheckRoutes)
+	if err != nil {
+		return fmt.Errorf("linkstate: %w", err)
+	}
+	a, b := r.RandomEdge()
+	r.SetCost(a, b, 1+r.Net.Rng.Int63n(o.MaxCost))
+	reconv, err := settle(r.RunUntil, r.Net.Sim.Now, conv+30, r.CheckRoutes)
+	if err != nil {
+		return fmt.Errorf("linkstate churn: %w", err)
+	}
+	fmt.Fprintf(w, "linkstate  nodes=%-3d routes=%.1f vsec  recost-reconverge=%.1f vsec  wall=%.2fs\n",
+		o.Nodes, conv, reconv-conv, time.Since(start).Seconds())
+	return nil
+}
+
+func gossipRow(w io.Writer, seed int64, small bool) error {
+	o := conform.DefaultGossipOpts(seed)
+	if small {
+		o.Nodes = 16
+	}
+	start := time.Now()
+	r, err := conform.NewGossipRun(o)
+	if err != nil {
+		return err
+	}
+	bound := r.ConvergeRounds()
+	r.RunRounds(bound)
+	extra := 0
+	for len(r.CheckFresh(nil)) > 0 {
+		if extra++; extra > 5 {
+			return fmt.Errorf("gossip: view not fresh %d rounds past the infection bound", extra)
+		}
+		r.RunRounds(1)
+	}
+	fmt.Fprintf(w, "gossip     nodes=%-3d fresh=%d rounds (bound %d)  detect-after=%d rounds  wall=%.2fs\n",
+		o.Nodes, bound+extra, bound, r.DetectRounds(), time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,95 @@
+// Chord: the paper's flagship overlay (Section 3) — a distributed hash
+// table's ring maintenance, successor lists, finger tables and lookups,
+// all as NDlog rules over ring-interval arithmetic (f_sha1, f_inrange).
+//
+// A 16-node ring forms from a single landmark: each joiner looks up its
+// own identifier, points its successor at the answer, and periodic
+// stabilization (ask your successor for its predecessor) walks every
+// node to its true place on the ring. Once stable, sampled lookups are
+// checked against an oracle that sorts the ring identifiers directly;
+// then a node joins and a node leaves and the ring repairs itself.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ndlog/internal/conform"
+	"ndlog/internal/funcs"
+	"ndlog/internal/val"
+)
+
+func main() {
+	o := conform.DefaultChordOpts(42)
+	o.Nodes, o.Reserve = 16, 1
+	r, err := conform.NewChordRun(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bring-up: staggered joins, then stabilization rounds until the
+	// ring invariant (everyone's bestSucc is the oracle's successor)
+	// holds everywhere.
+	r.RunUntil(10)
+	for len(r.CheckRing()) > 0 {
+		if r.Net.Sim.Now() >= 200 {
+			log.Fatalf("ring never converged by t=%.1f", r.Net.Sim.Now())
+		}
+		r.RunUntil(r.Net.Sim.Now() + o.StabEvery)
+	}
+	fmt.Printf("ring of %d converged at t=%.1fs (virtual)\n", o.Nodes, r.Net.Sim.Now())
+
+	// Walk the ring in identifier order.
+	type slot struct {
+		name string
+		id   int64
+	}
+	var ring []slot
+	for _, n := range r.Names[:o.Nodes] {
+		ring = append(ring, slot{n, funcs.RingID(val.NewAddr(n))})
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].id < ring[j].id })
+	fmt.Println("\nring order (node, identifier):")
+	for _, s := range ring {
+		fmt.Printf("  %s  %10d\n", s.name, s.id)
+	}
+
+	// Sampled lookups, answers checked against the sorted-ring oracle.
+	// Answers are soft state, so check shortly after injecting and
+	// reissue any sample whose answer was missed.
+	samples := r.InjectLookups(8)
+	report := append([]conform.LookupSample(nil), samples...)
+	for attempt := 0; len(samples) > 0; attempt++ {
+		r.RunUntil(r.Net.Sim.Now() + 2)
+		failed, errs := r.CheckLookups(samples)
+		if len(errs) > 0 {
+			log.Fatalf("wrong lookup answer: %v", errs[0])
+		}
+		if attempt >= 5 {
+			log.Fatalf("lookups: %d unanswered after %d attempts", len(failed), attempt+1)
+		}
+		samples = samples[:0]
+		for _, s := range failed {
+			samples = append(samples, r.Reinject(s))
+		}
+	}
+	fmt.Println("\nlookups (key -> true successor), all oracle-checked:")
+	for _, s := range report[:4] {
+		fmt.Printf("  lookup(%10d) from %s -> %s\n", s.Key, s.Node, r.TrueSuccessor(s.Key))
+	}
+	fmt.Printf("  ... %d/%d resolved correctly\n", len(report), len(report))
+
+	// Churn: one reserve node joins, one ring node leaves; stabilization
+	// absorbs both and the invariant holds again.
+	start := r.Net.Sim.Now() + 1
+	r.Churn(start, 4, 1, 1)
+	r.RunUntil(start + 6)
+	for len(r.CheckRing()) > 0 {
+		if r.Net.Sim.Now() >= start+60 {
+			log.Fatalf("ring never re-converged after churn")
+		}
+		r.RunUntil(r.Net.Sim.Now() + o.StabEvery)
+	}
+	fmt.Printf("\nafter 1 join + 1 leave: ring re-converged at t=%.1fs\n", r.Net.Sim.Now())
+}

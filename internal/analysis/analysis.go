@@ -65,6 +65,7 @@ const (
 	CheckBuiltin      = "builtin"       // unknown builtin or wrong argument count
 	CheckSafety       = "safety"        // range restriction beyond Definition 6
 	CheckLifetime     = "lifetime"      // soft-state feeding hard state
+	CheckEvent        = "event"         // event-predicate (lifetime 0) misuse
 	CheckAggArg       = "agg-arg"       // aggregate argument hygiene
 	CheckDeadRule     = "dead-rule"     // rule can never fire from the seeded EDB
 	CheckUnreachable  = "unreachable"   // predicate never seeded nor derived
@@ -105,6 +106,7 @@ func Analyze(prog *ast.Program) []Diagnostic {
 	sig := c.checkTypes(prog)
 	c.checkSafety(prog, sig)
 	c.checkLifetime(prog)
+	c.checkEvents(prog)
 	c.checkReachability(prog)
 	c.checkAggArgs(prog)
 	c.checkVarLints(prog)

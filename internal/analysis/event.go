@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"ndlog/internal/ast"
+)
+
+// checkEvents validates event-predicate usage (materialize lifetime 0:
+// processed, never stored — see ast.TableDecl.IsEvent). Two shapes are
+// rejected because the engine gives them silently-empty semantics:
+//
+//   - A rule joining two event predicates never fires: events are
+//     instants, never stored, so no event tuple is present when the
+//     other arrives.
+//   - An aggregate ranging over an event predicate never updates:
+//     aggregates maintain a multiset of stored rows, and events store
+//     nothing. An aggregate head that is itself an event is rejected
+//     for the symmetric reason — aggregate outputs are replacements
+//     (retract old, insert new) and event retractions are dropped.
+func (c *collector) checkEvents(prog *ast.Program) {
+	event := map[string]bool{}
+	for _, m := range prog.Materialized {
+		if m.IsEvent() {
+			event[m.Name] = true
+		}
+	}
+	if len(event) == 0 {
+		return
+	}
+	for _, r := range prog.Rules {
+		var evs []string
+		for _, a := range r.Atoms() {
+			if event[a.Pred] {
+				evs = append(evs, a.Pred)
+			}
+		}
+		if len(evs) > 1 {
+			c.errorf(r.Pos, CheckEvent, ruleName(r),
+				"rule joins event predicates %s and %s; events are never stored, so two events never co-occur and the rule cannot fire",
+				evs[0], evs[1])
+		}
+		if r.Head.HasAggregate() {
+			if len(evs) > 0 {
+				c.errorf(r.Pos, CheckEvent, ruleName(r),
+					"aggregate ranges over event predicate %s; aggregates maintain stored rows and events store nothing, so the aggregate never updates",
+					evs[0])
+			}
+			if event[r.Head.Pred] {
+				c.errorf(r.Pos, CheckEvent, ruleName(r),
+					"aggregate head %s is an event predicate; aggregate outputs retract superseded values and event retractions are dropped",
+					r.Head.Pred)
+			}
+		}
+	}
+}

@@ -98,6 +98,16 @@ var builtinSigs = map[string]builtinSig{
 	"f_abs":        {params: []typeMask{tNum}, ret: tNum},
 	"f_prevHop":    {params: []typeMask{tList, tAny}, ret: tAny},
 	"f_nth":        {params: []typeMask{tList, tInt}, ret: tAny},
+	// Ring-identifier builtins (internal/funcs/ring.go). f_sha1/f_id
+	// accept any value — hashing an addr is the common case, but the
+	// param stays tAny so the addr requirement is not forced onto
+	// variables that legitimately hold derived keys.
+	"f_sha1":      {params: []typeMask{tAny}, ret: tInt},
+	"f_id":        {params: []typeMask{tAny}, ret: tInt},
+	"f_ringadd":   {params: []typeMask{tInt, tInt}, ret: tInt},
+	"f_ringdist":  {params: []typeMask{tInt, tInt}, ret: tInt},
+	"f_inrange":   {params: []typeMask{tInt, tInt, tInt}, ret: tBool},
+	"f_inrangeoo": {params: []typeMask{tInt, tInt, tInt}, ret: tBool},
 }
 
 // predSig is the inferred shape of one predicate: its canonical arity

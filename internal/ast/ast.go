@@ -58,14 +58,25 @@ func (p *Program) FactAt(i int) Pos {
 // TableDecl declares a materialized (stored) relation, following P2's
 // "materialize(name, lifetime, size, keys(...))" convention. Lifetime is
 // a soft-state TTL in virtual seconds; a negative lifetime means
-// "infinity" (hard state).
+// "infinity" (hard state). Lifetime zero declares an event predicate:
+// tuples are processed as they arrive — each firing runs the rules the
+// predicate triggers — but are never stored, never refreshed, and never
+// retracted, matching P2's non-materialized event streams. Event
+// predicates give protocols an instant that cannot be un-derived: a
+// periodic tick or a request message fires once and is gone, so later
+// changes to the tables it was joined against do not cascade deletions
+// through it.
 type TableDecl struct {
 	Name     string
-	Lifetime float64 // seconds; <0 means infinite
+	Lifetime float64 // seconds; <0 means infinite, 0 means event
 	MaxSize  int     // 0 means unbounded
 	Keys     []int   // 0-based primary-key positions; empty means all fields
 	Pos      Pos
 }
+
+// IsEvent reports whether the declaration is an event predicate
+// (lifetime zero: processed, never stored).
+func (d *TableDecl) IsEvent() bool { return d.Lifetime == 0 }
 
 // Rule is "Head :- Body." with an optional label (e.g. "SP2"). Delete
 // rules (prefixed "delete" in some NDlog dialects) are not modelled; the

@@ -1,0 +1,225 @@
+package conform
+
+import (
+	"math"
+	"sort"
+
+	"ndlog/internal/engine"
+	"ndlog/internal/programs"
+	"ndlog/internal/simnet"
+)
+
+// graphRun is the shared topology substrate of the hard-state protocol
+// harnesses (link-state, path-vector, multicast, DSR): a cost-weighted
+// ring with seeded random chords, plus the harness's own copy of the
+// edge set — the input every Dijkstra/BFS oracle reads, independent of
+// all protocol tables.
+//
+// Churn retracts and reasserts link facts; the simnet channel
+// underneath an edge stays up across failures, because hard-state
+// protocols repair by the count algorithm's retraction waves, which
+// must still be deliverable (an adjacency withdrawal, not a cable cut —
+// there are no TTLs to age out what an unreachable retraction would
+// strand). Loss stays at zero for the same reason: exact counting
+// assumes reliable delivery, which is precisely the contrast the
+// soft-state protocols (Chord, gossip) exercise.
+type graphRun struct {
+	Net   *Net
+	Names []string
+
+	edges   map[[2]string]int64 // live undirected edges, key sorted
+	latency float64
+	jitter  float64
+}
+
+// newGraphRun wires a cost-weighted ring with extra seeded random
+// chords onto net and injects the initial link facts at both endpoints
+// of every edge. Costs are drawn from [1, maxCost].
+func newGraphRun(net *Net, names []string, chords int, latency, jitter float64, maxCost int64) *graphRun {
+	g := &graphRun{
+		Net: net, Names: names,
+		edges: map[[2]string]int64{}, latency: latency, jitter: jitter,
+	}
+	cost := func() int64 { return 1 + net.Rng.Int63n(maxCost) }
+	for i := range names {
+		g.addEdge(names[i], names[(i+1)%len(names)], cost())
+	}
+	for c := 0; c < chords; {
+		i, j := net.Rng.Intn(len(names)), net.Rng.Intn(len(names))
+		if i == j {
+			continue
+		}
+		if _, dup := g.edges[edgeKey(names[i], names[j])]; dup {
+			continue
+		}
+		g.addEdge(names[i], names[j], cost())
+		c++
+	}
+	return g
+}
+
+func edgeKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func (g *graphRun) addEdge(a, b string, cost int64) {
+	g.edges[edgeKey(a, b)] = cost
+	if !g.Net.Sim.HasLink(simnet.NodeID(a), simnet.NodeID(b)) {
+		if err := g.Net.Sim.AddLink(simnet.NodeID(a), simnet.NodeID(b), g.latency, 0); err != nil {
+			panic(err)
+		}
+		if g.jitter > 0 {
+			if err := g.Net.Sim.SetJitter(simnet.NodeID(a), simnet.NodeID(b), g.jitter); err != nil {
+				panic(err)
+			}
+		}
+	}
+	g.Net.Inject(a, engine.Insert(programs.LinkFact("link", a, b, float64(cost))))
+	g.Net.Inject(b, engine.Insert(programs.LinkFact("link", b, a, float64(cost))))
+}
+
+// FailEdge withdraws an edge (both directions) at the current time. The
+// caller must not disconnect the graph; the oracle checks would report
+// the stranded destinations as missing routes either way.
+func (g *graphRun) FailEdge(a, b string) {
+	cost, ok := g.edges[edgeKey(a, b)]
+	if !ok {
+		panic("conform: failing unknown edge " + a + "-" + b)
+	}
+	delete(g.edges, edgeKey(a, b))
+	g.Net.Inject(a, engine.Deletion(programs.LinkFact("link", a, b, float64(cost))))
+	g.Net.Inject(b, engine.Deletion(programs.LinkFact("link", b, a, float64(cost))))
+}
+
+// HealEdge reasserts a previously failed edge with a (possibly new) cost.
+func (g *graphRun) HealEdge(a, b string, cost int64) {
+	if _, ok := g.edges[edgeKey(a, b)]; ok {
+		panic("conform: healing live edge " + a + "-" + b)
+	}
+	g.addEdge(a, b, cost)
+}
+
+// SetCost changes an edge's cost: an exactly paired retract + reassert,
+// the update idiom the count algorithm expects for hard state.
+func (g *graphRun) SetCost(a, b string, cost int64) {
+	old, ok := g.edges[edgeKey(a, b)]
+	if !ok {
+		panic("conform: recosting unknown edge " + a + "-" + b)
+	}
+	g.Net.Inject(a, engine.Deletion(programs.LinkFact("link", a, b, float64(old))))
+	g.Net.Inject(b, engine.Deletion(programs.LinkFact("link", b, a, float64(old))))
+	g.addEdge(a, b, cost)
+}
+
+// RandomEdge draws a live edge from the harness rng.
+func (g *graphRun) RandomEdge() (string, string) {
+	keys := make([][2]string, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	k := keys[g.Net.Rng.Intn(len(keys))]
+	return k[0], k[1]
+}
+
+// RingEdge reports whether a-b is one of the base ring edges (the ones
+// churn must leave alone to keep the graph connected).
+func (g *graphRun) RingEdge(a, b string) bool {
+	idx := map[string]int{}
+	for i, n := range g.Names {
+		idx[n] = i
+	}
+	d := idx[a] - idx[b]
+	if d < 0 {
+		d = -d
+	}
+	return d == 1 || d == len(g.Names)-1
+}
+
+// Dijkstra is the oracle: single-source shortest-path costs over the
+// harness's current edge map, independent of every protocol table.
+func (g *graphRun) Dijkstra(src string) map[string]int64 {
+	const inf = math.MaxInt64
+	dist := map[string]int64{}
+	for _, n := range g.Names {
+		dist[n] = inf
+	}
+	dist[src] = 0
+	done := map[string]bool{}
+	for {
+		best, bd := "", int64(inf)
+		for _, n := range g.Names {
+			if !done[n] && dist[n] < bd {
+				best, bd = n, dist[n]
+			}
+		}
+		if best == "" {
+			break
+		}
+		done[best] = true
+		for k, c := range g.edges {
+			var peer string
+			switch best {
+			case k[0]:
+				peer = k[1]
+			case k[1]:
+				peer = k[0]
+			default:
+				continue
+			}
+			if nd := bd + c; nd < dist[peer] {
+				dist[peer] = nd
+			}
+		}
+	}
+	for n, d := range dist {
+		if d == inf {
+			delete(dist, n)
+		}
+	}
+	return dist
+}
+
+// diameterHops is the longest hop-count shortest path over the current
+// edge set.
+func (g *graphRun) diameterHops() int {
+	max := 0
+	for _, src := range g.Names {
+		// BFS by hops, ignoring costs.
+		depth := map[string]int{src: 0}
+		frontier := []string{src}
+		for len(frontier) > 0 {
+			var next []string
+			for _, n := range frontier {
+				for k := range g.edges {
+					var peer string
+					switch n {
+					case k[0]:
+						peer = k[1]
+					case k[1]:
+						peer = k[0]
+					default:
+						continue
+					}
+					if _, seen := depth[peer]; !seen {
+						depth[peer] = depth[n] + 1
+						if depth[peer] > max {
+							max = depth[peer]
+						}
+						next = append(next, peer)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	return max
+}
+
+// RunUntil advances virtual time.
+func (g *graphRun) RunUntil(t float64) { g.Net.Sim.Run(t) }

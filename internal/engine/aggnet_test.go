@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"testing"
+
+	"ndlog/internal/val"
+)
+
+// aggNetSrc: the gate atom lets one trigger delta join many item rows
+// inside a single aggregate strand run.
+const aggNetSrc = `
+materialize(gate, infinity, infinity, keys(1)).
+materialize(item, infinity, infinity, keys(1,2)).
+materialize(best, infinity, infinity, keys(1)).
+
+b1 best(@N, max<C>) :- gate(@N), item(@N, _K, C).
+
+query best(@N, C).
+`
+
+// TestAggregateNetsIntermediateSteps: when one delta walks a group's
+// max up through several join results, only the net transition may be
+// emitted. Intermediate delete+insert pairs would re-trigger every
+// downstream strand once per step — in recursive programs that chatter
+// compounds per hop and has melted whole nodes (see runAggStrands).
+func TestAggregateNetsIntermediateSteps(t *testing.T) {
+	var emitted []Delta
+	c := central(t, aggNetSrc, Options{
+		OnDerive: func(_, rule string, d Delta) {
+			if rule == "b1" {
+				emitted = append(emitted, d)
+			}
+		},
+	})
+	item := func(k string, cost int64) val.Tuple {
+		return val.NewTuple("item", val.NewAddr("n"), val.NewString(k), val.NewInt(cost))
+	}
+	// Items first: without the gate the aggregate's join is empty, so
+	// nothing is emitted while they accumulate.
+	c.Insert(item("a", 3))
+	c.Insert(item("b", 9))
+	c.Insert(item("c", 5))
+	if len(emitted) != 0 {
+		t.Fatalf("emissions before gate: %v", emitted)
+	}
+
+	// The gate joins all three items in one strand run. The max walks
+	// 3 -> 9 internally; exactly one +best(9) may come out.
+	c.Insert(val.NewTuple("gate", val.NewAddr("n")))
+	if len(emitted) != 1 || emitted[0].Sign != +1 || emitted[0].Tuple.Fields[1].Int() != 9 {
+		t.Fatalf("gate insert emitted %v, want single +best(n,9)", emitted)
+	}
+	if rows := c.Tuples("best"); len(rows) != 1 || rows[0].Fields[1].Int() != 9 {
+		t.Fatalf("best = %v, want (n,9)", rows)
+	}
+
+	// Deleting the gate walks the max back down through the Removes;
+	// the net emission is the single retraction of the stored value.
+	emitted = nil
+	c.Delete(val.NewTuple("gate", val.NewAddr("n")))
+	if len(emitted) != 1 || emitted[0].Sign != -1 || emitted[0].Tuple.Fields[1].Int() != 9 {
+		t.Fatalf("gate delete emitted %v, want single -best(n,9)", emitted)
+	}
+	if rows := c.Tuples("best"); len(rows) != 0 {
+		t.Fatalf("best rows survived gate deletion: %v", rows)
+	}
+
+	// Incremental single-row path still works: re-gate, then a better
+	// item replaces the stored max with one delete+insert pair.
+	c.Insert(val.NewTuple("gate", val.NewAddr("n")))
+	emitted = nil
+	c.Insert(item("d", 12))
+	if len(emitted) != 2 || emitted[0].Sign != -1 || emitted[0].Tuple.Fields[1].Int() != 9 ||
+		emitted[1].Sign != +1 || emitted[1].Tuple.Fields[1].Int() != 12 {
+		t.Fatalf("improvement emitted %v, want -best(9) +best(12)", emitted)
+	}
+}

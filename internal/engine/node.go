@@ -603,11 +603,37 @@ func (n *Node) runJob(ctx *joinCtx, jb *parJob) {
 
 func (n *Node) process(d Delta) {
 	n.journalDelta(d)
+	if n.prog.events[d.Tuple.Pred] {
+		// Event predicate: fire-and-forget. Insertions run the trigger
+		// strands against current stored state and leave nothing behind;
+		// deletions are meaningless for an instant that already happened
+		// and are dropped. Because nothing is stored, later retractions
+		// of the tables an event was joined with find no event tuple to
+		// re-join, so no deletion cascade ever flows through an event —
+		// the property that makes tick- and request-driven rule chains
+		// stable under churn.
+		if d.Sign > 0 {
+			n.processEvent(d.Tuple)
+		}
+		return
+	}
 	if d.Sign > 0 {
 		n.processInsert(d.Tuple)
 	} else {
 		n.processDelete(d.Tuple)
 	}
+}
+
+// processEvent runs an event tuple's trigger strands without storing
+// it. The fresh stamp lets its joins see every previously stored tuple,
+// like any insertion; there is no aggregate maintenance (the analyzer
+// rejects aggregates over events) and no advertisement state.
+func (n *Node) processEvent(t val.Tuple) {
+	n.stamp++
+	if n.opts.OnStore != nil {
+		n.opts.OnStore(n.id, Insert(t), n.now)
+	}
+	n.runNormalStrands(+1, t, int64(n.stamp), int64(n.stamp), nil)
 }
 
 // storeInsert applies the table effects of an insertion: duplicate
@@ -868,6 +894,17 @@ func (n *Node) runAggStrands(sign int8, t val.Tuple, ltBefore, leAfter int64) (i
 			continue
 		}
 		state := n.aggs[st.rule]
+		// Net the group changes across this trigger's whole join before
+		// emitting. One delta can touch a group several times (a max
+		// walking up through the join results, one Add at a time); if
+		// every intermediate value were routed as its own delete+insert
+		// pair, each pair would fire the downstream strands — and in a
+		// recursive program (Chord's lookup forwarding) re-trigger the
+		// same chatter at the next hop, with a fan-out per hop equal to
+		// the number of intermediate steps. That cascade is supercritical
+		// on lossy or churning runs and melts a node inside one drain.
+		// Only the first old -> last new transition per group is real.
+		var pend []aggNetChange
 		err := st.run(ctx, t, func(d derived) {
 			contributed = true
 			fields := d.tuple.Fields
@@ -888,18 +925,63 @@ func (n *Node) runAggStrands(sign int8, t val.Tuple, ltBefore, leAfter int64) (i
 			if !ch.Changed() {
 				return
 			}
-			if ch.HadOld {
-				n.route(derived{tuple: n.aggHead(st, d.tuple.Pred, fields, ch.Old), loc: d.loc}, -1, st.rule.Label)
+			for i := range pend {
+				if sameVals(pend[i].group, groupKey) {
+					pend[i].hasNew, pend[i].newV = ch.HasNew, ch.New
+					return
+				}
 			}
-			if ch.HasNew {
-				n.route(derived{tuple: n.aggHead(st, d.tuple.Pred, fields, ch.New), loc: d.loc}, +1, st.rule.Label)
-			}
+			pend = append(pend, aggNetChange{
+				group:  append([]val.Value(nil), groupKey...),
+				fields: append([]val.Value(nil), fields...),
+				pred:   d.tuple.Pred,
+				loc:    d.loc,
+				hadOld: ch.HadOld, oldV: ch.Old,
+				hasNew: ch.HasNew, newV: ch.New,
+			})
 		})
 		if err != nil {
 			panic(fmt.Sprintf("engine: aggregate rule %s: %v", st.rule.Label, err))
 		}
+		for _, p := range pend {
+			if p.hadOld && p.hasNew && p.oldV.Equal(p.newV) {
+				continue // round trip: the group ended where it started
+			}
+			if p.hadOld {
+				n.route(derived{tuple: n.aggHead(st, p.pred, p.fields, p.oldV), loc: p.loc}, -1, st.rule.Label)
+			}
+			if p.hasNew {
+				n.route(derived{tuple: n.aggHead(st, p.pred, p.fields, p.newV), loc: p.loc}, +1, st.rule.Label)
+			}
+		}
 	}
 	return improving, contributed
+}
+
+// aggNetChange accumulates one aggregate group's net transition while a
+// single trigger delta runs through an aggregate strand: the value
+// before the first change and the value after the last one.
+type aggNetChange struct {
+	group  []val.Value
+	fields []val.Value
+	pred   string
+	loc    string
+	hadOld bool
+	oldV   val.Value
+	hasNew bool
+	newV   val.Value
+}
+
+func sameVals(a, b []val.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // aggKeyVals extracts the group key of an aggregate head into dst:

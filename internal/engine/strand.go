@@ -231,6 +231,14 @@ type program struct {
 	// hard-state contents are views, rebuildable from base facts, and so
 	// are excluded from migration exports (Node.Export).
 	derived map[string]bool
+	// events marks lifetime-zero predicates (ast.TableDecl.IsEvent):
+	// their deltas run trigger strands but are never stored, and their
+	// deletions are dropped. A strand joining an event as a non-trigger
+	// atom probes the event's table, which stays empty forever, so such
+	// strands — including deletion strands — produce nothing, which is
+	// exactly the P2 semantics: events never co-occur with anything and
+	// cannot be retracted.
+	events map[string]bool
 }
 
 // compile checks, localizes and compiles prog into strands.
@@ -248,9 +256,13 @@ func compile(prog *ast.Program) (*program, error) {
 		decls:        map[string]*ast.TableDecl{},
 		aggSelByPred: map[string][]planner.AggSelection{},
 		derived:      map[string]bool{},
+		events:       map[string]bool{},
 	}
 	for _, d := range local.Materialized {
 		p.decls[d.Name] = d
+		if d.IsEvent() {
+			p.events[d.Name] = true
+		}
 	}
 	p.aggSels = planner.DetectAggSelections(local)
 	for _, s := range p.aggSels {
@@ -261,6 +273,22 @@ func compile(prog *ast.Program) (*program, error) {
 	for _, r := range local.Rules {
 		if _, _, err := planner.EvalSite(r); err != nil {
 			return nil, err
+		}
+		// Event hygiene (the analyzer reports the same shapes with
+		// positions; this guards direct engine users): a rule joining
+		// two events can never fire, and aggregates cannot range over
+		// or produce events — both would get silently-empty semantics.
+		nEvents := 0
+		for _, a := range r.Atoms() {
+			if p.events[a.Pred] {
+				nEvents++
+			}
+		}
+		if nEvents > 1 {
+			return nil, fmt.Errorf("rule %s: joins %d event predicates; events never co-occur", r.Label, nEvents)
+		}
+		if r.Head.HasAggregate() && (nEvents > 0 || p.events[r.Head.Pred]) {
+			return nil, fmt.Errorf("rule %s: aggregate over or into an event predicate", r.Label)
 		}
 		p.derived[r.Head.Pred] = true
 		atoms := r.Atoms()

@@ -1,0 +1,165 @@
+package funcs
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+
+	"ndlog/internal/val"
+)
+
+// Ring-identifier builtins for DHT programs (Chord, Section 5 of the
+// paper). Identifiers live on a circular space of 2^32 positions; every
+// function below reduces its result modulo RingSize so rule-generated
+// ids, finger targets, and interval tests all agree on the same ring.
+
+// RingSize is the size of the identifier space, m = 32 bits.
+const RingSize = int64(1) << 32
+
+// RingID exposes the f_id hash to Go harnesses (oracles must place
+// nodes on the same ring the rules do).
+func RingID(v val.Value) int64 { return ringID(v) }
+
+// ringID hashes an arbitrary value onto the ring: SHA-1 of the value's
+// canonical byte form, truncated to the top 32 bits. Addresses and
+// strings hash their raw text (so an addr and the equal string map to
+// the same point); every other kind hashes its literal rendering.
+func ringID(v val.Value) int64 {
+	var text string
+	switch v.Kind() {
+	case val.KindAddr:
+		text = v.Addr()
+	case val.KindString:
+		text = v.Str()
+	default:
+		text = v.String()
+	}
+	sum := sha1.Sum([]byte(text))
+	return int64(binary.BigEndian.Uint32(sum[:4]))
+}
+
+// ringArg extracts an int argument and reduces it onto the ring.
+func ringArg(fn string, v val.Value) (int64, error) {
+	if v.Kind() != val.KindInt {
+		return 0, fmt.Errorf("%w: %s wants int id, got %s", ErrType, fn, v.Kind())
+	}
+	n := v.Int() % RingSize
+	if n < 0 {
+		n += RingSize
+	}
+	return n, nil
+}
+
+// fSHA1 (alias f_id) maps a value to its ring identifier in [0, 2^32).
+func fSHA1(args []val.Value) (val.Value, error) {
+	if err := need(args, 1); err != nil {
+		return val.Nil, err
+	}
+	return val.NewInt(ringID(args[0])), nil
+}
+
+// fRingAdd adds two ring positions modulo 2^32. Finger-table rules use
+// it to compute targets id + 2^k without overflowing the ring.
+func fRingAdd(args []val.Value) (val.Value, error) {
+	if err := need(args, 2); err != nil {
+		return val.Nil, err
+	}
+	a, err := ringArg("f_ringadd", args[0])
+	if err != nil {
+		return val.Nil, err
+	}
+	b, err := ringArg("f_ringadd", args[1])
+	if err != nil {
+		return val.Nil, err
+	}
+	return val.NewInt((a + b) % RingSize), nil
+}
+
+// fRingDist returns the clockwise distance from a to b: the number of
+// steps forward from a that reach b, in [1, 2^32]. b == a maps to the
+// full ring 2^32, never 0 — "how far to my successor" treats self as
+// the farthest candidate, which lets a lone bootstrap node be its own
+// successor without a special case while any real peer sorts closer.
+func fRingDist(args []val.Value) (val.Value, error) {
+	if err := need(args, 2); err != nil {
+		return val.Nil, err
+	}
+	a, err := ringArg("f_ringdist", args[0])
+	if err != nil {
+		return val.Nil, err
+	}
+	b, err := ringArg("f_ringdist", args[1])
+	if err != nil {
+		return val.Nil, err
+	}
+	d := (b - a - 1) % RingSize
+	if d < 0 {
+		d += RingSize
+	}
+	return val.NewInt(d + 1), nil
+}
+
+// fInRange tests x ∈ (a, b] on the ring with wraparound. a == b denotes
+// the full ring (always true): a lone node owns every key.
+func fInRange(args []val.Value) (val.Value, error) {
+	if err := need(args, 3); err != nil {
+		return val.Nil, err
+	}
+	x, a, b, err := rangeArgs("f_inrange", args)
+	if err != nil {
+		return val.Nil, err
+	}
+	if a == b {
+		return val.NewBool(true), nil
+	}
+	// x ∈ (a, b] iff walking clockwise from a reaches x no later than b.
+	return val.NewBool(ringGap(a, x) <= ringGap(a, b)), nil
+}
+
+// fInRangeOO tests x ∈ (a, b) on the ring, both ends open. a == b
+// denotes the full ring minus the endpoint itself: true iff x != a.
+// Lookup-forwarding rules use it to pick fingers strictly between the
+// current node and the key.
+func fInRangeOO(args []val.Value) (val.Value, error) {
+	if err := need(args, 3); err != nil {
+		return val.Nil, err
+	}
+	x, a, b, err := rangeArgs("f_inrangeoo", args)
+	if err != nil {
+		return val.Nil, err
+	}
+	if a == b {
+		return val.NewBool(x != a), nil
+	}
+	return val.NewBool(ringGap(a, x) < ringGap(a, b)), nil
+}
+
+func rangeArgs(fn string, args []val.Value) (x, a, b int64, err error) {
+	if x, err = ringArg(fn, args[0]); err != nil {
+		return
+	}
+	if a, err = ringArg(fn, args[1]); err != nil {
+		return
+	}
+	b, err = ringArg(fn, args[2])
+	return
+}
+
+// ringGap is the clockwise step count from a to x in [1, 2^32] (x == a
+// maps to the full ring), the open-interval analogue of f_ringdist.
+func ringGap(a, x int64) int64 {
+	d := (x - a - 1) % RingSize
+	if d < 0 {
+		d += RingSize
+	}
+	return d + 1
+}
+
+func init() {
+	Register("f_sha1", fSHA1)
+	Register("f_id", fSHA1)
+	Register("f_ringadd", fRingAdd)
+	Register("f_ringdist", fRingDist)
+	Register("f_inrange", fInRange)
+	Register("f_inrangeoo", fInRangeOO)
+}

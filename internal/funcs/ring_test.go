@@ -1,0 +1,139 @@
+package funcs
+
+import (
+	"testing"
+
+	"ndlog/internal/val"
+)
+
+func callRing(t *testing.T, name string, args ...val.Value) val.Value {
+	t.Helper()
+	fn, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("builtin %s not registered", name)
+	}
+	v, err := fn(args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func TestRingID(t *testing.T) {
+	a := callRing(t, "f_id", val.NewAddr("n17"))
+	b := callRing(t, "f_sha1", val.NewAddr("n17"))
+	if !a.Equal(b) {
+		t.Fatalf("f_id and f_sha1 disagree: %v vs %v", a, b)
+	}
+	if a.Kind() != val.KindInt {
+		t.Fatalf("f_id kind = %v, want int", a.Kind())
+	}
+	if id := a.Int(); id < 0 || id >= RingSize {
+		t.Fatalf("f_id(n17) = %d, outside [0, 2^32)", id)
+	}
+	// An addr and the equal string hash to the same point.
+	s := callRing(t, "f_id", val.NewString("n17"))
+	if !a.Equal(s) {
+		t.Fatalf("addr n17 hashes to %v but string \"n17\" to %v", a, s)
+	}
+	if a.Equal(callRing(t, "f_id", val.NewAddr("n18"))) {
+		t.Fatal("distinct addrs collided (astronomically unlikely, so: bug)")
+	}
+	// Hashing must be stable across calls (it keys ring placement).
+	if !a.Equal(callRing(t, "f_id", val.NewAddr("n17"))) {
+		t.Fatal("f_id is not deterministic")
+	}
+}
+
+func TestRingAdd(t *testing.T) {
+	sum := callRing(t, "f_ringadd", val.NewInt(RingSize-1), val.NewInt(2))
+	if sum.Int() != 1 {
+		t.Fatalf("(2^32-1) + 2 = %d on the ring, want 1", sum.Int())
+	}
+	sum = callRing(t, "f_ringadd", val.NewInt(5), val.NewInt(7))
+	if sum.Int() != 12 {
+		t.Fatalf("5 + 7 = %d, want 12", sum.Int())
+	}
+	if _, err := fRingAdd([]val.Value{val.NewInt(1), val.NewString("x")}); err == nil {
+		t.Fatal("f_ringadd accepted a string")
+	}
+}
+
+func TestRingDist(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 1, 1},
+		{10, 20, 10},
+		{20, 10, RingSize - 10},
+		{RingSize - 1, 0, 1},
+		{7, 7, RingSize}, // self is the farthest candidate, never distance 0
+	}
+	for _, c := range cases {
+		got := callRing(t, "f_ringdist", val.NewInt(c.a), val.NewInt(c.b)).Int()
+		if got != c.want {
+			t.Errorf("f_ringdist(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	cases := []struct {
+		x, a, b int64
+		want    bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, false}, // open at a
+		{10, 1, 10, true}, // closed at b
+		{11, 1, 10, false},
+		{0, RingSize - 5, 3, true}, // wraparound
+		{3, RingSize - 5, 3, true},
+		{4, RingSize - 5, 3, false},
+		{99, 7, 7, true}, // a == b: full ring
+		{7, 7, 7, true},
+	}
+	for _, c := range cases {
+		got := callRing(t, "f_inrange", val.NewInt(c.x), val.NewInt(c.a), val.NewInt(c.b)).Bool()
+		if got != c.want {
+			t.Errorf("f_inrange(%d, %d, %d) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInRangeOO(t *testing.T) {
+	cases := []struct {
+		x, a, b int64
+		want    bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, false},
+		{10, 1, 10, false}, // open at b
+		{0, RingSize - 5, 3, true},
+		{3, RingSize - 5, 3, false},
+		{9, 7, 7, true},  // a == b: everything but a
+		{7, 7, 7, false}, // ... and a itself is out
+	}
+	for _, c := range cases {
+		got := callRing(t, "f_inrangeoo", val.NewInt(c.x), val.NewInt(c.a), val.NewInt(c.b)).Bool()
+		if got != c.want {
+			t.Errorf("f_inrangeoo(%d, %d, %d) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestRingConsistency pins the relation lookup rules rely on: for any
+// key k and successor chain a -> b, k ∈ (a, b] exactly when the
+// clockwise gap a->k is no larger than the gap a->b.
+func TestRingConsistency(t *testing.T) {
+	pts := []int64{0, 1, 1000, RingSize/2 - 1, RingSize / 2, RingSize - 2, RingSize - 1}
+	for _, a := range pts {
+		for _, b := range pts {
+			for _, k := range pts {
+				in := callRing(t, "f_inrange", val.NewInt(k), val.NewInt(a), val.NewInt(b)).Bool()
+				da := callRing(t, "f_ringdist", val.NewInt(a), val.NewInt(k)).Int()
+				db := callRing(t, "f_ringdist", val.NewInt(a), val.NewInt(b)).Int()
+				if want := da <= db; in != want {
+					t.Fatalf("inrange(%d,%d,%d)=%v but ringdist gives %d vs %d", k, a, b, in, da, db)
+				}
+			}
+		}
+	}
+}

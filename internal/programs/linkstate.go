@@ -1,0 +1,58 @@
+package programs
+
+import "fmt"
+
+// LinkState returns a link-state routing protocol in NDlog: every node
+// floods its adjacent links to the whole network, assembles the full
+// topology database, and runs its own shortest-path computation locally
+// — the OSPF division of labor, in contrast to the distributed
+// recursion of ShortestPathDV (where each hop contributes one rule
+// firing to someone else's route).
+//
+// The flood (ls1/ls2) is hop-bounded: every update carries a
+// decreasing hop budget H, which makes the derivation graph acyclic —
+// re-flooded copies never support their own ancestors. That matters
+// for deletions: link retractions (failures, cost changes) propagate
+// through the paper's count algorithm, which is exact only on acyclic
+// derivations; the H-versions collapse into the hop-free lsa view
+// (ls3), whose count is the number of surviving H-versions and reaches
+// zero exactly when the origin withdrew the link. maxHop must be at
+// least the network diameter or distant nodes see a partial database.
+//
+// The local computation (r1–r4) is the Figure 1 shape — cycle-guarded
+// path enumeration, min-cost aggregate, next-hop selection — but joins
+// only node-local lsa rows: no rule below the flood crosses a link.
+func LinkState(maxHop int) string {
+	return fmt.Sprintf(`
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(lsu, infinity, infinity, keys(1,2,3,5)).
+materialize(lsa, infinity, infinity, keys(1,2,3)).
+materialize(lpath, infinity, infinity, keys(1,2,3)).
+materialize(lsCost, infinity, infinity, keys(1,2)).
+materialize(lsRoute, infinity, infinity, keys(1,2,3)).
+
+// Flood: originate adjacent links with a full hop budget, re-flood
+// with one hop less until the budget runs out.
+ls1 lsu(@N, @N, @D, C, H) :- #link(@N, @D, C), H := %d.
+ls2 lsu(@M, @S, @D, C, H2) :- lsu(@N, @S, @D, C, H), #link(@N, @M, _C2),
+	H > 0, H2 := H - 1.
+
+// Topology database: the hop-free view of everything that reached us.
+ls3 lsa(@N, @S, @D, C) :- lsu(@N, @S, @D, C, _H).
+
+// Local SPF over the database. The path vector doubles as the cycle
+// guard; joins run entirely against this node's own lsa rows.
+r1 lpath(@N, @D, P, C) :- lsa(@N, @S, @D, C), S == N, P := f_concatPath(S, [D]).
+r2 lpath(@N, @D2, P2, C3) :- lpath(@N, @Z, P1, C1), lsa(@N, @S, @D2, C2),
+	S == Z, f_member(P1, D2) == false, C3 := C1 + C2, P2 := f_append(P1, D2).
+r3 lsCost(@N, @D, min<C>) :- lpath(@N, @D, _P, C).
+r4 lsRoute(@N, @D, @F, C) :- lsCost(@N, @D, C), lpath(@N, @D, P, C),
+	F := f_nth(P, 1).
+
+query lsRoute(@N, @D, @F, C).
+`, maxHop)
+}
+
+// DefaultMaxHop comfortably covers the diameters of the harness's
+// random connected topologies at the scales the conformance suite runs.
+const DefaultMaxHop = 10

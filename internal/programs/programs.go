@@ -33,19 +33,26 @@ func ShortestPath(sfx string) string {
 
 // ShortestPathDV is the distance-vector formulation: the recursion runs
 // through the aggregate result (a node advertises only its current
-// shortest paths, never raw candidates), and path is keyed by
-// (src, dst, nextHop) exactly like the paper's Figure 1 table — one
-// stored candidate per neighbor. State per node is bounded by
-// #neighbors × #destinations, so the cascades triggered by link-cost
-// updates stay proportional to the change rather than to accumulated
-// history: this is the Figure 13/14 configuration. Candidates arriving
-// for the same (src, dst, nextHop) always carry the neighbor's current
-// optimum, so primary-key replacement cannot lose a better path.
+// shortest paths, never raw candidates). State per node is bounded by
+// #neighbors × #destinations × #tied-optima, so the cascades triggered
+// by link-cost updates stay proportional to the change rather than to
+// accumulated history: this is the Figure 13/14 configuration.
+//
+// path is keyed (src, dst, nextHop, pathVector), not just
+// (src, dst, nextHop): a neighbor at a cost tie advertises several
+// optima at once, and under a nextHop-only key the later advertisement
+// silently replaces the earlier one, so when churn later retracts the
+// replacement the survivor's row is already gone — a stable wrong
+// fixpoint, with nothing in flight to repair it (the count algorithm
+// can only retract exactly what was derived). Keying on the vector
+// gives every advertised optimum its own row; replacement still
+// collapses same-vector cost updates, the one case where
+// last-writer-wins is sound on FIFO links.
 func ShortestPathDV(sfx string) string {
 	r := func(name string) string { return name + sfx }
 	return fmt.Sprintf(`
 materialize(%[1]s, infinity, infinity, keys(1,2)).
-materialize(%[2]s, infinity, infinity, keys(1,2,3)).
+materialize(%[2]s, infinity, infinity, keys(1,2,3,4)).
 materialize(%[3]s, infinity, infinity, keys(1,2)).
 materialize(%[4]s, infinity, infinity, keys(1,2,3,4)).
 

@@ -20,6 +20,9 @@ func TestAllProgramsParseAndCheck(t *testing.T) {
 		"CachedSourceRoute":    CachedSourceRoute(),
 		"Multicast+DV":         Combine(ShortestPathDV(""), Multicast()),
 		"ShortestPath combine": Combine(ShortestPath("_a"), ShortestPath("_b")),
+		"Chord":                Chord(DefaultChordConfig()),
+		"LinkState":            LinkState(DefaultMaxHop),
+		"Gossip":               Gossip(DefaultGossipConfig()),
 	}
 	for name, src := range srcs {
 		prog, err := parser.Parse(src)
@@ -50,6 +53,9 @@ func TestProgramsAnalyzerClean(t *testing.T) {
 		"MagicShortestPath": MagicShortestPath(),
 		"CachedSourceRoute": CachedSourceRoute(),
 		"Multicast+DV":      Combine(ShortestPathDV(""), Multicast()),
+		"Chord":             Chord(DefaultChordConfig()),
+		"LinkState":         LinkState(DefaultMaxHop),
+		"Gossip":            Gossip(DefaultGossipConfig()),
 	}
 	for name, src := range srcs {
 		prog, err := parser.Parse(src)

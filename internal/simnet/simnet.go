@@ -51,6 +51,13 @@ var ErrUnknownNode = errors.New("simnet: unknown node")
 type link struct {
 	latency float64
 	loss    float64 // probability a message is dropped
+	// jitter adds a uniform [0, jitter) extra delay per message, drawn
+	// from the simulator's seeded rng so runs stay reproducible.
+	jitter float64
+	// down marks a partitioned link: it still exists (HasLink is true,
+	// the engine's link-restriction checks still pass) but every message
+	// on it is dropped until the partition heals.
+	down bool
 	// lastArrival enforces FIFO delivery even when extra per-message
 	// delays vary: a message never arrives before its predecessor.
 	lastArrival float64
@@ -200,6 +207,97 @@ func (s *Sim) SetLatency(a, b NodeID, latency float64) error {
 	return nil
 }
 
+// SetLoss updates the loss probability of both directions of a link.
+func (s *Sim) SetLoss(a, b NodeID, loss float64) error {
+	la, ok := s.links[a][b]
+	if !ok {
+		return fmt.Errorf("%w: %s-%s", ErrNoLink, a, b)
+	}
+	la.loss = loss
+	s.links[b][a].loss = loss
+	return nil
+}
+
+// SetJitter gives both directions of a link a per-message extra delay
+// drawn uniformly from [0, jitter). Draws come from the simulator's
+// seeded rng, so a fixed seed still yields a fixed schedule; FIFO order
+// is preserved by the per-link arrival clamp.
+func (s *Sim) SetJitter(a, b NodeID, jitter float64) error {
+	la, ok := s.links[a][b]
+	if !ok {
+		return fmt.Errorf("%w: %s-%s", ErrNoLink, a, b)
+	}
+	la.jitter = jitter
+	s.links[b][a].jitter = jitter
+	return nil
+}
+
+// EachLink calls fn once per undirected link (a < b). Use it to apply a
+// loss or jitter knob network-wide.
+func (s *Sim) EachLink(fn func(a, b NodeID)) {
+	for _, a := range s.Nodes() {
+		for _, b := range s.Neighbors(a) {
+			if a < b {
+				fn(a, b)
+			}
+		}
+	}
+}
+
+// SetDown marks both directions of a link down (true) or up (false).
+// A down link drops every message silently — unlike RemoveLink, the
+// topology stays intact, so healing is a pure state flip and no
+// link-restriction bookkeeping changes.
+func (s *Sim) SetDown(a, b NodeID, down bool) error {
+	la, ok := s.links[a][b]
+	if !ok {
+		return fmt.Errorf("%w: %s-%s", ErrNoLink, a, b)
+	}
+	la.down = down
+	s.links[b][a].down = down
+	return nil
+}
+
+// Partition cuts the network into {members} vs the rest: every link
+// with exactly one endpoint in members goes down. Links inside either
+// side are untouched, so repeated partitions compose.
+func (s *Sim) Partition(members ...NodeID) {
+	in := make(map[NodeID]bool, len(members))
+	for _, m := range members {
+		in[m] = true
+	}
+	s.EachLink(func(a, b NodeID) {
+		if in[a] != in[b] {
+			s.SetDown(a, b, true)
+		}
+	})
+}
+
+// Isolate takes every link of id down — the simulator's "node failure".
+func (s *Sim) Isolate(id NodeID) {
+	for _, n := range s.Neighbors(id) {
+		s.SetDown(id, n, true)
+	}
+}
+
+// Restore brings every link of id back up.
+func (s *Sim) Restore(id NodeID) {
+	for _, n := range s.Neighbors(id) {
+		s.SetDown(id, n, false)
+	}
+}
+
+// Heal brings every link in the network back up.
+func (s *Sim) Heal() {
+	s.EachLink(func(a, b NodeID) { s.SetDown(a, b, false) })
+}
+
+// Down reports whether the a->b link is currently partitioned.
+func (s *Sim) Down(a, b NodeID) bool {
+	l, ok := s.links[a][b]
+	return ok && l.down
+}
+
 // HasLink reports whether a direct link exists.
 func (s *Sim) HasLink(a, b NodeID) bool {
 	_, ok := s.links[a][b]
@@ -230,11 +328,18 @@ func (s *Sim) Send(from, to NodeID, payload []byte, delay float64) error {
 	if s.observer != nil {
 		s.observer(s.now, from, to, size)
 	}
+	if l.down {
+		s.dropped++
+		return nil
+	}
 	if l.loss > 0 && s.rng.Float64() < l.loss {
 		s.dropped++
 		return nil
 	}
 	arrive := s.now + delay + l.latency
+	if l.jitter > 0 {
+		arrive += s.rng.Float64() * l.jitter
+	}
 	if arrive < l.lastArrival {
 		arrive = l.lastArrival
 	}

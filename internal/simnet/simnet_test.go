@@ -260,3 +260,140 @@ func TestRunToQuiescenceSafetyValve(t *testing.T) {
 	}
 	_ = ra
 }
+
+func TestPartitionHeal(t *testing.T) {
+	s, _, rb := twoNodes(t)
+	if err := s.SetDown("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasLink("a", "b") {
+		t.Fatal("partition removed the link; it should only mark it down")
+	}
+	if !s.Down("a", "b") || !s.Down("b", "a") {
+		t.Fatal("down flag not set on both directions")
+	}
+	if err := s.Send("a", "b", []byte("lost"), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunToQuiescence(100)
+	if len(rb.deliveries) != 0 || s.Dropped() != 1 {
+		t.Fatalf("down link delivered: %v (dropped=%d)", rb.deliveries, s.Dropped())
+	}
+	s.Heal()
+	if err := s.Send("a", "b", []byte("back"), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunToQuiescence(100)
+	if len(rb.deliveries) != 1 || rb.deliveries[0].payload != "back" {
+		t.Fatalf("healed link deliveries = %v", rb.deliveries)
+	}
+}
+
+func TestPartitionGroups(t *testing.T) {
+	s := New(1)
+	rs := map[NodeID]*recorder{}
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		rs[id] = &recorder{}
+		s.AddNode(id, rs[id])
+	}
+	// Square: a-b, c-d inside the halves; a-c, b-d across.
+	for _, e := range [][2]NodeID{{"a", "b"}, {"c", "d"}, {"a", "c"}, {"b", "d"}} {
+		if err := s.AddLink(e[0], e[1], 0.01, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Partition("a", "b")
+	if !s.Down("a", "c") || !s.Down("b", "d") {
+		t.Fatal("cross-partition links should be down")
+	}
+	if s.Down("a", "b") || s.Down("c", "d") {
+		t.Fatal("intra-partition links should stay up")
+	}
+	s.Isolate("a")
+	if !s.Down("a", "b") {
+		t.Fatal("Isolate should take every link of the node down")
+	}
+	s.Restore("a")
+	if s.Down("a", "b") || s.Down("a", "c") {
+		t.Fatal("Restore should bring the node's links back")
+	}
+}
+
+func TestJitterDeterministicAndFIFO(t *testing.T) {
+	run := func(seed int64) []float64 {
+		s := New(seed)
+		rb := &recorder{}
+		s.AddNode("a", &recorder{})
+		s.AddNode("b", rb)
+		if err := s.AddLink("a", "b", 0.010, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetJitter("a", "b", 0.050); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			if err := s.Send("a", "b", []byte{byte(i)}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunToQuiescence(1000)
+		out := make([]float64, 0, len(rb.deliveries))
+		for i, d := range rb.deliveries {
+			if d.payload != string([]byte{byte(i)}) {
+				t.Fatalf("jitter broke FIFO: delivery %d is %q", i, d.payload)
+			}
+			out = append(out, d.at)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	jittered := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different arrival %d: %g vs %g", i, a[i], b[i])
+		}
+		if a[i] != 0.010 {
+			jittered = true
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("arrivals out of order: %g after %g", a[i], a[i-1])
+		}
+	}
+	if !jittered {
+		t.Fatal("jitter knob had no effect on arrivals")
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestSetLoss(t *testing.T) {
+	s, _, rb := twoNodes(t)
+	if err := s.SetLoss("a", "b", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send("a", "b", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunToQuiescence(100)
+	if len(rb.deliveries) != 0 {
+		t.Fatal("loss=1 delivered a message")
+	}
+	if err := s.SetLoss("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send("a", "b", []byte("y"), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunToQuiescence(100)
+	if len(rb.deliveries) != 1 {
+		t.Fatal("loss=0 did not deliver")
+	}
+}
