@@ -52,6 +52,8 @@ func main() {
 	hybridPairs := flag.Int("hybrid-pairs", 200, "pair sample size for -hybrid")
 	parallel := flag.String("parallel", "", "run the multi-core scaling rows at these comma-separated worker counts, e.g. 1,2,4 (wall-clock, real cores)")
 	protocols := flag.Bool("protocols", false, "run the protocol conformance rows (chord, link-state, gossip)")
+	aggsel := flag.Bool("aggsel", false, "with -protocols: add aggregate-selection variant rows (chord+aggsel, linkstate+aggsel) — same oracle checks, message delta vs the baseline rows")
+	magic := flag.Bool("magic", false, "with -protocols: add query-driven magic shortest-path rows on the link-state topology (plus magic+aggsel when -aggsel is also set)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -154,7 +156,7 @@ func main() {
 		fmt.Println()
 	}
 	if *protocols {
-		if err := runProtocols(os.Stdout, *seed, *small); err != nil {
+		if err := runProtocols(os.Stdout, *seed, *small, *aggsel, *magic); err != nil {
 			fail(err)
 		}
 		fmt.Println()

@@ -6,23 +6,97 @@ import (
 	"time"
 
 	"ndlog/internal/conform"
+	"ndlog/internal/engine"
 )
 
 // runProtocols prints one measurement row per protocol of the
 // conformance suite: virtual seconds to the oracle-clean fixpoint
 // (and to re-convergence after one churn event where that applies),
-// plus wall-clock cost. Rows are deterministic under -seed; -small
-// shrinks the topologies the way the figure experiments do.
-func runProtocols(w io.Writer, seed int64, small bool) error {
+// plus message/byte counts and wall-clock cost. Rows are deterministic
+// under -seed; -small shrinks the topologies the way the figure
+// experiments do.
+//
+// aggsel adds optimizer-measurement variants: the same runs under
+// aggregate selections restricted to the predicates each protocol's
+// semantics tolerate (see chordAggSelPreds / linkStateAggSelPreds) —
+// identical oracle checks, so a row that prints is a row that stayed
+// correct, and the message delta against the baseline row is the
+// measured bandwidth effect. magic adds query-driven shortest-path
+// rows (the Section 5.1.2 magic rewrite) on the link-state topology —
+// the on-demand counterpart to the flooded all-pairs row, with the
+// pruned combination when both flags are set.
+func runProtocols(w io.Writer, seed int64, small, aggsel, magic bool) error {
 	fmt.Fprintf(w, "Protocol conformance rows (seed %d)\n", seed)
 
-	if err := chordRow(w, seed, small); err != nil {
+	if err := chordRow(w, seed, small, "chord", engine.Options{}); err != nil {
 		return err
 	}
-	if err := linkStateRow(w, seed, small); err != nil {
+	if err := linkStateRow(w, seed, small, "linkstate", engine.Options{}); err != nil {
 		return err
 	}
-	return gossipRow(w, seed, small)
+	if err := gossipRow(w, seed, small); err != nil {
+		return err
+	}
+	if aggsel {
+		if err := chordRow(w, seed, small, "chord+aggsel",
+			engine.Options{AggSel: true, AggSelPreds: chordAggSelPreds}); err != nil {
+			return err
+		}
+		if err := linkStateRow(w, seed, small, "linkstate+aggsel",
+			engine.Options{AggSel: true, AggSelPreds: linkStateAggSelPreds}); err != nil {
+			return err
+		}
+	}
+	if magic {
+		if err := magicRow(w, seed, small, "magic", engine.Options{}); err != nil {
+			return err
+		}
+		if aggsel {
+			if err := magicRow(w, seed, small, "magic+aggsel",
+				engine.Options{AggSel: true, AggSelPreds: magicAggSelPreds}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// chordAggSelPreds is the aggregate-selection restriction Chord
+// tolerates. Of its two detectable selections (idmap's max over succ,
+// cand's max over finger), succ is unsafe — non-improving succ rows
+// must still trigger the f0 finger derivation — leaving finger, whose
+// only consumer is the cand aggregate itself. The measured result is
+// the point: aggsel has no useful handle on Chord, because its
+// aggregates are candidate-set views other rules still join.
+var chordAggSelPreds = []string{"finger"}
+
+// linkStateAggSelPreds prunes the node-local SPF: lpath rows that do
+// not improve their (node, dest) minimum skip the r2 extension and r4
+// route strands. Safe per the classic shortest-path argument (positive
+// costs, one advertised representative per group, delete-time
+// re-advertisement), and checked here by the same Dijkstra oracle as
+// the baseline row. The SPF never crosses a link, so the saving shows
+// in the derivation count, not the message count.
+var linkStateAggSelPreds = []string{"lpath"}
+
+// magicAggSelPreds prunes query exploration: pathDst tuples that do
+// not improve their (node, src, query) localBest minimum stop
+// exploring. Exploration is cross-link, so this saving is bandwidth.
+var magicAggSelPreds = []string{"pathDst"}
+
+// countDerivs layers a rule-firing counter over the row's engine
+// options — the metric that exposes aggregate-selection savings for
+// protocols whose pruned rules are node-local.
+func countDerivs(eng engine.Options) (engine.Options, *int64) {
+	derivs := new(int64)
+	prev := eng.OnDerive
+	eng.OnDerive = func(nodeID, rule string, d engine.Delta) {
+		if prev != nil {
+			prev(nodeID, rule, d)
+		}
+		*derivs++
+	}
+	return eng, derivs
 }
 
 // settle advances time in 1-vsec steps until check is clean, returning
@@ -41,9 +115,11 @@ func settle(run func(float64), now func() float64, deadline float64, check func(
 	}
 }
 
-func chordRow(w io.Writer, seed int64, small bool) error {
+func chordRow(w io.Writer, seed int64, small bool, label string, eng engine.Options) error {
 	o := conform.DefaultChordOpts(seed)
 	o.Nodes, o.Reserve = 32, 2
+	eng, derivs := countDerivs(eng)
+	o.Engine = eng
 	deadline := 240.0
 	if small {
 		o.Nodes = 16
@@ -59,7 +135,7 @@ func chordRow(w io.Writer, seed int64, small bool) error {
 	r.RunUntil(10)
 	conv, err := settle(r.RunUntil, r.Net.Sim.Now, deadline, r.CheckRing)
 	if err != nil {
-		return fmt.Errorf("chord: %w", err)
+		return fmt.Errorf("%s: %w", label, err)
 	}
 	samples := r.InjectLookups(24)
 	total, ok := len(samples), 0
@@ -67,7 +143,7 @@ func chordRow(w io.Writer, seed int64, small bool) error {
 		r.RunUntil(r.Net.Sim.Now() + 2)
 		failed, errs := r.CheckLookups(samples)
 		if len(errs) > 0 {
-			return fmt.Errorf("chord: wrong lookup: %s", errs[0])
+			return fmt.Errorf("%s: wrong lookup: %s", label, errs[0])
 		}
 		ok = total - len(failed)
 		samples = samples[:0]
@@ -75,13 +151,15 @@ func chordRow(w io.Writer, seed int64, small bool) error {
 			samples = append(samples, r.Reinject(s))
 		}
 	}
-	fmt.Fprintf(w, "chord      nodes=%-3d ring-stable=%.1f vsec  lookups=%d/%d ok  wall=%.2fs\n",
-		o.Nodes, conv, ok, total, time.Since(start).Seconds())
+	fmt.Fprintf(w, "%-17s nodes=%-3d ring-stable=%.1f vsec  lookups=%d/%d ok  msgs=%d bytes=%d derivs=%d  wall=%.2fs\n",
+		label, o.Nodes, conv, ok, total, r.Net.Sim.Messages(), r.Net.Sim.Bytes(), *derivs, time.Since(start).Seconds())
 	return nil
 }
 
-func linkStateRow(w io.Writer, seed int64, small bool) error {
+func linkStateRow(w io.Writer, seed int64, small bool, label string, eng engine.Options) error {
 	o := conform.DefaultLinkStateOpts(seed)
+	eng, derivs := countDerivs(eng)
+	o.Engine = eng
 	if small {
 		o.Nodes, o.Chords = 10, 4
 	}
@@ -92,16 +170,62 @@ func linkStateRow(w io.Writer, seed int64, small bool) error {
 	}
 	conv, err := settle(r.RunUntil, r.Net.Sim.Now, 30, r.CheckRoutes)
 	if err != nil {
-		return fmt.Errorf("linkstate: %w", err)
+		return fmt.Errorf("%s: %w", label, err)
 	}
 	a, b := r.RandomEdge()
 	r.SetCost(a, b, 1+r.Net.Rng.Int63n(o.MaxCost))
 	reconv, err := settle(r.RunUntil, r.Net.Sim.Now, conv+30, r.CheckRoutes)
 	if err != nil {
-		return fmt.Errorf("linkstate churn: %w", err)
+		return fmt.Errorf("%s churn: %w", label, err)
 	}
-	fmt.Fprintf(w, "linkstate  nodes=%-3d routes=%.1f vsec  recost-reconverge=%.1f vsec  wall=%.2fs\n",
-		o.Nodes, conv, reconv-conv, time.Since(start).Seconds())
+	fmt.Fprintf(w, "%-17s nodes=%-3d routes=%.1f vsec  recost-reconverge=%.1f vsec  msgs=%d bytes=%d derivs=%d  wall=%.2fs\n",
+		label, o.Nodes, conv, reconv-conv, r.Net.Sim.Messages(), r.Net.Sim.Bytes(), *derivs, time.Since(start).Seconds())
+	return nil
+}
+
+// magicRow runs query-driven shortest paths: the same ring-plus-chords
+// graph as the link-state row, but nothing computes until a (src, dst)
+// query is asked, and each query's answer — checked against Dijkstra —
+// returns to the source along the discovered path, caching suffix
+// costs on the way.
+func magicRow(w io.Writer, seed int64, small bool, label string, eng engine.Options) error {
+	o := conform.DefaultMagicOpts(seed)
+	eng, derivs := countDerivs(eng)
+	o.Engine = eng
+	queries := 6
+	if small {
+		o.Nodes, o.Chords = 10, 4
+		queries = 3
+	}
+	start := time.Now()
+	r, err := conform.NewMagicRun(o)
+	if err != nil {
+		return err
+	}
+	// Let the link facts settle (no derivations run yet — the magic
+	// program is inert until seeded).
+	r.RunUntil(1)
+	answered := 0.0
+	for q := 0; q < queries; q++ {
+		src := r.Names[r.Net.Rng.Intn(len(r.Names))]
+		dst := r.Names[r.Net.Rng.Intn(len(r.Names))]
+		if src == dst {
+			dst = r.Names[(r.Net.Rng.Intn(len(r.Names)-1)+1+q)%len(r.Names)]
+			if src == dst {
+				dst = r.Names[(len(r.Names)/2+q)%len(r.Names)]
+			}
+		}
+		asked := r.Net.Sim.Now()
+		r.Ask(src, dst)
+		_, err := settle(r.RunUntil, r.Net.Sim.Now, asked+30,
+			func() []string { return r.CheckAnswer(src, dst) })
+		if err != nil {
+			return fmt.Errorf("%s query %s->%s: %w", label, src, dst, err)
+		}
+		answered = r.Net.Sim.Now()
+	}
+	fmt.Fprintf(w, "%-17s nodes=%-3d queries=%d answered=%.1f vsec  msgs=%d bytes=%d derivs=%d  wall=%.2fs\n",
+		label, o.Nodes, queries, answered, r.Net.Sim.Messages(), r.Net.Sim.Bytes(), *derivs, time.Since(start).Seconds())
 	return nil
 }
 
@@ -124,7 +248,7 @@ func gossipRow(w io.Writer, seed int64, small bool) error {
 		}
 		r.RunRounds(1)
 	}
-	fmt.Fprintf(w, "gossip     nodes=%-3d fresh=%d rounds (bound %d)  detect-after=%d rounds  wall=%.2fs\n",
-		o.Nodes, bound+extra, bound, r.DetectRounds(), time.Since(start).Seconds())
+	fmt.Fprintf(w, "%-17s nodes=%-3d fresh=%d rounds (bound %d)  detect-after=%d rounds  wall=%.2fs\n",
+		"gossip", o.Nodes, bound+extra, bound, r.DetectRounds(), time.Since(start).Seconds())
 	return nil
 }

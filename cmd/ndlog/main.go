@@ -55,6 +55,9 @@ func main() {
 	latency := flag.Duration("latency", 10*time.Millisecond, "link latency for distributed execution")
 	aggsel := flag.Bool("aggsel", true, "enable aggregate selections")
 	arena := flag.Bool("arena", false, "per-drain arena interning for transient tuples (long-running forwarding workloads)")
+	psnBatch := flag.Int("psn-batch", 0, "batch-at-a-time PSN: flush trigger strands every N deltas (0 or 1: tuple-at-a-time; fixpoints are byte-identical either way)")
+	sharedSockets := flag.Bool("shared-sockets", false, "with -shards: route each worker's nodes through a shared socket set drained by a bounded demux pool instead of one socket+goroutine per node")
+	groupCommit := flag.Bool("group-commit", false, "with -shards -data: one shard-wide WAL per worker (one fsync per drain instead of one per node)")
 	dump := flag.String("dump", "", "comma-separated extra predicates to print")
 	trace := flag.Bool("trace", false, "trace derivations of watched predicates")
 	flag.Parse()
@@ -73,7 +76,7 @@ func main() {
 		fail(err)
 	}
 
-	opts := engine.Options{AggSel: *aggsel, ArenaIntern: *arena}
+	opts := engine.Options{AggSel: *aggsel, ArenaIntern: *arena, PSNBatch: *psnBatch}
 	if *trace && len(prog.Watches) > 0 {
 		watched := map[string]bool{}
 		for _, w := range prog.Watches {
@@ -101,7 +104,12 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		results, cleanup, err = runSharded(string(src), prog, *shards, migs, *data, *aggsel, *arena, max(*parallel, 0), *idle, *timeout)
+		sOpts := shard.Options{
+			AggSel: *aggsel, ArenaIntern: *arena, DataDir: *data,
+			Parallelism: max(*parallel, 0), PSNBatch: *psnBatch,
+			SharedSockets: *sharedSockets, GroupCommit: *groupCommit,
+		}
+		results, cleanup, err = runSharded(string(src), prog, *shards, migs, sOpts, *idle, *timeout)
 		if err != nil {
 			fail(err)
 		}
@@ -207,22 +215,22 @@ func parseMigrations(spec string) ([]shard.Migration, error) {
 // waits for convergence, and returns a live gather function plus the
 // teardown. The manifest carries the program source inline so every
 // worker parses identical text.
-func runSharded(src string, prog *ast.Program, shards int, migs []shard.Migration, dataDir string, aggsel, arena bool, parallel int, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
+func runSharded(src string, prog *ast.Program, shards int, migs []shard.Migration, sOpts shard.Options, idle, timeout time.Duration) (func(pred string) []val.Tuple, func(), error) {
 	ids := factAddresses(prog)
 	if len(ids) == 0 {
 		return nil, nil, fmt.Errorf("no node addresses in program facts")
 	}
-	if dataDir != "" {
+	if sOpts.DataDir != "" {
 		// Workers resolve relative DataDir against their own cwd; pin it.
-		abs, err := filepath.Abs(dataDir)
+		abs, err := filepath.Abs(sOpts.DataDir)
 		if err != nil {
 			return nil, nil, err
 		}
-		dataDir = abs
+		sOpts.DataDir = abs
 	}
 	m := &shard.Manifest{
 		Source:  src,
-		Options: shard.Options{AggSel: aggsel, ArenaIntern: arena, DataDir: dataDir, Parallelism: parallel},
+		Options: sOpts,
 		Shards:  shard.Partition(ids, shards),
 	}
 	dir, err := os.MkdirTemp("", "ndlog-shards-")

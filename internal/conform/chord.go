@@ -26,6 +26,10 @@ type ChordOpts struct {
 	JoinGap    float64 // stagger between successive bring-up joins
 	FingerExps []int   // finger exponents k (targets id + 2^k)
 	Cfg        programs.ChordConfig
+	// Engine overrides the cluster's evaluation options (hooks are
+	// layered, see NewNetOpts) — how the optimizer-measurement rows run
+	// Chord under restricted aggregate selections.
+	Engine engine.Options
 }
 
 // DefaultChordOpts is the acceptance-scale configuration: a 100-node
@@ -70,7 +74,7 @@ type ChordRun struct {
 // apart starting at t=0.2.
 func NewChordRun(o ChordOpts) (*ChordRun, error) {
 	names := nodeNames("c", o.Nodes+o.Reserve)
-	net, err := NewNet(o.Seed, programs.Chord(o.Cfg), names, engine.ClusterConfig{ProcDelay: 0.001})
+	net, err := NewNetOpts(o.Seed, programs.Chord(o.Cfg), names, o.Engine, engine.ClusterConfig{ProcDelay: 0.001})
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,12 @@ type LinkStateOpts struct {
 	Jitter  float64 // extra random per-message delay
 	MaxHop  int     // flood hop budget; must cover the diameter
 	MaxCost int64   // link costs are drawn from [1, MaxCost]
+	// Engine overrides the cluster's evaluation options. The safe
+	// aggregate-selection restriction here is AggSelPreds: ["lpath"] —
+	// classic shortest-path pruning on the node-local SPF (one advertised
+	// representative per (node, dest) group preserves the min; the
+	// delete-time re-advertisement fallback covers retractions).
+	Engine engine.Options
 }
 
 // DefaultLinkStateOpts is a ring-plus-chords topology that stays
@@ -45,7 +51,7 @@ type LinkStateRun struct {
 // injects the initial link facts at both endpoints of every edge.
 func NewLinkStateRun(o LinkStateOpts) (*LinkStateRun, error) {
 	names := nodeNames("l", o.Nodes)
-	net, err := NewNet(o.Seed, programs.LinkState(o.MaxHop), names,
+	net, err := NewNetOpts(o.Seed, programs.LinkState(o.MaxHop), names, o.Engine,
 		engine.ClusterConfig{ProcDelay: 0.001})
 	if err != nil {
 		return nil, err

@@ -116,6 +116,8 @@ type Store struct {
 	dirty    bool   // written but not yet fsynced
 	lastSync time.Time
 	closed   bool
+	commits  uint64 // commit batches written (see Commits)
+	syncs    uint64 // fsyncs issued (see Syncs)
 }
 
 const (
@@ -330,6 +332,7 @@ func (s *Store) commitLocked(forceSync bool) error {
 		s.walBytes += int64(len(s.pending))
 		s.pending = s.pending[:0]
 		s.dirty = true
+		s.commits++
 	}
 	if !s.dirty {
 		return nil
@@ -351,7 +354,25 @@ func (s *Store) commitLocked(forceSync bool) error {
 	}
 	s.dirty = false
 	s.lastSync = time.Now()
+	s.syncs++
 	return nil
+}
+
+// Commits returns the number of commit batches written to the live WAL
+// (Commit calls that had pending records).
+func (s *Store) Commits() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commits
+}
+
+// Syncs returns the number of fsyncs issued against the live WAL — the
+// quantity group commit collapses: without it a shard pays one per node
+// per drain, with it one per shard per drain.
+func (s *Store) Syncs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
 }
 
 // WALBytes returns the committed size of the live WAL generation.

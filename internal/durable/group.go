@@ -1,0 +1,676 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Group is the shard-wide variant of Store: every co-resident node's
+// records land in ONE shared write-ahead log, so a drain that touches N
+// nodes costs one fsync instead of N. Per-node state is still separable
+// — each member keeps its own snapshot file and its live WAL tail is
+// tracked in memory — so Bundle and Destroy work per node exactly as
+// they do against private stores.
+//
+// Layout. The group directory holds one live log generation
+// gwal-<G> (Store framing: [len u32le][crc32 u32le][payload]) and a
+// nodes/<id>/ subdirectory per member containing its latest snapshot
+// snap-<K> ([crc32 u32le][payload], written atomically via rename).
+// Record payloads are multiplexed:
+//
+//	kind u8  idlen uvarint  id  rest
+//
+// kind 0 (data): rest is one opaque engine record for node id.
+// kind 1 (mark): rest is a snapshot generation uvarint — records for id
+// earlier in the log are subsumed by nodes/<id>/snap-<gen>. Generation
+// 0 is a tombstone: the node was destroyed and must not resurrect.
+//
+// Rolling. Because each member's live tail (records since its last
+// mark) is retained in memory, truncating the shared log is a rewrite:
+// when it outgrows its threshold, a fresh generation is written holding
+// only the current marks and tails, and the old file is deleted.
+//
+// Commit. Commits are leader–follower: concurrent committers write
+// their framed batches under the group lock, then one caller fsyncs for
+// every batch written so far while the rest wait on its result — the
+// group-commit collapse this type exists for.
+type Group struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	synced   *sync.Cond // broadcast when a leader finishes an fsync
+	gen      uint64
+	wal      *os.File
+	walBytes int64
+	pending  []byte // framed records not yet written
+	members  map[string]*groupMember
+	lastSync time.Time
+	closed   bool
+
+	writeSeq uint64 // commit batches written to the log file
+	syncSeq  uint64 // highest batch covered by a completed fsync
+	syncing  bool   // a leader's fsync is in flight
+	commits  uint64
+	syncs    uint64
+}
+
+// groupMember is one node's slice of the shared log.
+type groupMember struct {
+	id      string
+	snapGen uint64   // latest snapshot generation; 0 = none yet
+	tail    [][]byte // records appended since the last snapshot mark
+	tailLen int64    // framed bytes those records cost the shared log
+}
+
+const (
+	gwalPrefix = "gwal-"
+	grpData    = 0 // payload kind: engine record
+	grpMark    = 1 // payload kind: snapshot mark / tombstone
+)
+
+// OpenGroup opens (creating if needed) the shared store rooted at dir
+// and replays the live generation, rebuilding every member's in-memory
+// tail. Recovered state is handed out per node by Attach.
+func OpenGroup(dir string, opts Options) (*Group, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "nodes"), 0o755); err != nil {
+		return nil, err
+	}
+	gen, err := latestGroupGen(dir)
+	if err != nil {
+		return nil, err
+	}
+	if gen == 0 {
+		gen = 1
+	}
+	f, err := os.OpenFile(filepath.Join(dir, genName(gwalPrefix, gen)),
+		os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	records, good, truncated, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if truncated {
+		if err := f.Truncate(good); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	g := &Group{dir: dir, opts: opts, gen: gen, wal: f, walBytes: good,
+		members: make(map[string]*groupMember)}
+	g.synced = sync.NewCond(&g.mu)
+	var tombs []string
+	for _, rec := range records {
+		kind, id, rest, err := splitGroupRecord(rec)
+		if err != nil {
+			continue // unreachable past the CRC, but never poison recovery
+		}
+		m := g.members[id]
+		if m == nil {
+			m = &groupMember{id: id}
+			g.members[id] = m
+		}
+		switch kind {
+		case grpData:
+			m.tail = append(m.tail, rest)
+			m.tailLen += frameCost(rec)
+		case grpMark:
+			snapGen, _ := binary.Uvarint(rest)
+			if snapGen == 0 { // tombstone
+				delete(g.members, id)
+				tombs = append(tombs, id)
+				continue
+			}
+			m.snapGen = snapGen
+			m.tail = nil
+			m.tailLen = 0
+		}
+	}
+	for _, id := range tombs {
+		os.RemoveAll(g.nodeDir(id))
+	}
+	g.removeStale()
+	return g, nil
+}
+
+// frameCost is the shared-log footprint of one framed record.
+func frameCost(payload []byte) int64 { return 8 + int64(len(payload)) }
+
+func latestGroupGen(dir string) (uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var best uint64
+	for _, e := range ents {
+		if g, ok := parseGen(e.Name(), gwalPrefix); ok && g > best {
+			best = g
+		}
+	}
+	return best, nil
+}
+
+// removeStale deletes log generations older than the live one and
+// abandoned temp files, best-effort (crash debris from a roll).
+func (g *Group) removeStale() {
+	ents, err := os.ReadDir(g.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if gen, ok := parseGen(name, gwalPrefix); ok && gen < g.gen {
+			os.Remove(filepath.Join(g.dir, name))
+		} else if filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(g.dir, name))
+		}
+	}
+}
+
+func (g *Group) nodeDir(id string) string {
+	return filepath.Join(g.dir, "nodes", encodeNodeDir(id))
+}
+
+// splitGroupRecord parses the multiplex header off one shared-log
+// payload.
+func splitGroupRecord(rec []byte) (kind byte, id string, rest []byte, err error) {
+	if len(rec) < 2 {
+		return 0, "", nil, fmt.Errorf("durable: short group record")
+	}
+	kind = rec[0]
+	n, k := binary.Uvarint(rec[1:])
+	if k <= 0 || n > uint64(len(rec)-1-k) {
+		return 0, "", nil, fmt.Errorf("durable: corrupt group record id")
+	}
+	id = string(rec[1+k : 1+k+int(n)])
+	return kind, id, rec[1+k+int(n):], nil
+}
+
+// appendLocked frames one multiplexed record into the pending batch
+// and, for data records, mirrors it into the member's in-memory tail.
+func (g *Group) appendLocked(m *groupMember, kind byte, rest []byte) error {
+	payload := make([]byte, 0, 1+10+len(m.id)+len(rest))
+	payload = append(payload, kind)
+	payload = binary.AppendUvarint(payload, uint64(len(m.id)))
+	payload = append(payload, m.id...)
+	payload = append(payload, rest...)
+	if len(payload) > maxRecord {
+		return fmt.Errorf("durable: record of %d bytes exceeds limit", len(rest))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	g.pending = append(g.pending, hdr[:]...)
+	g.pending = append(g.pending, payload...)
+	if kind == grpData {
+		m.tail = append(m.tail, payload[len(payload)-len(rest):])
+		m.tailLen += frameCost(payload)
+	}
+	return nil
+}
+
+// Commit writes every appended record to the shared log as one batch
+// and syncs per the configured policy. Concurrent commits collapse:
+// whichever caller reaches the fsync first covers all batches written
+// before it started, and the others wait for that result instead of
+// issuing their own.
+func (g *Group) Commit() error { return g.commit(false) }
+
+func (g *Group) commit(forceSync bool) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return fmt.Errorf("durable: group closed")
+	}
+	if len(g.pending) > 0 {
+		if _, err := g.wal.Write(g.pending); err != nil {
+			g.mu.Unlock()
+			return err
+		}
+		g.walBytes += int64(len(g.pending))
+		g.pending = g.pending[:0]
+		g.writeSeq++
+		g.commits++
+	}
+	sync := forceSync
+	switch g.opts.Sync {
+	case SyncCommit:
+		sync = true
+	case SyncInterval:
+		if time.Since(g.lastSync) >= g.opts.SyncEvery {
+			sync = true
+		}
+	}
+	if !sync || g.writeSeq == g.syncSeq {
+		g.mu.Unlock()
+		return nil
+	}
+	upto := g.writeSeq
+	for g.syncSeq < upto && g.syncing {
+		g.synced.Wait()
+	}
+	if g.syncSeq >= upto { // a leader's fsync covered our batch
+		g.mu.Unlock()
+		return nil
+	}
+	g.syncing = true
+	g.mu.Unlock()
+	err := g.wal.Sync() // off-lock: followers queue, writers proceed
+	g.mu.Lock()
+	g.syncing = false
+	if err == nil {
+		g.syncs++
+		g.lastSync = time.Now()
+		if upto > g.syncSeq {
+			g.syncSeq = upto
+		}
+	}
+	g.synced.Broadcast()
+	g.mu.Unlock()
+	return err
+}
+
+// Commits returns the number of commit batches written to the shared
+// log; Syncs the number of fsyncs issued against it. The fsync-per-
+// drain collapse is Syncs growing by one while member stores would have
+// grown by the member count.
+func (g *Group) Commits() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.commits
+}
+
+// Syncs returns the number of fsyncs issued against the shared log.
+func (g *Group) Syncs() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.syncs
+}
+
+// WALBytes returns the committed size of the live shared generation.
+func (g *Group) WALBytes() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.walBytes + int64(len(g.pending))
+}
+
+// rollThresholdLocked is the shared-log size past which Snapshot also
+// rewrites the log: generous enough that rolls stay rare even with many
+// members, bounded so the log cannot grow without limit.
+func (g *Group) rollThresholdLocked() int64 {
+	if g.opts.SnapshotBytes < 0 {
+		return -1
+	}
+	return g.opts.SnapshotBytes * int64(len(g.members)+1)
+}
+
+// rollLocked rewrites the live log into the next generation holding
+// only the current snapshot marks and in-memory tails, then deletes the
+// old file. Pending records must have been committed first.
+func (g *Group) rollLocked() error {
+	next := g.gen + 1
+	path := filepath.Join(g.dir, genName(gwalPrefix, next))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	old, oldBytes := g.wal, g.walBytes
+	g.wal, g.walBytes, g.gen = f, 0, next
+	for _, m := range g.members {
+		tail := m.tail
+		m.tail, m.tailLen = nil, 0
+		if m.snapGen > 0 {
+			var mark [10]byte
+			if err := g.appendLocked(m, grpMark, mark[:binary.PutUvarint(mark[:], m.snapGen)]); err != nil {
+				return err
+			}
+		}
+		for _, rec := range tail {
+			if err := g.appendLocked(m, grpData, rec); err != nil {
+				return err
+			}
+		}
+	}
+	if len(g.pending) > 0 {
+		if _, err := f.Write(g.pending); err != nil {
+			// Restore the old generation: it is still complete on disk.
+			g.wal, g.walBytes, g.gen = old, oldBytes, g.gen-1
+			f.Close()
+			os.Remove(path)
+			return err
+		}
+		g.walBytes += int64(len(g.pending))
+		g.pending = g.pending[:0]
+		g.writeSeq++
+	}
+	if err := f.Sync(); err != nil {
+		g.wal, g.walBytes, g.gen = old, oldBytes, g.gen-1
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	g.syncs++
+	g.syncSeq = g.writeSeq
+	if err := syncDir(g.dir); err != nil {
+		return err
+	}
+	old.Close()
+	os.Remove(filepath.Join(g.dir, genName(gwalPrefix, g.gen-1)))
+	return nil
+}
+
+// Close flushes and fsyncs outstanding records and releases the log.
+func (g *Group) Close() error {
+	err := g.commit(true)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil
+	}
+	if cerr := g.wal.Close(); err == nil {
+		err = cerr
+	}
+	g.closed = true
+	return err
+}
+
+// Members returns the ids recovery found in the shared log (attached or
+// not), for callers that restart every persisted node.
+func (g *Group) Members() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := make([]string, 0, len(g.members))
+	for id := range g.members {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Attach binds one node's slice of the group, returning its per-node
+// store view plus whatever a previous incarnation persisted for it.
+func (g *Group) Attach(id string) (*GroupStore, Recovered, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, Recovered{}, fmt.Errorf("durable: group closed")
+	}
+	m := g.members[id]
+	if m == nil {
+		m = &groupMember{id: id}
+		g.members[id] = m
+	}
+	var rec Recovered
+	if m.snapGen > 0 {
+		snap, err := readSnapshot(filepath.Join(g.nodeDir(id), genName(snapPrefix, m.snapGen)))
+		if err != nil {
+			return nil, Recovered{}, err
+		}
+		rec.Snapshot = snap
+	}
+	if len(m.tail) > 0 {
+		rec.Records = make([][]byte, len(m.tail))
+		copy(rec.Records, m.tail)
+	}
+	return &GroupStore{g: g, m: m}, rec, nil
+}
+
+// GroupStore is one member's view of a Group — the same Append/Commit/
+// Snapshot/Bundle surface as a private Store, multiplexed onto the
+// shared log so commits coalesce into shard-wide fsyncs.
+type GroupStore struct {
+	g *Group
+	m *groupMember
+}
+
+// Append buffers one record for the next group Commit. The payload is
+// copied.
+func (s *GroupStore) Append(payload []byte) error {
+	g := s.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("durable: group closed")
+	}
+	return g.appendLocked(s.m, grpData, payload)
+}
+
+// Commit commits the whole group: this member's records ride the same
+// batch and fsync as every other member's.
+func (s *GroupStore) Commit() error { return s.g.Commit() }
+
+// Commits reports the group's commit batches (shared across members).
+func (s *GroupStore) Commits() uint64 { return s.g.Commits() }
+
+// Syncs reports the group's fsync count (shared across members).
+func (s *GroupStore) Syncs() uint64 { return s.g.Syncs() }
+
+// WALBytes reports this member's share of the live log: the framed cost
+// of its tail.
+func (s *GroupStore) WALBytes() int64 {
+	g := s.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return s.m.tailLen
+}
+
+// ShouldSnapshot reports whether this member's tail has outgrown the
+// per-node snapshot threshold.
+func (s *GroupStore) ShouldSnapshot() bool {
+	if s.g.opts.SnapshotBytes < 0 {
+		return false
+	}
+	return s.WALBytes() >= s.g.opts.SnapshotBytes
+}
+
+// Snapshot persists a full-state blob for this member and truncates its
+// slice of the shared log: the snapshot file is written atomically, a
+// mark record supersedes the member's earlier records, and the member's
+// in-memory tail resets. When the shared log itself has outgrown its
+// threshold it is rolled to a fresh generation.
+func (s *GroupStore) Snapshot(state []byte) error {
+	g, m := s.g, s.m
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("durable: group closed")
+	}
+	dir := g.nodeDir(m.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	next := m.snapGen + 1
+	path := filepath.Join(dir, genName(snapPrefix, next))
+	if err := writeSnapshotFile(path, state); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	old := m.snapGen
+	m.snapGen = next
+	m.tail, m.tailLen = nil, 0
+	var mark [10]byte
+	if err := g.appendLocked(m, grpMark, mark[:binary.PutUvarint(mark[:], next)]); err != nil {
+		return err
+	}
+	// The mark must be durable before the old snapshot disappears,
+	// otherwise a crash could recover pre-snapshot records against a
+	// missing file. Rolling achieves the same durably and also truncates.
+	var err error
+	if t := g.rollThresholdLocked(); t >= 0 && g.walBytes+int64(len(g.pending)) >= t {
+		err = g.rollLocked()
+	} else {
+		err = g.commitAndSyncLocked()
+	}
+	if err != nil {
+		return err
+	}
+	if old > 0 {
+		os.Remove(filepath.Join(dir, genName(snapPrefix, old)))
+	}
+	return nil
+}
+
+// commitAndSyncLocked flushes pending records and fsyncs inline (lock
+// held) — used on the snapshot/destroy paths where ordering against
+// file deletions matters more than commit latency.
+func (g *Group) commitAndSyncLocked() error {
+	if len(g.pending) > 0 {
+		if _, err := g.wal.Write(g.pending); err != nil {
+			return err
+		}
+		g.walBytes += int64(len(g.pending))
+		g.pending = g.pending[:0]
+		g.writeSeq++
+		g.commits++
+	}
+	if g.writeSeq == g.syncSeq {
+		return nil
+	}
+	if err := g.wal.Sync(); err != nil {
+		return err
+	}
+	g.syncs++
+	g.lastSync = time.Now()
+	g.syncSeq = g.writeSeq
+	return nil
+}
+
+// Bundle flushes pending records and packages this member's snapshot
+// plus live tail as one migratable blob (same format as Store.Bundle).
+func (s *GroupStore) Bundle() ([]byte, error) {
+	g, m := s.g, s.m
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("durable: group closed")
+	}
+	if err := g.commitAndSyncLocked(); err != nil {
+		return nil, err
+	}
+	var snap []byte
+	if m.snapGen > 0 {
+		b, err := readSnapshot(filepath.Join(g.nodeDir(m.id), genName(snapPrefix, m.snapGen)))
+		if err != nil {
+			return nil, err
+		}
+		snap = b
+	}
+	records := make([][]byte, len(m.tail))
+	for i, r := range m.tail {
+		records[i] = append([]byte(nil), r...)
+	}
+	return EncodeBundle(snap, records), nil
+}
+
+// Close detaches the member without touching its persisted state; the
+// shared log stays open until Group.Close.
+func (s *GroupStore) Close() error { return s.g.Commit() }
+
+// Destroy removes the member's persisted state: a durable tombstone
+// mark in the shared log (so recovery never resurrects it) followed by
+// deletion of its snapshot directory.
+func (s *GroupStore) Destroy() error {
+	g, m := s.g, s.m
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("durable: group closed")
+	}
+	m.tail, m.tailLen, m.snapGen = nil, 0, 0
+	var mark [10]byte
+	if err := g.appendLocked(m, grpMark, mark[:binary.PutUvarint(mark[:], 0)]); err != nil {
+		return err
+	}
+	if err := g.commitAndSyncLocked(); err != nil {
+		return err
+	}
+	delete(g.members, m.id)
+	return os.RemoveAll(g.nodeDir(m.id))
+}
+
+// writeSnapshotFile writes a [crc][payload] snapshot atomically via
+// tmp + fsync + rename.
+func writeSnapshotFile(path string, state []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(state))
+	if _, err = f.Write(crc[:]); err == nil {
+		_, err = f.Write(state)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// parseGen extracts the generation number from a prefixed file name.
+func parseGen(name, prefix string) (uint64, bool) {
+	if len(name) != len(prefix)+16 || name[:len(prefix)] != prefix {
+		return 0, false
+	}
+	var g uint64
+	for i := len(prefix); i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= '0' && c <= '9':
+			g = g<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			g = g<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return g, g != 0
+}
+
+// encodeNodeDir makes a node id filesystem-safe. Ids in this codebase
+// are short tokens; anything risky is hex-escaped.
+func encodeNodeDir(id string) string {
+	safe := true
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.') {
+			safe = false
+			break
+		}
+	}
+	if safe && id != "" && id != "." && id != ".." {
+		return id
+	}
+	return fmt.Sprintf("x%x", id)
+}

@@ -1,0 +1,232 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func openGroupT(t *testing.T, dir string, opts Options) *Group {
+	t.Helper()
+	g, err := OpenGroup(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func attachT(t *testing.T, g *Group, id string) (*GroupStore, Recovered) {
+	t.Helper()
+	s, rec, err := g.Attach(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rec
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := openGroupT(t, dir, Options{})
+	records := map[string][][]byte{
+		"a": {[]byte("a1"), []byte("a2-longer")},
+		"b": {[]byte("b1")},
+		"c": {}, // attached but never appended
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		s, rec := attachT(t, g, id)
+		if !rec.Empty() {
+			t.Fatalf("fresh member %s recovered state: %+v", id, rec)
+		}
+		for _, r := range records[id] {
+			if err := s.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// One group commit covers every member's appends.
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Syncs(); got != 1 {
+		t.Errorf("Syncs = %d after one group commit, want 1", got)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := openGroupT(t, dir, Options{})
+	defer g2.Close()
+	members := g2.Members()
+	if len(members) != 2 { // c never wrote anything, so recovery can't know it
+		t.Fatalf("Members = %v, want a and b", members)
+	}
+	for id, want := range records {
+		_, rec := attachT(t, g2, id)
+		if len(rec.Records) != len(want) {
+			t.Fatalf("member %s recovered %d records, want %d", id, len(rec.Records), len(want))
+		}
+		for i, r := range want {
+			if !bytes.Equal(rec.Records[i], r) {
+				t.Errorf("member %s record %d: %q vs %q", id, i, rec.Records[i], r)
+			}
+		}
+	}
+}
+
+func TestGroupSnapshotAndRoll(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every member snapshot also rolls the shared log.
+	g := openGroupT(t, dir, Options{SnapshotBytes: 32})
+	a, _ := attachT(t, g, "a")
+	b, _ := attachT(t, g, "b")
+	// Large enough that the shared log passes its roll threshold
+	// (SnapshotBytes x members+1 = 96 bytes) by snapshot time.
+	a.Append(append([]byte("a-pre-snapshot"), make([]byte, 120)...))
+	b.Append([]byte("b-survives-the-roll"))
+	g.Commit()
+	if !a.ShouldSnapshot() {
+		t.Fatal("member a under threshold despite oversized tail")
+	}
+	if err := a.Snapshot([]byte("A-STATE")); err != nil {
+		t.Fatal(err)
+	}
+	if a.WALBytes() != 0 {
+		t.Errorf("member a tail = %d bytes after snapshot, want 0", a.WALBytes())
+	}
+	a.Append([]byte("a-post"))
+	g.Commit()
+	g.Close()
+
+	// The roll rewrote the log: generation 2 only.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if gen, ok := parseGen(e.Name(), gwalPrefix); ok && gen != 2 {
+			t.Errorf("stale log generation %d on disk", gen)
+		}
+	}
+
+	g2 := openGroupT(t, dir, Options{SnapshotBytes: 32})
+	defer g2.Close()
+	_, recA := attachT(t, g2, "a")
+	if string(recA.Snapshot) != "A-STATE" {
+		t.Errorf("member a snapshot = %q", recA.Snapshot)
+	}
+	if len(recA.Records) != 1 || string(recA.Records[0]) != "a-post" {
+		t.Errorf("member a records = %q; pre-snapshot tail must be subsumed", recA.Records)
+	}
+	_, recB := attachT(t, g2, "b")
+	if len(recB.Records) != 1 || string(recB.Records[0]) != "b-survives-the-roll" {
+		t.Errorf("member b records = %q; the roll must carry other members' tails", recB.Records)
+	}
+}
+
+func TestGroupDestroyTombstone(t *testing.T) {
+	dir := t.TempDir()
+	g := openGroupT(t, dir, Options{})
+	a, _ := attachT(t, g, "a")
+	b, _ := attachT(t, g, "b")
+	a.Append([]byte("a-doomed"))
+	a.Snapshot([]byte("A-DOOMED-STATE"))
+	b.Append([]byte("b-keeps"))
+	g.Commit()
+	if err := a.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	g2 := openGroupT(t, dir, Options{})
+	defer g2.Close()
+	if members := g2.Members(); len(members) != 1 || members[0] != "b" {
+		t.Fatalf("Members = %v after destroying a, want [b]", members)
+	}
+	_, recA := attachT(t, g2, "a")
+	if !recA.Empty() {
+		t.Errorf("destroyed member resurrected: %+v", recA)
+	}
+	if _, err := os.Stat(g2.nodeDir("a")); !os.IsNotExist(err) {
+		t.Errorf("destroyed member's snapshot dir survives: %v", err)
+	}
+}
+
+func TestGroupBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := openGroupT(t, dir, Options{})
+	defer g.Close()
+	a, _ := attachT(t, g, "a")
+	a.Snapshot([]byte("A-STATE"))
+	a.Append([]byte("a-tail-1"))
+	a.Append([]byte("a-tail-2"))
+	blob, err := a.Bundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBundle(blob) {
+		t.Fatal("Bundle output not recognized")
+	}
+	snap, recs, err := DecodeBundle(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap) != "A-STATE" {
+		t.Errorf("bundle snapshot = %q", snap)
+	}
+	if len(recs) != 2 || string(recs[0]) != "a-tail-1" || string(recs[1]) != "a-tail-2" {
+		t.Errorf("bundle records = %q", recs)
+	}
+}
+
+// TestGroupCommitCollapse hammers the shared log from many goroutines:
+// every commit batch must be covered by an fsync, but the leader-
+// follower protocol should collapse concurrent commits onto far fewer
+// fsyncs than members.
+func TestGroupCommitCollapse(t *testing.T) {
+	dir := t.TempDir()
+	g := openGroupT(t, dir, Options{})
+	const members, rounds = 8, 20
+	stores := make([]*GroupStore, members)
+	for i := range stores {
+		stores[i], _ = attachT(t, g, fmt.Sprintf("n%d", i))
+	}
+	var wg sync.WaitGroup
+	for i, s := range stores {
+		wg.Add(1)
+		go func(i int, s *GroupStore) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := s.Append([]byte(fmt.Sprintf("n%d-r%d", i, r))); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	syncs, commits := g.Syncs(), g.Commits()
+	if syncs == 0 || commits == 0 {
+		t.Fatalf("no activity recorded: syncs=%d commits=%d", syncs, commits)
+	}
+	if syncs > commits {
+		t.Errorf("syncs=%d > commits=%d; followers must ride the leader's fsync", syncs, commits)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := openGroupT(t, dir, Options{})
+	defer g2.Close()
+	for i := 0; i < members; i++ {
+		_, rec := attachT(t, g2, fmt.Sprintf("n%d", i))
+		if len(rec.Records) != rounds {
+			t.Errorf("member n%d recovered %d records, want %d", i, len(rec.Records), rounds)
+		}
+	}
+}

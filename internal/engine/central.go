@@ -25,9 +25,9 @@ type Central struct {
 // accepted inserts run concurrently against a sharded concurrent
 // interner, with a barrier between rounds and derivations merged in
 // insert order, so the fixpoint is identical to a sequential run's.
-// PSN drains stay tuple-at-a-time (nothing to fan out); per-derivation
-// hooks (StrandFilter, OnDerive) or ArenaIntern force sequential
-// evaluation.
+// PSN drains fan out the same way when Options.PSNBatch batches enough
+// deltas per flush (tuple-at-a-time otherwise); per-derivation hooks
+// (StrandFilter, OnDerive) or ArenaIntern force sequential evaluation.
 func NewCentral(prog *ast.Program, opts Options) (*Central, error) {
 	p, err := compile(prog)
 	if err != nil {

@@ -92,6 +92,16 @@ func DecodeDeltas(b []byte) ([]Delta, error) { return DecodeDeltasIn(b, nil) }
 // the receiving node's interner (nil skips interning). Decoded tuples
 // never alias b, so callers may reuse the read buffer.
 func DecodeDeltasIn(b []byte, in *val.Interner) ([]Delta, error) {
+	return DecodeDeltasInto(b, in, nil)
+}
+
+// DecodeDeltasInto is DecodeDeltasIn appending into dst, so a receive
+// loop can reuse one decode scratch slice across datagrams instead of
+// allocating a fresh batch per message. dst's existing elements are
+// preserved; pass dst[:0] to reuse its backing array. The decoded
+// tuples still never alias b (copy-on-decode), so reusing both the
+// read buffer and the scratch is safe once the deltas are consumed.
+func DecodeDeltasInto(b []byte, in *val.Interner, dst []Delta) ([]Delta, error) {
 	if len(b) == 0 || msgKind(b[0]) != msgDeltas {
 		return nil, fmt.Errorf("engine: not a delta message")
 	}
@@ -104,7 +114,11 @@ func DecodeDeltasIn(b []byte, in *val.Interner) ([]Delta, error) {
 	// Cap preallocation by the remaining payload: every encoded delta is
 	// at least one sign byte plus a tuple, so a corrupt header demanding
 	// a huge count fails on truncation below instead of allocating first.
-	out := make([]Delta, 0, min(n, uint64(len(b))))
+	out := dst
+	if want := len(dst) + int(min(n, uint64(len(b)))); cap(out) < want {
+		out = make([]Delta, len(dst), want)
+		copy(out, dst)
+	}
 	for i := uint64(0); i < n; i++ {
 		if len(b) == 0 {
 			return nil, fmt.Errorf("engine: truncated delta batch")

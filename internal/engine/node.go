@@ -99,6 +99,19 @@ type Options struct {
 	// bounded anyway, and cross-drain sharing is worth more on most
 	// workloads.
 	ArenaIntern bool
+	// PSNBatch batches pipelined drains: up to PSNBatch deliverable
+	// deltas are stored per step — stamps assigned in arrival order,
+	// exactly as tuple-at-a-time would — before their trigger strands
+	// run, in the same order. Because PSN joins are bounded by each
+	// delta's own stamp, later-batched stores are invisible to earlier
+	// deltas' joins, so the fixpoint (and every intermediate queue) is
+	// byte-identical to tuple-at-a-time evaluation; deletions and
+	// displacing inserts (key replacement, eviction) flush the batch
+	// first and take the reference path. Batches large enough fan their
+	// strands out over the Parallelism pool when one is configured.
+	// 0 or 1 means tuple-at-a-time — the reference semantics. Only PSN
+	// mode consults this knob.
+	PSNBatch int
 	// Parallelism bounds the evaluator's worker pool: the number of
 	// nodes the in-process Parallel executor drains concurrently, and
 	// the number of workers Central uses inside a semi-naïve round
@@ -117,6 +130,15 @@ type Options struct {
 // Exported for drivers (netrun, shard) that bound their own per-node
 // fan-out by the same knob.
 func (o Options) Workers() int { return o.parallelism() }
+
+// psnBatch resolves the PSNBatch option: anything below 2 means
+// tuple-at-a-time.
+func (o Options) psnBatch() int {
+	if o.PSNBatch < 2 {
+		return 1
+	}
+	return o.PSNBatch
+}
 
 // parallelism resolves the Parallelism option: 0 defaults to
 // GOMAXPROCS, anything below 1 clamps to 1.
@@ -185,12 +207,40 @@ type Node struct {
 
 	// par, when non-nil, enables intra-node parallel evaluation: the
 	// normal (non-aggregate) strands of a semi-naïve round's accepted
-	// inserts run on a worker pool with per-worker join contexts, their
-	// derivations merged back in job order so the result is identical to
-	// the sequential walk; rederivation sweeps chunk the same way. Set
+	// inserts — or a batched PSN flush's deferred actions — run on a
+	// worker pool with per-worker join contexts, their derivations
+	// merged back in job order so the result is identical to the
+	// sequential walk; rederivation sweeps chunk the same way. Set
 	// only when the node's interner is concurrent (head resolution is
 	// the shared hot path) and no per-derivation hooks are installed.
 	par *nodePar
+
+	// psnActs is the reusable deferred-action buffer of batched PSN
+	// drains (Options.PSNBatch > 1): stores happen eagerly in arrival
+	// order, their trigger strands run when the batch flushes.
+	psnActs []psnAction
+}
+
+// psnActKind tags one deferred post-store step of a batched PSN drain.
+type psnActKind uint8
+
+const (
+	// actInsert: a newly stored tuple awaiting aggregate maintenance,
+	// the advertisement decision, and its trigger strands.
+	actInsert psnActKind = iota
+	// actRefresh: a soft-state duplicate awaiting its re-advertisement.
+	actRefresh
+	// actEvent: an event tuple (never stored) awaiting its strands.
+	actEvent
+)
+
+// psnAction is one deferred post-store step: the tuple plus the stamp
+// it was assigned at store time, which bounds its joins exactly as
+// tuple-at-a-time processing would.
+type psnAction struct {
+	kind  psnActKind
+	t     val.Tuple
+	stamp uint64
 }
 
 // nodeCfg carries the construction knobs newNode's callers thread in:
@@ -213,18 +263,39 @@ type nodePar struct {
 	workers int
 	ctxs    []joinCtx
 	jobs    []parJob // reusable per-round job buffer
+	// segs, qTail, outTail are the batched-PSN flush's merge scratch:
+	// per-action aggregate-delta segments and the snapshots of the
+	// queue/out tails they index, reused across flushes.
+	segs    []psnSeg
+	qTail   []Delta
+	outTail []OutDelta
+}
+
+// psnSeg records, for one flushed PSN action, the segment of
+// aggregate-derived deltas its sequential pre-pass appended to the
+// node's queue/out (relative to the flush base), plus the index of the
+// parallel job that runs its trigger strands (-1 when suppressed). The
+// merge interleaves segment and job output per action, reproducing the
+// sequential flush byte for byte.
+type psnSeg struct {
+	q0, q1 int
+	o0, o1 int
+	job    int
 }
 
 // parJob is one unit of a parallel round: the trigger tuple plus the
 // job-local derivation buffers the worker fills. Buffers are merged
 // into the node's queue/out in job order after the round's barrier, so
 // the queue a parallel round produces is a deterministic function of
-// the job list, independent of worker scheduling.
+// the job list, independent of worker scheduling. lt/le are the job's
+// join stamp bounds: SN rounds share one iteration bound, batched PSN
+// flushes carry each delta's own stamp.
 type parJob struct {
-	t     val.Tuple
-	queue []Delta
-	out   []OutDelta
-	err   error
+	t      val.Tuple
+	lt, le int64
+	queue  []Delta
+	out    []OutDelta
+	err    error
 }
 
 // OutDelta is a derived delta bound for another node, returned by
@@ -460,14 +531,19 @@ func (n *Node) journalDelta(d Delta) {
 func (n *Node) QueueLen() int { return len(n.queue) }
 
 // Drain processes the queue to a local fixpoint and returns the deltas
-// destined for other nodes. PSN processes tuple-at-a-time; SN/BSN run
+// destined for other nodes. PSN processes tuple-at-a-time (or in
+// stamp-preserving batches when Options.PSNBatch is set); SN/BSN run
 // batched local iterations.
 func (n *Node) Drain() []OutDelta {
 	switch n.opts.Mode {
 	case SN, BSN:
 		n.drainSN()
 	default:
-		n.drainPSN()
+		if b := n.opts.psnBatch(); b > 1 {
+			n.drainPSNBatched(b)
+		} else {
+			n.drainPSN()
+		}
 	}
 	out := n.out
 	n.out = nil
@@ -495,6 +571,201 @@ func (n *Node) drainPSN() {
 		n.queue = n.queue[1:]
 		n.process(d)
 	}
+}
+
+// drainPSNBatched is drainPSN with batch-at-a-time store/trigger
+// pipelining (Options.PSNBatch): deliverable deltas are stored eagerly
+// as they are popped — journal taps fire and stamps are assigned in
+// arrival order, exactly as tuple-at-a-time — while the post-store work
+// (aggregate maintenance, advertisement, trigger strands) is deferred
+// into psnActs and flushed, still in arrival order, once the batch
+// fills. PSN's stamp bounds make the deferral invisible: a delta's
+// joins see only entries with stamps up to its own, so later-batched
+// stores cannot leak into earlier deltas' derivations, and the queue
+// the flush produces is byte-identical to the reference walk's.
+//
+// Deltas whose processing must observe fully advertised state — every
+// deletion, and inserts that displace rows (primary-key replacement or
+// eviction, probed with table.InsertBarrier before storing) — flush the
+// pending batch and then take the exact tuple-at-a-time path.
+func (n *Node) drainPSNBatched(batch int) {
+	// The outer loop re-enters after a trailing flush: the flush's
+	// trigger strands refill the queue with derived deltas, which the
+	// next pass consumes — the drain is done only when the queue is
+	// empty AND no actions are pending.
+	for len(n.queue) > 0 {
+		n.drainPSNBatchedPass(batch)
+		n.flushPSN()
+	}
+}
+
+// drainPSNBatchedPass consumes the current queue, storing eagerly and
+// deferring trigger work into psnActs (flushing every `batch` actions).
+func (n *Node) drainPSNBatchedPass(batch int) {
+	for len(n.queue) > 0 {
+		d := n.queue[0]
+		n.queue = n.queue[1:]
+		n.journalDelta(d)
+		switch {
+		case n.prog.events[d.Tuple.Pred]:
+			// Events are never stored: deletions are dropped (see
+			// process), insertions defer their strands with a fresh stamp.
+			if d.Sign > 0 {
+				n.stamp++
+				n.psnActs = append(n.psnActs, psnAction{kind: actEvent, t: d.Tuple, stamp: n.stamp})
+			}
+		case d.Sign > 0:
+			if n.cat.Get(d.Tuple.Pred).InsertBarrier(d.Tuple) {
+				n.flushPSN()
+				n.processInsert(d.Tuple)
+				continue
+			}
+			n.stamp++
+			stamp := n.stamp
+			if t, ok, refresh := n.storeInsertD(d.Tuple, stamp); ok {
+				n.psnActs = append(n.psnActs, psnAction{kind: actInsert, t: t, stamp: stamp})
+			} else if refresh {
+				n.psnActs = append(n.psnActs, psnAction{kind: actRefresh, t: d.Tuple, stamp: stamp})
+			}
+		default:
+			n.flushPSN()
+			n.processDelete(d.Tuple)
+			continue
+		}
+		if len(n.psnActs) >= batch {
+			n.flushPSN()
+		}
+	}
+	n.flushPSN()
+}
+
+// flushPSN runs the deferred post-store actions of a batched PSN drain
+// in arrival order. With a worker pool configured and more than one
+// action pending, the trigger strands fan out (flushPSNPar); the
+// sequential walk below is the reference the parallel merge reproduces
+// exactly.
+func (n *Node) flushPSN() {
+	acts := n.psnActs
+	if len(acts) == 0 {
+		return
+	}
+	if n.par != nil && len(acts) > 1 {
+		n.flushPSNPar(acts)
+		n.psnActs = acts[:0]
+		return
+	}
+	for _, a := range acts {
+		switch a.kind {
+		case actInsert:
+			n.afterInsert(a.t, a.stamp, int64(a.stamp), int64(a.stamp))
+		case actRefresh:
+			n.refreshAdvertise(a.t, a.stamp)
+		case actEvent:
+			n.eventStrands(a.t, a.stamp)
+		}
+	}
+	n.psnActs = acts[:0]
+}
+
+// flushPSNPar is flushPSN on the intra-node worker pool. The mutating
+// half of every action — store observation, aggregate maintenance,
+// advertisement decisions — runs sequentially in arrival order, each
+// action's aggregate-derived deltas recorded as a queue/out segment;
+// the trigger strands then run concurrently into job-local buffers with
+// each job bounded by its delta's own stamp. The merge interleaves
+// segments and job outputs per action, so the resulting queue and out
+// are byte-identical to the sequential flush (and therefore to
+// tuple-at-a-time evaluation).
+func (n *Node) flushPSNPar(acts []psnAction) {
+	p := n.par
+	jobs := p.jobs[:0]
+	segs := p.segs[:0]
+	baseQ, baseOut := len(n.queue), len(n.out)
+	for _, a := range acts {
+		q0, o0 := len(n.queue), len(n.out)
+		job := -1
+		bound := int64(a.stamp)
+		switch a.kind {
+		case actInsert:
+			if n.afterInsertPre(a.t, bound, bound) {
+				n.markAdv(a.t)
+				job = len(jobs)
+				jobs = append(jobs, parJob{t: a.t, lt: bound, le: bound})
+			}
+		case actRefresh:
+			n.markAdv(a.t)
+			job = len(jobs)
+			jobs = append(jobs, parJob{t: a.t, lt: bound, le: bound})
+		case actEvent:
+			if n.opts.OnStore != nil {
+				n.opts.OnStore(n.id, Insert(a.t), n.now)
+			}
+			job = len(jobs)
+			jobs = append(jobs, parJob{t: a.t, lt: bound, le: bound})
+		}
+		segs = append(segs, psnSeg{q0: q0 - baseQ, q1: len(n.queue) - baseQ,
+			o0: o0 - baseOut, o1: len(n.out) - baseOut, job: job})
+	}
+	p.jobs, p.segs = jobs, segs
+	if len(jobs) == 0 {
+		return // only aggregate deltas: already appended in order
+	}
+	if len(jobs) == 1 {
+		jb := &jobs[0]
+		ctx := &p.ctxs[0]
+		ctx.ltBefore, ctx.leAfter = jb.lt, jb.le
+		ctx.deleted, ctx.deletedPred = nil, ""
+		n.runJob(ctx, jb)
+	} else {
+		workers := min(p.workers, len(jobs))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(ctx *joinCtx) {
+				defer wg.Done()
+				ctx.deleted, ctx.deletedPred = nil, ""
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(jobs) {
+						return
+					}
+					ctx.ltBefore, ctx.leAfter = jobs[j].lt, jobs[j].le
+					n.runJob(ctx, &jobs[j])
+				}
+			}(&p.ctxs[i])
+		}
+		wg.Wait()
+	}
+	// Splice merge: pull the pre-pass's aggregate tails off queue/out,
+	// then rebuild them with each action's segment followed by its job's
+	// derivations — the exact order the sequential flush produces.
+	p.qTail = append(p.qTail[:0], n.queue[baseQ:]...)
+	p.outTail = append(p.outTail[:0], n.out[baseOut:]...)
+	n.queue = n.queue[:baseQ]
+	n.out = n.out[:baseOut]
+	for _, s := range segs {
+		n.queue = append(n.queue, p.qTail[s.q0:s.q1]...)
+		n.out = append(n.out, p.outTail[s.o0:s.o1]...)
+		if s.job < 0 {
+			continue
+		}
+		jb := &p.jobs[s.job]
+		if jb.err != nil {
+			panic(fmt.Sprintf("engine: %v", jb.err))
+		}
+		n.queue = append(n.queue, jb.queue...)
+		n.out = append(n.out, jb.out...)
+	}
+}
+
+// eventStrands runs an event tuple's trigger strands under its assigned
+// stamp — the shared tail of processEvent and a deferred actEvent.
+func (n *Node) eventStrands(t val.Tuple, stamp uint64) {
+	if n.opts.OnStore != nil {
+		n.opts.OnStore(n.id, Insert(t), n.now)
+	}
+	n.runNormalStrands(+1, t, int64(stamp), int64(stamp), nil)
 }
 
 // drainSN implements Algorithm 1: repeatedly flush the delta buffer,
@@ -542,7 +813,7 @@ func (n *Node) roundPar(inserts []val.Tuple, bound int64) {
 	for _, t := range inserts {
 		if n.afterInsertPre(t, bound, bound) {
 			n.markAdv(t)
-			jobs = append(jobs, parJob{t: t})
+			jobs = append(jobs, parJob{t: t, lt: bound, le: bound})
 		}
 	}
 	n.par.jobs = jobs
@@ -556,13 +827,13 @@ func (n *Node) roundPar(inserts []val.Tuple, bound int64) {
 		wg.Add(1)
 		go func(ctx *joinCtx) {
 			defer wg.Done()
-			ctx.ltBefore, ctx.leAfter = bound, bound
 			ctx.deleted, ctx.deletedPred = nil, ""
 			for {
 				j := int(next.Add(1)) - 1
 				if j >= len(jobs) {
 					return
 				}
+				ctx.ltBefore, ctx.leAfter = jobs[j].lt, jobs[j].le
 				n.runJob(ctx, &jobs[j])
 			}
 		}(&n.par.ctxs[i])
@@ -630,16 +901,25 @@ func (n *Node) process(d Delta) {
 // rejects aggregates over events) and no advertisement state.
 func (n *Node) processEvent(t val.Tuple) {
 	n.stamp++
-	if n.opts.OnStore != nil {
-		n.opts.OnStore(n.id, Insert(t), n.now)
-	}
-	n.runNormalStrands(+1, t, int64(n.stamp), int64(n.stamp), nil)
+	n.eventStrands(t, n.stamp)
 }
 
 // storeInsert applies the table effects of an insertion: duplicate
 // counting, primary-key replacement (update = delete + insert), and
-// eviction. It returns false when the tuple is a duplicate.
+// eviction. It returns false when the tuple is a duplicate; a
+// soft-state duplicate's re-advertisement runs inline.
 func (n *Node) storeInsert(t val.Tuple, stamp uint64) (val.Tuple, bool) {
+	stored, ok, refresh := n.storeInsertD(t, stamp)
+	if refresh {
+		n.refreshAdvertise(t, stamp)
+	}
+	return stored, ok
+}
+
+// storeInsertD is storeInsert with the soft-state duplicate refresh
+// deferred to the caller (refresh=true): batched PSN drains run it when
+// the batch flushes, preserving arrival order.
+func (n *Node) storeInsertD(t val.Tuple, stamp uint64) (val.Tuple, bool, bool) {
 	tbl := n.cat.Get(t.Pred)
 	res := tbl.Insert(t, stamp, n.now)
 	// Pool intern-worthy rows on their second touch: a duplicate insert
@@ -668,24 +948,21 @@ func (n *Node) storeInsert(t val.Tuple, stamp uint64) (val.Tuple, bool) {
 		// The displaced row's advertisement state rides along in the
 		// result, so no pre-insert lookup is needed.
 		n.afterDelete(res.Replaced, res.ReplacedAdv, res.ReplacedStamp)
-		return t, true
+		return t, true, false
 	case table.StatusDuplicate:
 		// Soft-state refresh semantics (Section 4.2): re-inserting a
 		// soft-state tuple re-advertises it so downstream soft state is
 		// refreshed in turn. Hard-state duplicates only bump the count.
-		if tbl.TTL() >= 0 {
-			n.refreshAdvertise(t, stamp)
-		}
-		return val.Tuple{}, false
+		return val.Tuple{}, false, tbl.TTL() >= 0
 	case table.StatusNew:
 		for _, ev := range res.Evicted {
 			if !ev.Equal(t) {
 				n.afterDelete(ev, true, stamp)
 			}
 		}
-		return t, true
+		return t, true, false
 	}
-	return val.Tuple{}, false
+	return val.Tuple{}, false, false
 }
 
 func (n *Node) processInsert(t val.Tuple) {

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ndlog/internal/programs"
+	"ndlog/internal/val"
+)
+
+// psnGrid is the PSNBatch × Parallelism grid every batched-PSN
+// equivalence trial runs over; (1, 1) is the tuple-at-a-time reference.
+var psnGrid = []struct{ batch, par int }{
+	{1, 1}, {16, 1}, {256, 1}, {16, 4}, {256, 4},
+}
+
+// TestPSNBatchEquivalenceRandomized asserts that batched PSN drains
+// (Options.PSNBatch) reach byte-identical fixpoints to tuple-at-a-time
+// evaluation on a randomized aggregate workload — after the initial
+// convergence and after count-algorithm deletions of base links, which
+// force the batch-flush barrier on every retraction.
+func TestPSNBatchEquivalenceRandomized(t *testing.T) {
+	const (
+		nNodes = 10
+		nEdges = 15
+		trials = 3
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		ids := make([]string, nNodes)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("n%02d", i)
+		}
+		type link struct {
+			a, b string
+			cost float64
+		}
+		seen := map[[2]string]bool{}
+		var links []link
+		for len(links) < nEdges {
+			a, b := ids[rng.Intn(nNodes)], ids[rng.Intn(nNodes)]
+			if a == b || seen[[2]string{a, b}] {
+				continue
+			}
+			seen[[2]string{a, b}] = true
+			links = append(links, link{a: a, b: b, cost: float64(1 + rng.Intn(9))})
+		}
+		victim := links[rng.Intn(len(links))]
+
+		run := func(batch, par int, aggsel bool) ([]byte, []byte) {
+			prog := mustParse(t, programs.ShortestPath(""))
+			for _, l := range links {
+				prog.Facts = append(prog.Facts,
+					programs.LinkFact("link", l.a, l.b, l.cost),
+					programs.LinkFact("link", l.b, l.a, l.cost))
+			}
+			c, err := NewCentral(prog, Options{PSNBatch: batch, Parallelism: par, AggSel: aggsel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.LoadFacts()
+			full := encodeFixpoint(c.QueryResults())
+			// Count-algorithm retraction of one base link (both directions):
+			// in a batched drain every deletion flushes the pending batch
+			// and takes the reference path.
+			c.Delete(programs.LinkFact("link", victim.a, victim.b, victim.cost))
+			c.Delete(programs.LinkFact("link", victim.b, victim.a, victim.cost))
+			return full, encodeFixpoint(c.QueryResults())
+		}
+
+		for _, aggsel := range []bool{false, true} {
+			wantFull, wantDel := run(1, 1, aggsel)
+			for _, g := range psnGrid[1:] {
+				gotFull, gotDel := run(g.batch, g.par, aggsel)
+				if !bytes.Equal(gotFull, wantFull) {
+					t.Fatalf("trial %d: batch=%d par=%d aggsel=%v fixpoint differs from tuple-at-a-time",
+						trial, g.batch, g.par, aggsel)
+				}
+				if !bytes.Equal(gotDel, wantDel) {
+					t.Fatalf("trial %d: batch=%d par=%d aggsel=%v post-deletion fixpoint differs",
+						trial, g.batch, g.par, aggsel)
+				}
+			}
+		}
+	}
+}
+
+// TestPSNBatchDRedEquivalence covers the recursive non-aggregate side:
+// batched PSN must match tuple-at-a-time both at the transitive-closure
+// fixpoint and after a DRed deletion's over-delete/re-derive sweep.
+func TestPSNBatchDRedEquivalence(t *testing.T) {
+	const nNodes = 16
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		var edges [][2]string
+		seen := map[[2]string]bool{}
+		for len(edges) < 48 {
+			a := fmt.Sprintf("v%d", rng.Intn(nNodes))
+			b := fmt.Sprintf("v%d", rng.Intn(nNodes))
+			if a == b || seen[[2]string{a, b}] {
+				continue
+			}
+			seen[[2]string{a, b}] = true
+			edges = append(edges, [2]string{a, b})
+		}
+		run := func(batch, par int) ([]byte, []byte) {
+			c, err := NewCentral(mustParse(t, tcSrc), Options{PSNBatch: batch, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range edges {
+				c.node.Push(Insert(edge(e[0], e[1])))
+			}
+			c.Fixpoint()
+			full := encodeFixpoint(c.Tuples("reach"))
+			if err := c.DeleteDRed(edge(edges[0][0], edges[0][1])); err != nil {
+				t.Fatal(err)
+			}
+			return full, encodeFixpoint(c.Tuples("reach"))
+		}
+		wantFull, wantDel := run(1, 1)
+		for _, g := range psnGrid[1:] {
+			gotFull, gotDel := run(g.batch, g.par)
+			if !bytes.Equal(gotFull, wantFull) {
+				t.Fatalf("trial %d: batch=%d par=%d fixpoint differs from tuple-at-a-time", trial, g.batch, g.par)
+			}
+			if !bytes.Equal(gotDel, wantDel) {
+				t.Fatalf("trial %d: batch=%d par=%d post-DRed fixpoint differs", trial, g.batch, g.par)
+			}
+		}
+	}
+}
+
+// TestPSNBatchEvictionBarrier pins the displacement barrier: a bounded
+// table's evictions and a keyed table's replacements must behave
+// identically under batching (the probe flushes and falls back to the
+// reference path).
+func TestPSNBatchEvictionBarrier(t *testing.T) {
+	src := `
+materialize(latest, infinity, infinity, keys(1)).
+materialize(seenAt, infinity, 3, keys(1,2)).
+r1 latest(@N, X) :- obs(@N, X).
+r2 seenAt(@N, X) :- obs(@N, X).
+`
+	run := func(batch int) ([]byte, []byte) {
+		c, err := NewCentral(mustParse(t, src), Options{PSNBatch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			c.node.Push(Insert(val.NewTuple("obs", val.NewAddr("n"), val.NewInt(int64(i)))))
+		}
+		c.Fixpoint()
+		return encodeFixpoint(c.Tuples("latest")), encodeFixpoint(c.Tuples("seenAt"))
+	}
+	wantL, wantS := run(1)
+	for _, batch := range []int{4, 256} {
+		gotL, gotS := run(batch)
+		if !bytes.Equal(gotL, wantL) {
+			t.Fatalf("batch=%d: keyed replacement state differs", batch)
+		}
+		if !bytes.Equal(gotS, wantS) {
+			t.Fatalf("batch=%d: bounded-table eviction state differs", batch)
+		}
+	}
+}

@@ -274,3 +274,24 @@ func DecodeMessageIn(b []byte, in *val.Interner) ([]Delta, error) {
 	}
 	return nil, fmt.Errorf("engine: unknown message kind %d", b[0])
 }
+
+// DecodeMessageInto is DecodeMessageIn appending into a caller-owned
+// scratch slice (see DecodeDeltasInto). Share-combined batches expand
+// to a variable number of deltas, so those still allocate their own
+// batch and are appended; the plain-delta hot path decodes in place.
+func DecodeMessageInto(b []byte, in *val.Interner, dst []Delta) ([]Delta, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("engine: empty message")
+	}
+	switch msgKind(b[0]) {
+	case msgDeltas:
+		return DecodeDeltasInto(b, in, dst)
+	case msgShared:
+		ds, err := DecodeSharedIn(b, in)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, ds...), nil
+	}
+	return nil, fmt.Errorf("engine: unknown message kind %d", b[0])
+}

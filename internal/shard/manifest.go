@@ -73,6 +73,21 @@ type Options struct {
 	// already one goroutine per node). 0 means GOMAXPROCS, 1 forces
 	// sequential walks; negative values are rejected at validation.
 	Parallelism int `json:"parallelism,omitempty"`
+	// PSNBatch makes every node's PSN drains batch-at-a-time: deltas
+	// are stored eagerly and their trigger strands flushed every this
+	// many actions (engine Options.PSNBatch). 0 or 1 keep the reference
+	// tuple-at-a-time pipeline; the fixpoints are byte-identical either
+	// way. Negative values are rejected at validation.
+	PSNBatch int `json:"psn_batch,omitempty"`
+	// SharedSockets routes each worker's nodes through a small shared
+	// socket set drained by a bounded demux pool instead of one socket
+	// and goroutine per node (netrun Config.SharedSockets). Requires
+	// every node bind address in the manifest to stay ephemeral ("").
+	SharedSockets bool `json:"shared_sockets,omitempty"`
+	// GroupCommit folds each worker's per-node WALs into one shard-wide
+	// log, collapsing a drain's fsyncs from one per node to one per
+	// shard (netrun Config.GroupCommit). Only meaningful with DataDir.
+	GroupCommit bool `json:"group_commit,omitempty"`
 }
 
 // Durable converts the manifest's durability stanza to the durable
@@ -105,6 +120,7 @@ func (o Options) Engine() (engine.Options, error) {
 		AggSelPeriod: o.AggSelPeriod,
 		ArenaIntern:  o.ArenaIntern,
 		Parallelism:  o.Parallelism,
+		PSNBatch:     o.PSNBatch,
 	}, nil
 }
 
@@ -193,6 +209,9 @@ func (m *Manifest) Validate() error {
 	if m.Options.Parallelism < 0 {
 		return fmt.Errorf("negative parallelism %d", m.Options.Parallelism)
 	}
+	if m.Options.PSNBatch < 0 {
+		return fmt.Errorf("negative psn_batch %d", m.Options.PSNBatch)
+	}
 	ids := map[int]bool{}
 	owner := map[string]int{}
 	for _, s := range m.Shards {
@@ -206,6 +225,9 @@ func (m *Manifest) Validate() error {
 		for n := range s.Nodes {
 			if prev, ok := owner[n]; ok {
 				return fmt.Errorf("node %q in shards %d and %d", n, prev, s.ID)
+			}
+			if m.Options.SharedSockets && s.Nodes[n] != "" {
+				return fmt.Errorf("shared_sockets forbids pinned bind address %q for node %q", s.Nodes[n], n)
 			}
 			owner[n] = s.ID
 		}

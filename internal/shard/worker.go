@@ -97,7 +97,11 @@ func RunWorker(cfg WorkerConfig) error {
 			nodes = saved
 		}
 	}
-	r, err := netrun.NewShardedHost(prog, nodes, spec.Host, opts)
+	r, err := netrun.NewConfigured(prog, nodes, netrun.Config{
+		BindHost:      spec.Host,
+		SharedSockets: m.Options.SharedSockets,
+		GroupCommit:   m.Options.GroupCommit,
+	}, opts)
 	if err != nil {
 		return err
 	}
